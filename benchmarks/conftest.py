@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Dataset generation is expensive (packet-level simulation), so it
+happens once per session here; the benchmarked callables are the
+analysis/rendering steps. Every bench writes its rendered artefact to
+``benchmarks/output/`` so the paper comparison survives the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.units import mb, minutes
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_config() -> CampaignConfig:
+    """Campaign scale used for the benchmark suite.
+
+    Bigger than the test config (stable distributions), smaller than
+    the paper's five months of wall clock (see DESIGN.md).
+    """
+    return CampaignConfig(
+        seed=7,
+        ping_days=151.0, ping_interval_s=minutes(30),
+        speedtest_epochs=5, speedtest_connections=4,
+        speedtest_warmup_s=2.0, speedtest_measure_s=4.0,
+        satcom_warmup_s=6.0,
+        bulk_per_direction=3, bulk_bytes=mb(14),
+        messages_per_direction=3, messages_duration_s=30.0,
+        web_sites=120, web_visits_per_site=3)
+
+
+@pytest.fixture(scope="session")
+def campaign() -> Campaign:
+    return Campaign(bench_config())
+
+
+@pytest.fixture(scope="session")
+def ping_dataset(campaign):
+    return campaign.run_pings()
+
+
+@pytest.fixture(scope="session")
+def speedtest_samples(campaign):
+    return campaign.run_speedtests()
+
+
+@pytest.fixture(scope="session")
+def bulk_samples(campaign):
+    return campaign.run_bulk()
+
+
+@pytest.fixture(scope="session")
+def messages_samples(campaign):
+    return campaign.run_messages()
+
+
+@pytest.fixture(scope="session")
+def web_visits(campaign):
+    return campaign.run_web()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUTPUT_DIR / name).write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,41 @@
+"""Bench ERR: regenerate the ERRANT emulation-profile artefact.
+
+The paper's released artefact is a data-driven Starlink model for the
+ERRANT emulator. We fit netem-style profiles from the campaign data
+and export tc command lines + JSON.
+"""
+
+from repro.core.datasets import CampaignDatasets
+from repro.errant import fit_profiles, to_json, to_netem_commands
+
+
+def test_errant_profiles(benchmark, ping_dataset, speedtest_samples,
+                         messages_samples, save_artifact):
+    data = CampaignDatasets(pings=ping_dataset,
+                            speedtests=speedtest_samples,
+                            messages=messages_samples)
+    profiles = benchmark.pedantic(fit_profiles, args=(data,),
+                                  rounds=1, iterations=1)
+
+    text = to_json(profiles)
+    for name, profile in profiles.items():
+        text += f"\n\n# {name}\n" + "\n".join(
+            to_netem_commands(profile))
+    save_artifact("errant_profiles.txt", text)
+
+    starlink = profiles["starlink"]
+    # One-way delay = half the ~45 ms median RTT.
+    assert 15 <= starlink.delay_ms <= 35
+    assert 1 <= starlink.jitter_ms <= 15
+    assert 100 <= starlink.rate_down_mbps <= 260
+    assert 8 <= starlink.rate_up_mbps <= 40
+    assert 0.0 <= starlink.loss_pct <= 2.0
+
+    satcom = profiles["satcom"]
+    # GEO one-way delay ~280-320 ms.
+    assert 250 <= satcom.delay_ms <= 350
+    assert satcom.rate_down_mbps < starlink.rate_down_mbps
+
+    commands = to_netem_commands(starlink)
+    assert any("netem" in c for c in commands)
+    assert any("tbf" in c for c in commands)

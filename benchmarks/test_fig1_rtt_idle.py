@@ -1,0 +1,39 @@
+"""Bench F1: regenerate Figure 1 (idle RTT boxplots, 11 anchors).
+
+Paper targets: Belgian anchors median in [46, 52] ms, under 70 ms in
+more than 95 % of cases, minima in [24, 28] ms; German anchors lowest
+(median ~42 ms, overall minimum 20.5 ms); Fremont median 184 ms,
+Singapore 270 ms.
+"""
+
+from repro.core.reporting import render_figure1
+from repro.core.rtt import figure1_rtt_boxplots
+
+
+def test_fig1_idle_rtt(benchmark, ping_dataset, save_artifact):
+    rows = benchmark.pedantic(figure1_rtt_boxplots,
+                              args=(ping_dataset,),
+                              rounds=1, iterations=1)
+    save_artifact("fig1_rtt_idle.txt", render_figure1(rows))
+
+    by_name = {row.anchor: row.stats for row in rows}
+    assert len(rows) == 11
+
+    # Belgian anchors: the paper's headline numbers.
+    for name in ("be-brussels", "be-leuven", "be-ghent", "be-liege"):
+        stats = by_name[name]
+        assert 42 <= stats.median <= 56, (name, stats.median)
+        assert stats.p95 <= 80
+        assert 22 <= stats.minimum <= 33
+
+    # Germans are the fastest Europeans; global minimum ~20 ms.
+    de_median = by_name["nuremberg-1"].median
+    be_median = by_name["be-brussels"].median
+    assert de_median < be_median
+    global_min = min(s.minimum for s in by_name.values())
+    assert 16 <= global_min <= 28
+
+    # Distant anchors: propagation dominates but stays well below
+    # what naive great-circle-through-GEO would suggest.
+    assert 150 <= by_name["fremont"].median <= 215
+    assert 230 <= by_name["singapore"].median <= 300

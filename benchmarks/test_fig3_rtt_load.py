@@ -1,0 +1,45 @@
+"""Bench F3: regenerate Figure 3 (RTT under load) + messages RTTs.
+
+Paper targets (ms): H3 download median 95 / p95 175 / p99 210,
+H3 upload 104 / 237 / 310; messages download 50 / 71 / 87, messages
+upload 66 / 87 / 143. Key *shape* facts: upload inflates more than
+download for H3; messages stay mostly under 100 ms; message uploads
+are slower than downloads because quiche does not pace.
+"""
+
+from repro.core.reporting import render_figure3
+from repro.core.rtt import figure3_loaded_rtt
+
+
+def test_fig3_loaded_rtt(benchmark, bulk_samples, messages_samples,
+                         save_artifact):
+    stats = benchmark.pedantic(
+        figure3_loaded_rtt, args=(bulk_samples, messages_samples),
+        rounds=1, iterations=1)
+    save_artifact("fig3_rtt_load.txt", render_figure3(stats))
+
+    rows = {(s.workload, s.direction): s for s in stats}
+    h3_down = rows[("h3", "down")]
+    h3_up = rows[("h3", "up")]
+    msg_down = rows[("messages", "down")]
+    msg_up = rows[("messages", "up")]
+
+    # Bulk transfers inflate the RTT well above idle (~45 ms).
+    assert h3_down.median > 60
+    assert h3_up.median > 75
+    # Upload suffers more than download (equal byte-sized buffers on
+    # an asymmetric link -- the paper's Sec. 3.1 explanation).
+    assert h3_up.median > h3_down.median
+    assert h3_up.p95 > h3_down.p95
+
+    # The low-bitrate workload stays near idle latency...
+    assert msg_down.median < 65
+    assert msg_down.p95 < 110
+    # ...with uploads slightly slower (unpaced 25 kB bursts on the
+    # slow uplink).
+    assert msg_up.median > msg_down.median
+    assert msg_up.p99 > msg_down.p99
+
+    # Plenty of samples back these distributions.
+    assert h3_down.samples > 5_000
+    assert h3_up.samples > 5_000

@@ -1,0 +1,71 @@
+"""Bench F5: regenerate Figure 5 (throughput distributions).
+
+Paper targets (Mbit/s): Ookla on Starlink median 178 down (range
+~100-250, max 386) and 17 up (p95 ~30, max 64); SatCom 82 down and
+4.5 up; H3 on Starlink mostly 100-150 down (single QUIC connection
+loses to multi-connection TCP) and uploads in line with Ookla but
+stabler. Session 2 download capacity is higher than session 1.
+"""
+
+import numpy as np
+
+from repro.core.reporting import render_figure5
+from repro.core.throughput import figure5_throughput, session_comparison
+
+
+def test_fig5_throughput(benchmark, speedtest_samples, bulk_samples,
+                         save_artifact):
+    series = benchmark.pedantic(
+        figure5_throughput, args=(speedtest_samples, bulk_samples),
+        rounds=1, iterations=1)
+    text = render_figure5(series)
+    sessions = session_comparison(bulk_samples)
+    text += (f"\nH3 medians by session: {sessions}")
+    save_artifact("fig5_throughput.txt", text)
+
+    rows = {(r.label, r.direction): r.stats for r in series}
+    st_down = rows[("starlink-speedtest", "down")]
+    st_up = rows[("starlink-speedtest", "up")]
+    sat_down = rows[("satcom-speedtest", "down")]
+    sat_up = rows[("satcom-speedtest", "up")]
+    h3_down = rows[("starlink-h3", "down")]
+
+    # Starlink download: 100-250 band, median near the paper's 178.
+    assert 120 <= st_down.median <= 240
+    assert st_down.maximum <= 400
+    # Starlink upload: tens of Mbit/s.
+    assert 10 <= st_up.median <= 35
+
+    # Starlink beats SatCom in both directions (the headline).
+    assert st_down.median > 1.5 * sat_down.median
+    assert st_up.median > 2 * sat_up.median
+    # SatCom in the right bands.
+    assert 50 <= sat_down.median <= 95
+    assert 2 <= sat_up.median <= 8
+
+    # Single-connection QUIC downloads trail multi-connection TCP.
+    assert h3_down.median < st_down.median
+    assert h3_down.median >= 60
+
+    # Session 2 download faster than session 1; uploads comparable.
+    if 1 in sessions["down"] and 2 in sessions["down"]:
+        assert sessions["down"][2] > sessions["down"][1]
+    if 1 in sessions["up"] and 2 in sessions["up"]:
+        ratio = sessions["up"][2] / max(sessions["up"][1], 1e-9)
+        assert 0.5 <= ratio <= 2.0
+
+
+def test_no_diurnal_throughput_pattern(benchmark, speedtest_samples):
+    """Paper: median throughput varies < +/-10 % over hours of day."""
+    down = benchmark.pedantic(
+        lambda: [s for s in speedtest_samples
+                 if s.network == "starlink" and s.direction == "down"],
+        rounds=1, iterations=1)
+    if len(down) < 6:
+        return
+    values = np.array([s.throughput_mbps for s in down])
+    hours = np.array([(s.t % 86400) // 3600 for s in down])
+    day = values[(hours >= 8) & (hours < 20)]
+    night = values[(hours < 8) | (hours >= 20)]
+    if day.size and night.size:
+        assert 0.6 <= np.median(day) / np.median(night) <= 1.6

@@ -1,0 +1,44 @@
+"""Bench F6: regenerate Figure 6 (web-browsing QoE).
+
+Paper targets: Starlink onLoad median 2.12 s (IQR 1.60-2.78) and
+SpeedIndex 1.82 s; SatCom 10.91 s (IQR 8.36-13.59) and 8.19 s; wired
+1.24 s and 1.0 s. Starlink is 75-80 % faster than SatCom and close
+to wired; a visit opens ~15 connections; connection setup averages
+167 ms on Starlink vs 2030 ms on SatCom.
+"""
+
+from repro.core.browsing import figure6_browsing, speedup_vs_satcom
+from repro.core.reporting import render_figure6
+
+
+def test_fig6_browsing(benchmark, web_visits, save_artifact):
+    stats = benchmark.pedantic(figure6_browsing, args=(web_visits,),
+                               rounds=1, iterations=1)
+    save_artifact("fig6_browsing.txt", render_figure6(stats))
+
+    starlink = stats["starlink"]
+    satcom = stats["satcom"]
+    wired = stats["wired"]
+
+    # Ordering: wired < starlink << satcom.
+    assert wired.onload.median < starlink.onload.median
+    assert starlink.onload.median < 0.4 * satcom.onload.median
+
+    # Bands around the paper's medians (seconds).
+    assert 1.4 <= starlink.onload.median <= 3.0
+    assert 7.0 <= satcom.onload.median <= 14.0
+    assert 0.8 <= wired.onload.median <= 1.8
+
+    # SpeedIndex tracks onLoad, in the same order.
+    assert (wired.speed_index.median < starlink.speed_index.median
+            < satcom.speed_index.median)
+
+    # The headline takeaway: Starlink 75-80 % faster than SatCom.
+    speedup = speedup_vs_satcom(stats)
+    assert 0.65 <= speedup <= 0.90
+
+    # ~15 connections per visit; setup times in the right ratio.
+    assert 10 <= starlink.avg_connections <= 25
+    assert 0.10 <= starlink.avg_setup_s <= 0.25
+    assert 1.3 <= satcom.avg_setup_s <= 2.6
+    assert satcom.avg_setup_s > 8 * starlink.avg_setup_s

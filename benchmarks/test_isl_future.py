@@ -1,0 +1,41 @@
+"""Bench ISL: the paper's future-work prediction, quantified.
+
+Sec. 4 of the paper: inter-satellite links were not yet enabled (the
+exit PoPs were the same for Singapore as for European anchors) but
+were planned for late 2022. This bench routes through a +grid ISL
+constellation and compares against the measured bent-pipe medians --
+the Hypatia-style prediction the paper cites.
+"""
+
+from repro.leo.geometry import GeoPoint
+from repro.leo.isl import IslRouter, bent_pipe_vs_isl
+
+BELGIUM = GeoPoint(50.67, 4.61)
+
+#: (target, location, paper's measured bent-pipe median RTT, s)
+CASES = [
+    ("fremont", GeoPoint(37.55, -121.99), 0.184),
+    ("singapore", GeoPoint(1.35, 103.82), 0.270),
+]
+
+
+def test_isl_beats_bent_pipe_on_long_haul(benchmark, save_artifact):
+    router = IslRouter()
+
+    def run():
+        return {name: bent_pipe_vs_isl(BELGIUM, loc, rtt,
+                                       router=router)
+                for name, loc, rtt in CASES}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["ISL future-work prediction (paper Sec. 4):"]
+    for name, comp in results.items():
+        lines.append(
+            f"  {name:<10} bent-pipe {1e3 * comp['bent_pipe_rtt_s']:.0f}"
+            f" ms -> ISL {1e3 * comp['isl_rtt_s']:.0f} ms "
+            f"(speedup {comp['speedup']:.2f}x)")
+    save_artifact("isl_future.txt", "\n".join(lines))
+
+    for name, comp in results.items():
+        assert comp["speedup"] > 1.3, name
+        assert comp["isl_rtt_s"] > 0.03   # physics still applies

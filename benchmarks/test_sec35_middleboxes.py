@@ -1,0 +1,30 @@
+"""Bench S3.5: regenerate the middlebox/traffic-discrimination
+findings.
+
+Paper: traceroute on Starlink shows the dish router (192.168.1.1)
+and a carrier-grade NAT (100.64.0.1); Tracebox finds no PEP and only
+checksum mutations; Wehe finds no traffic discrimination. The SatCom
+path carries a PEP.
+"""
+
+from repro.core.middlebox import run_middlebox_study
+from repro.core.reporting import render_middlebox
+
+
+def test_sec35_middleboxes(benchmark, save_artifact):
+    reports = benchmark.pedantic(run_middlebox_study,
+                                 kwargs={"seed": 7},
+                                 rounds=1, iterations=1)
+    save_artifact("sec35_middleboxes.txt", render_middlebox(reports))
+
+    starlink = reports["starlink"]
+    assert starlink.traceroute_hops[0] == "192.168.1.1"
+    assert starlink.traceroute_hops[1] == "100.64.0.1"
+    assert starlink.nat_levels == 2
+    assert not starlink.pep_detected
+    assert starlink.checksum_only_mutation
+    assert not starlink.traffic_discrimination
+
+    satcom = reports["satcom"]
+    assert satcom.pep_detected
+    assert not satcom.traffic_discrimination

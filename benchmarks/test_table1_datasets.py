@@ -1,0 +1,22 @@
+"""Bench T1: regenerate Table 1 (dataset overview)."""
+
+from repro.core.datasets import CampaignDatasets
+from repro.core.reporting import render_table1
+
+
+def test_table1(benchmark, ping_dataset, speedtest_samples,
+                bulk_samples, messages_samples, web_visits,
+                save_artifact):
+    data = CampaignDatasets(
+        pings=ping_dataset, speedtests=speedtest_samples,
+        bulk=bulk_samples, messages=messages_samples,
+        visits=web_visits)
+
+    rows = benchmark.pedantic(data.table1_rows, rounds=1, iterations=1)
+    text = render_table1(rows)
+    save_artifact("table1_datasets.txt", text)
+
+    measures = {row["measure"] for row in rows}
+    assert measures == {"Latency", "Throughput", "Web Browsing",
+                        "QUIC H3", "QUIC messages"}
+    assert data.pings.total_samples > 100_000

@@ -1,0 +1,54 @@
+"""Bench T2: regenerate Table 2 (QUIC loss ratios) + the wired
+sanity check.
+
+Paper targets: H3 1.56 % down / 1.96 % up; messages 0.40 % down /
+0.45 % up; and virtually zero loss when the same downloads run from
+a wired client near the exit (10 of 5.8 M / 8 of 2.8 M packets).
+"""
+
+from repro.apps.bulk import run_bulk_transfer
+from repro.core.campaign import CAMPUS_SERVER
+from repro.core.loss_events import table2_loss_ratios
+from repro.core.reporting import render_table2
+from repro.leo.geometry import GeoPoint
+from repro.units import mb
+from repro.wired.access import WiredAccess
+
+
+def test_table2_loss_ratios(benchmark, bulk_samples, messages_samples,
+                            save_artifact):
+    cells = benchmark.pedantic(
+        table2_loss_ratios, args=(bulk_samples, messages_samples),
+        rounds=1, iterations=1)
+    save_artifact("table2_loss.txt", render_table2(cells))
+
+    h3_down = cells[("h3", "down")]
+    h3_up = cells[("h3", "up")]
+    msg_down = cells[("messages", "down")]
+    msg_up = cells[("messages", "up")]
+
+    # Bulk transfers lose around a percent of packets (congestion +
+    # medium); messages lose an order less (medium only).
+    assert 0.002 <= h3_down.loss_ratio <= 0.05
+    assert 0.002 <= h3_up.loss_ratio <= 0.05
+    assert 0.0003 <= msg_down.loss_ratio <= 0.02
+    assert 0.0003 <= msg_up.loss_ratio <= 0.02
+    assert h3_down.loss_ratio > 2 * msg_down.loss_ratio
+
+
+def test_wired_client_sanity_check(benchmark, save_artifact):
+    """Losses disappear when the Starlink link is out of the path."""
+    access = WiredAccess(seed=9)
+    server = access.add_remote_host("campus", "130.104.1.1",
+                                    CAMPUS_SERVER)
+    access.finalize()
+    result = benchmark.pedantic(
+        lambda: run_bulk_transfer(access.client, server, "down",
+                                  payload_bytes=mb(12)),
+        rounds=1, iterations=1)
+    assert result.completed
+    text = (f"wired sanity check: {len(result.receiver_lost_pns)} of "
+            f"{result.receiver_max_pn + 1} packets lost "
+            f"(paper: 10 of 5.8 M)")
+    save_artifact("table2_wired_sanity.txt", text)
+    assert result.loss_ratio < 0.0005

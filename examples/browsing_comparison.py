@@ -1,0 +1,64 @@
+"""Compare web-browsing QoE across Starlink, GEO SatCom and wired.
+
+Reproduces the Fig. 6 comparison on a subset of the corpus and also
+demonstrates the PEP ablation: what SatCom browsing would look like
+if the operator had no split-TCP proxy.
+
+Usage::
+
+    python examples/browsing_comparison.py
+"""
+
+import numpy as np
+
+from repro.apps.web.browser import BrowserEngine
+from repro.apps.web.corpus import build_corpus
+from repro.apps.web.profiles import (
+    satcom_profile,
+    starlink_profile,
+    wired_profile,
+)
+from repro.units import days
+
+
+def summarize(name: str, engine: BrowserEngine, corpus) -> None:
+    onloads, sis = [], []
+    for page in corpus:
+        for visit in range(2):
+            result = engine.visit(page, visit_id=visit)
+            onloads.append(result.onload_s)
+            sis.append(result.speed_index_s)
+    print(f"  {name:<22} onLoad median {np.median(onloads):5.2f} s "
+          f"(IQR [{np.percentile(onloads, 25):.2f}, "
+          f"{np.percentile(onloads, 75):.2f}])   "
+          f"SpeedIndex median {np.median(sis):5.2f} s")
+
+
+def main() -> None:
+    corpus = build_corpus(40, seed=11)
+    epoch = days(45)
+    print(f"Visiting {len(corpus)} synthetic sites twice per access "
+          f"technology...\n")
+
+    summarize("starlink",
+              BrowserEngine(starlink_profile(epoch, seed=5), seed=6),
+              corpus)
+    summarize("satcom (with PEP)",
+              BrowserEngine(satcom_profile(epoch, seed=5), seed=6),
+              corpus)
+    summarize("satcom (PEP disabled)",
+              BrowserEngine(satcom_profile(epoch, seed=5, pep=False),
+                            seed=6),
+              corpus)
+    summarize("wired",
+              BrowserEngine(wired_profile(epoch, seed=5), seed=6),
+              corpus)
+
+    print("\nPaper (Fig. 6): starlink 2.12 s, satcom 10.91 s, "
+          "wired 1.24 s median onLoad.")
+    print("The PEP ablation shows why SatCom operators deploy "
+          "split-TCP proxies at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Fit and export ERRANT emulation profiles from a mini campaign.
+
+The paper's released artefact is a data-driven Starlink model for the
+ERRANT network emulator. This example runs a small campaign, fits
+netem-style profiles for Starlink and SatCom, and prints both the
+JSON dump and the tc command lines that would emulate each access on
+a Linux box.
+
+Usage::
+
+    python examples/errant_profiles.py
+"""
+
+from repro.core.campaign import Campaign, quick_config
+from repro.core.datasets import CampaignDatasets
+from repro.errant import fit_profiles, to_json, to_netem_commands
+
+
+def main() -> None:
+    config = quick_config(seed=9)
+    config.ping_days = 7.0
+    campaign = Campaign(config)
+
+    print("Collecting latency + throughput samples...")
+    data = CampaignDatasets(
+        pings=campaign.run_pings(),
+        speedtests=campaign.run_speedtests(),
+        messages=campaign.run_messages())
+
+    profiles = fit_profiles(data)
+    print("\nFitted profiles:\n")
+    print(to_json(profiles))
+
+    for name, profile in profiles.items():
+        print(f"\n# emulate {name} on eth0:")
+        for command in to_netem_commands(profile):
+            print(f"  {command}")
+
+
+if __name__ == "__main__":
+    main()

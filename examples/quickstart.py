@@ -1,0 +1,43 @@
+"""Quickstart: run a miniature measurement campaign and print the
+paper-style artefacts.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.campaign import Campaign, quick_config
+from repro.core.datasets import CampaignDatasets
+from repro.core.loss_events import table2_loss_ratios
+from repro.core.reporting import (
+    render_figure1,
+    render_figure3,
+    render_table1,
+    render_table2,
+)
+from repro.core.rtt import figure1_rtt_boxplots, figure3_loaded_rtt
+
+
+def main() -> None:
+    campaign = Campaign(quick_config(seed=1))
+
+    print("Running the ping campaign (idle latency, Fig. 1)...")
+    pings = campaign.run_pings()
+    print(render_figure1(figure1_rtt_boxplots(pings)))
+    print()
+
+    print("Running QUIC bulk + message workloads (Fig. 3, Table 2)...")
+    bulk = campaign.run_bulk()
+    messages = campaign.run_messages()
+    print(render_figure3(figure3_loaded_rtt(bulk, messages)))
+    print()
+    print(render_table2(table2_loss_ratios(bulk, messages)))
+    print()
+
+    datasets = CampaignDatasets(pings=pings, bulk=bulk,
+                                messages=messages)
+    print(render_table1(datasets.table1_rows()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so
+PEP-517 editable installs cannot build; this shim lets
+``pip install -e . --no-build-isolation`` fall back to
+``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

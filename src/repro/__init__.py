@@ -1,0 +1,26 @@
+"""repro -- reproduction of "A First Look at Starlink Performance".
+
+The package is layered:
+
+* :mod:`repro.netsim` -- packet-level discrete-event network simulator;
+* :mod:`repro.leo` / :mod:`repro.geo` / :mod:`repro.wired` -- the three
+  access technologies the paper compares (Starlink, geostationary
+  SatCom, campus Ethernet);
+* :mod:`repro.transport` -- simplified TCP (Cubic) and QUIC stacks;
+* :mod:`repro.apps` -- the measurement tools (ping, traceroute,
+  Tracebox, Ookla-like speedtest, HTTP/3 bulk, QUIC messages, Wehe,
+  web browsing);
+* :mod:`repro.core` -- the measurement campaign, the analysis
+  pipeline and report generation (the paper's contribution);
+* :mod:`repro.errant` -- the ERRANT emulation-profile artefact.
+
+Quickstart::
+
+    from repro.core.campaign import CampaignConfig, run_quick_campaign
+    results = run_quick_campaign(CampaignConfig(seed=1))
+    print(results.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

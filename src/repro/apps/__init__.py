@@ -1,0 +1,36 @@
+"""Measurement applications (the paper's tooling).
+
+* :mod:`ping` -- ICMP echo probes (the 5-month latency campaign);
+* :mod:`traceroute` / :mod:`tracebox` -- path and middlebox discovery;
+* :mod:`speedtest` -- Ookla-like multi-connection TCP throughput;
+* :mod:`bulk` -- HTTP/3 100 MB transfers over QUIC;
+* :mod:`messages` -- the 25 msg/s low-bitrate QUIC workload;
+* :mod:`wehe` -- traffic-discrimination detection;
+* :mod:`web` -- browser-visit simulation with onLoad / SpeedIndex.
+"""
+
+from repro.apps.ping import PingClient, PingResult, ping
+from repro.apps.traceroute import traceroute, TracerouteHop
+from repro.apps.tracebox import tracebox, TraceboxFinding
+from repro.apps.speedtest import SpeedtestResult, run_speedtest
+from repro.apps.bulk import BulkTransferResult, run_bulk_transfer
+from repro.apps.messages import MessagesResult, run_messages_workload
+from repro.apps.wehe import WeheResult, run_wehe_test
+
+__all__ = [
+    "PingClient",
+    "PingResult",
+    "ping",
+    "traceroute",
+    "TracerouteHop",
+    "tracebox",
+    "TraceboxFinding",
+    "SpeedtestResult",
+    "run_speedtest",
+    "BulkTransferResult",
+    "run_bulk_transfer",
+    "MessagesResult",
+    "run_messages_workload",
+    "WeheResult",
+    "run_wehe_test",
+]

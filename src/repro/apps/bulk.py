@@ -1,0 +1,130 @@
+"""HTTP/3 bulk transfers (the paper's QUIC workhorse).
+
+Runs one 100 MB (configurable) H3 transfer over a given access
+network and extracts everything the analysis needs: per-ACKed-packet
+RTT samples, receiver-side missing packet numbers, sender-side loss
+records and goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.node import Host
+from repro.transport.quic import H3Client, H3Server, QuicConfig
+from repro.units import mb, to_mbps
+
+
+@dataclass
+class BulkTransferResult:
+    """Everything measured during one H3 bulk transfer."""
+
+    direction: str               # "down" | "up"
+    payload_bytes: int
+    completed: bool
+    duration_s: float | None
+    handshake_rtt_s: float | None
+    #: (time, rtt) per acknowledged packet, sender side (Fig. 3).
+    rtt_samples: list[tuple[float, float]] = field(default_factory=list)
+    #: Missing packet numbers on the receiver (Table 2 / Fig. 4).
+    receiver_lost_pns: list[int] = field(default_factory=list)
+    #: Largest packet number the receiver saw.
+    receiver_max_pn: int = 0
+    #: Duration of each loss event: time between the arrival of the
+    #: packet preceding the gap and the packet following it (how the
+    #: paper computes loss-event durations from client captures).
+    loss_event_durations_s: list[float] = field(default_factory=list)
+    #: Length (packets) of each loss burst on the receiver.
+    loss_burst_lengths: list[int] = field(default_factory=list)
+
+    @property
+    def loss_ratio(self) -> float:
+        """Receiver-observed loss ratio (paper's method)."""
+        if self.receiver_max_pn <= 0:
+            return 0.0
+        return len(self.receiver_lost_pns) / (self.receiver_max_pn + 1)
+
+    @property
+    def goodput_mbps(self) -> float:
+        """Application goodput, Mbit/s."""
+        if not self.completed or not self.duration_s:
+            return 0.0
+        return to_mbps(self.payload_bytes * 8.0 / self.duration_s)
+
+
+def run_bulk_transfer(client: Host, server: Host, direction: str,
+                      payload_bytes: int = mb(100), port: int = 443,
+                      timeout_s: float = 120.0,
+                      config: QuicConfig | None = None
+                      ) -> BulkTransferResult:
+    """Run one H3 transfer and collect measurements.
+
+    Drives the client's simulator until completion or ``timeout_s``.
+    """
+    if direction not in ("down", "up"):
+        raise ValueError(f"direction must be down/up, got {direction!r}")
+    sim = client.sim
+    config = config or QuicConfig()
+    config.record_arrivals = True
+    h3_server = H3Server(server, port, resource_bytes=payload_bytes,
+                         config=config)
+    h3_client = H3Client(client, server.address, port, config=config)
+
+    if direction == "down":
+        result_handle = h3_client.get(payload_bytes)
+    else:
+        result_handle = h3_client.post(payload_bytes)
+    start = sim.now
+    deadline = start + timeout_s
+    while sim.now < deadline and not result_handle.complete:
+        sim.run(until=min(deadline, sim.now + 1.0))
+
+    client_conn = h3_client.connection
+    server_conn = next(iter(h3_server.connections.values()), None)
+
+    if direction == "down":
+        sender, receiver = server_conn, client_conn
+    else:
+        sender, receiver = client_conn, server_conn
+
+    result = BulkTransferResult(
+        direction=direction, payload_bytes=payload_bytes,
+        completed=result_handle.complete,
+        duration_s=(result_handle.duration
+                    if result_handle.complete else None),
+        handshake_rtt_s=client_conn.stats.handshake_rtt)
+    if sender is not None:
+        result.rtt_samples = list(sender.stats.acked_packet_rtts)
+    if receiver is not None:
+        result.receiver_lost_pns = receiver.receiver_lost_pns()
+        max_pn = receiver.received_pns.max_value
+        result.receiver_max_pn = max_pn if max_pn is not None else 0
+        bursts, durations = _loss_events(receiver)
+        result.loss_burst_lengths = bursts
+        result.loss_event_durations_s = durations
+
+    h3_client.close()
+    h3_server.close()
+    return result
+
+
+def _loss_events(receiver) -> tuple[list[int], list[float]]:
+    """Loss bursts and their durations from the receiver's capture.
+
+    A burst is a run of consecutive missing packet numbers; its
+    duration is the arrival-time distance between the packets that
+    bracket the gap (what a client-side pcap shows).
+    """
+    bursts = [length for _, length in receiver.received_pns.gap_runs()]
+    durations: list[float] = []
+    log = receiver.arrival_log
+    if log:
+        # Map pn -> arrival for gap boundaries.
+        arrival = dict(log)
+        for gap_start, length in receiver.received_pns.gap_runs():
+            before = arrival.get(gap_start - 1)
+            after = arrival.get(gap_start + length)
+            if before is not None and after is not None \
+                    and after > before:
+                durations.append(after - before)
+    return bursts, durations

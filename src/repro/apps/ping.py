@@ -1,0 +1,99 @@
+"""ICMP echo measurement (ping).
+
+The campaign pings 11 anchors every five minutes, three probes per
+round (paper Sec. 2). :func:`ping` runs real ICMP echoes through a
+packet-level access network; the five-month series instead samples
+the analytic path models directly (see
+:mod:`repro.core.campaign`), which is equivalent on an idle link.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.netsim.node import Host
+from repro.netsim.packet import IcmpMessage, IcmpType, Packet
+
+_ping_idents = itertools.count(0x4000)
+
+#: Standard ping payload: 56 data bytes + headers.
+PING_PACKET_SIZE = 84
+
+
+@dataclass
+class PingResult:
+    """Outcome of one ping run (possibly several probes)."""
+
+    target: str
+    sent: int = 0
+    received: int = 0
+    rtts: list[float] = field(default_factory=list)
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of probes that got no reply."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+    @property
+    def min_rtt(self) -> float:
+        """Fastest observed RTT, seconds."""
+        return min(self.rtts)
+
+    @property
+    def avg_rtt(self) -> float:
+        """Mean RTT, seconds."""
+        return sum(self.rtts) / len(self.rtts)
+
+
+class PingClient:
+    """Sends echo probes from a host and collects replies."""
+
+    def __init__(self, host: Host, target: str):
+        self.host = host
+        self.target = target
+        self.ident = next(_ping_idents)
+        self.result = PingResult(target=target)
+        self._pending: dict[int, float] = {}
+        host.bind_icmp(self.ident, self._on_reply)
+
+    def send_probe(self, seq: int) -> None:
+        """Emit one echo request."""
+        message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=self.ident,
+                              seq=seq, timestamp=self.host.sim.now)
+        self._pending[seq] = self.host.sim.now
+        self.result.sent += 1
+        self.host.send_icmp(IcmpType.ECHO_REQUEST, self.target, message,
+                            size=PING_PACKET_SIZE)
+
+    def _on_reply(self, packet: Packet) -> None:
+        message: IcmpMessage = packet.payload
+        if message.icmp_type is not IcmpType.ECHO_REPLY:
+            return
+        sent_at = self._pending.pop(message.seq, None)
+        if sent_at is None:
+            return
+        self.result.received += 1
+        self.result.rtts.append(self.host.sim.now - sent_at)
+
+    def close(self) -> None:
+        """Stop listening for replies."""
+        self.host.unbind_icmp(self.ident)
+
+
+def ping(host: Host, target: str, count: int = 3,
+         interval: float = 1.0, timeout: float = 5.0) -> PingResult:
+    """Run ``count`` echo probes and wait for replies.
+
+    Drives the host's simulator; returns after all probes have been
+    answered or ``timeout`` has elapsed past the last probe.
+    """
+    client = PingClient(host, target)
+    sim = host.sim
+    for seq in range(count):
+        sim.schedule(seq * interval, client.send_probe, seq)
+    sim.run(until=sim.now + (count - 1) * interval + timeout)
+    client.close()
+    return client.result

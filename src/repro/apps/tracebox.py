@@ -1,0 +1,150 @@
+"""Tracebox: middlebox detection via quoted-header comparison.
+
+Tracebox sends TCP SYN probes with increasing TTL and compares the
+headers quoted in the returning ICMP Time-Exceeded messages with what
+it sent. A hop that changed a field sits between the previous hop and
+the one whose quote first shows the change. On Starlink the paper
+found only NAT checksum rewrites and no PEP; on classic SatCom a PEP
+answers the SYN itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.netsim.node import Host
+from repro.netsim.packet import IcmpMessage, IcmpType, Packet, Protocol
+
+_probe_idents = itertools.count(0x7000)
+
+#: Fields Tracebox can compare between sent and quoted headers.
+OBSERVABLE_FIELDS = ("checksum", "tcp_seq", "tcp_options", "src",
+                     "src_port")
+
+
+@dataclass
+class TraceboxFinding:
+    """Header modifications observed at one TTL."""
+
+    ttl: int
+    hop_address: str
+    modified_fields: dict[str, tuple[object, object]] = field(
+        default_factory=dict)
+
+    @property
+    def transparent(self) -> bool:
+        """No modification visible at this hop."""
+        return not self.modified_fields
+
+
+@dataclass
+class TraceboxReport:
+    """Full probe outcome toward one destination."""
+
+    target: str
+    findings: list[TraceboxFinding]
+    #: Whether the TCP handshake completed with the destination
+    #: itself (False means something answered on its behalf -- a PEP).
+    syn_ack_from_destination: bool = False
+    syn_ack_source: str | None = None
+
+    #: Header fields observed on the SYN-ACK itself.
+    syn_ack_headers: dict = field(default_factory=dict)
+
+    @property
+    def pep_detected(self) -> bool:
+        """A proxy interfered with TCP: the SYN-ACK was generated or
+        rewritten by a middlebox, or quotes show seq/option rewrites."""
+        if self.syn_ack_headers.get("pep"):
+            return True
+        if self.syn_ack_headers.get("tcp_options") == "pep-rewritten":
+            return True
+        return any("tcp_seq" in f.modified_fields
+                   or "tcp_options" in f.modified_fields
+                   for f in self.findings)
+
+    @property
+    def nat_levels(self) -> int:
+        """Number of address-translation layers on the path.
+
+        Each NAT rewrites the transport checksum, so the quoted
+        checksum changes once per NAT as the TTL sweep crosses it.
+        """
+        levels = 0
+        current = None   # sent value is per-TTL; track quoted stream
+        for finding in self.findings:
+            pair = finding.modified_fields.get("checksum")
+            quoted = pair[1] if pair else "unmodified"
+            if current is not None and quoted != current:
+                levels += 1
+            elif current is None and pair is not None:
+                levels += 1
+            current = quoted
+        return levels
+
+
+def tracebox(host: Host, target: str, target_port: int = 80,
+             max_ttl: int = 16,
+             probe_timeout: float = 4.0) -> TraceboxReport:
+    """Probe the path to ``target`` with TTL-limited TCP SYNs."""
+    sim = host.sim
+    ident = next(_probe_idents)
+    sent_headers: dict[int, dict] = {}
+    findings: dict[int, TraceboxFinding] = {}
+    syn_ack = {"from": None}
+
+    def on_icmp(packet: Packet) -> None:
+        message: IcmpMessage = packet.payload
+        if message.icmp_type is not IcmpType.TIME_EXCEEDED:
+            return
+        quoted = message.quoted_headers or {}
+        ttl = quoted.get("probe_ttl")
+        if ttl is None or ttl in findings:
+            return
+        sent = sent_headers.get(ttl, {})
+        modified = {}
+        for fieldname in OBSERVABLE_FIELDS:
+            if fieldname not in sent:
+                continue
+            if quoted.get(fieldname) != sent[fieldname]:
+                modified[fieldname] = (sent[fieldname],
+                                       quoted.get(fieldname))
+        findings[ttl] = TraceboxFinding(
+            ttl=ttl, hop_address=message.origin,
+            modified_fields=modified)
+
+    def on_tcp(packet: Packet) -> None:
+        if packet.payload and packet.payload[0] == "ctrl" \
+                and packet.payload[1] == "SYN-ACK":
+            if syn_ack["from"] is None:
+                syn_ack["from"] = packet.src
+                syn_ack["headers"] = dict(packet.headers)
+
+    host.bind_icmp(ident, on_icmp)
+    local_port = host.allocate_port()
+    host.bind(Protocol.TCP, local_port, on_tcp)
+
+    for ttl in range(1, max_ttl + 1):
+        headers = {
+            "probe_ident": ident, "probe_ttl": ttl,
+            "tcp_seq": 1_000_000 + ttl,
+            "tcp_options": "mss;ws;sackOK;ts",
+            "tcp_flags": "SYN",
+        }
+        packet = Packet(
+            src=host.address, dst=target, protocol=Protocol.TCP,
+            size=60, src_port=local_port, dst_port=target_port,
+            ttl=ttl, payload=("ctrl", "SYN"), headers=headers)
+        sent_headers[ttl] = dict(packet.headers)
+        host.send(packet)
+    sim.run(until=sim.now + probe_timeout)
+    host.unbind_icmp(ident)
+    host.unbind(Protocol.TCP, local_port)
+
+    return TraceboxReport(
+        target=target,
+        findings=[findings[ttl] for ttl in sorted(findings)],
+        syn_ack_from_destination=(syn_ack["from"] == target),
+        syn_ack_source=syn_ack["from"],
+        syn_ack_headers=syn_ack.get("headers", {}))

@@ -1,0 +1,88 @@
+"""Traceroute: TTL-limited UDP probes.
+
+The paper's traceroutes revealed the Starlink access structure: the
+dish router at 192.168.1.1 and a carrier-grade NAT at 100.64.0.1
+before the exit PoP. This implementation sends the classic UDP
+probes to high ports and collects ICMP Time-Exceeded origins.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.netsim.node import Host
+from repro.netsim.packet import IcmpMessage, IcmpType, Packet, Protocol
+
+_probe_idents = itertools.count(0x6000)
+
+#: Classic traceroute destination port base.
+TRACEROUTE_PORT = 33434
+
+
+@dataclass
+class TracerouteHop:
+    """One responding hop."""
+
+    ttl: int
+    address: str
+    rtt: float
+    reached_destination: bool = False
+
+
+def traceroute(host: Host, target: str, max_ttl: int = 16,
+               probe_timeout: float = 3.0) -> list[TracerouteHop]:
+    """Discover the path from ``host`` to ``target``.
+
+    Sends one probe per TTL (the simulator is lossless for these
+    control paths unless an outage is active). Returns hops in TTL
+    order; stops at ``max_ttl`` or when the destination answers.
+    """
+    sim = host.sim
+    ident = next(_probe_idents)
+    hops: dict[int, TracerouteHop] = {}
+    sent_at: dict[int, float] = {}
+    done = {"reached": False}
+
+    def on_icmp(packet: Packet) -> None:
+        message: IcmpMessage = packet.payload
+        if message.icmp_type is IcmpType.TIME_EXCEEDED:
+            quoted = message.quoted_headers or {}
+            ttl = quoted.get("probe_ttl")
+            if ttl is None or ttl in hops:
+                return
+            hops[ttl] = TracerouteHop(
+                ttl=ttl, address=message.origin,
+                rtt=sim.now - sent_at.get(ttl, sim.now))
+        elif message.icmp_type is IcmpType.DEST_UNREACHABLE:
+            quoted = message.quoted_headers or {}
+            ttl = quoted.get("probe_ttl")
+            if ttl is not None and ttl not in hops:
+                hops[ttl] = TracerouteHop(
+                    ttl=ttl, address=message.origin,
+                    rtt=sim.now - sent_at.get(ttl, sim.now),
+                    reached_destination=(message.origin == target))
+                done["reached"] = done["reached"] or (
+                    message.origin == target)
+
+    host.bind_icmp(ident, on_icmp)
+
+    # Destination hosts answer the high-port probe with an ICMP
+    # port-unreachable, which marks the trace as complete.
+    for ttl in range(1, max_ttl + 1):
+        packet = Packet(
+            src=host.address, dst=target, protocol=Protocol.UDP,
+            size=60, src_port=ident, dst_port=TRACEROUTE_PORT + ttl,
+            ttl=ttl,
+            headers={"probe_ident": ident, "probe_ttl": ttl})
+        sent_at[ttl] = sim.now
+        host.send(packet)
+    sim.run(until=sim.now + probe_timeout)
+    host.unbind_icmp(ident)
+    path = []
+    for ttl in sorted(hops):
+        hop = hops[ttl]
+        path.append(hop)
+        if hop.reached_destination or hop.address == target:
+            break
+    return path

@@ -1,0 +1,27 @@
+"""Web-browsing QoE measurement (BrowserTime stand-in).
+
+A synthetic corpus of popular websites (:mod:`corpus`, :mod:`page`)
+is visited by a flow-level browser engine (:mod:`browser`) over an
+access profile derived from the simulated networks
+(:mod:`profiles`); the engine computes onLoad and SpeedIndex, the
+two QoE proxies the paper uses (Fig. 6).
+"""
+
+from repro.apps.web.page import Page, PageObject, ObjectKind
+from repro.apps.web.corpus import build_corpus, top_sites
+from repro.apps.web.browser import (
+    AccessProfile,
+    BrowserEngine,
+    VisitResult,
+)
+
+__all__ = [
+    "Page",
+    "PageObject",
+    "ObjectKind",
+    "build_corpus",
+    "top_sites",
+    "AccessProfile",
+    "BrowserEngine",
+    "VisitResult",
+]

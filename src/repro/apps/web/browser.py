@@ -1,0 +1,202 @@
+"""Flow-level browser engine.
+
+Packet-level simulation of thousands of visits x dozens of objects
+would dominate the compute budget, so visits are modelled at flow
+level: per-connection setup latency (DNS + TCP + TLS, each costing
+round trips sampled from the access path model), per-wave request
+rounds, slow-start rounds when no PEP hides them, and bandwidth
+sharing on the access bottleneck. DESIGN.md records this hybrid; a
+packet-level single-page cross-check lives in the ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.web.page import Page
+from repro.rng import make_rng
+
+#: HTTP/1.1 browsers open at most six connections per domain.
+MAX_CONNECTIONS_PER_DOMAIN = 6
+
+#: TCP initial window for slow-start round estimation, bytes.
+INITIAL_WINDOW_BYTES = 10 * 1400
+
+
+@dataclass
+class AccessProfile:
+    """What the browser sees of one access technology.
+
+    ``rtt_sampler(rng)`` returns one fresh RTT sample to a typical
+    web server (seconds); ``bandwidth_sampler(rng)`` one downlink
+    capacity sample (bit/s). ``has_pep`` controls whether slow-start
+    rounds are hidden by a split proxy.
+    """
+
+    name: str
+    rtt_sampler: Callable[[random.Random], float]
+    bandwidth_sampler: Callable[[random.Random], float]
+    uplink_bps: float
+    has_pep: bool = False
+    #: Probability a DNS answer is already cached.
+    dns_cache_hit: float = 0.5
+    #: Server think time gamma parameters (shape, scale seconds).
+    server_think: tuple[float, float] = (2.0, 0.030)
+    #: Round trips spent in the TLS handshake (1.5 for TLS 1.3 with
+    #: typical stacks; legacy paths negotiate closer to 2).
+    tls_rtts: float = 1.5
+    #: Browser parse/JS-execution time per wave: gamma (shape, scale)
+    #: plus a per-object increment, seconds.
+    cpu_per_wave: tuple[float, float] = (2.0, 0.050)
+    cpu_per_object: float = 0.003
+    #: Visit-level condition variability: every visit draws one
+    #: lognormal factor applied to all its RTTs (time-of-visit load,
+    #: CDN cache state, ...). Sigma in log space.
+    visit_rtt_sigma: float = 0.22
+
+
+@dataclass
+class VisitResult:
+    """Timing outcome of one page visit."""
+
+    url: str
+    onload_s: float
+    speed_index_s: float
+    first_paint_s: float
+    n_connections: int
+    #: Individual connection-setup durations (TCP+TLS), seconds.
+    connection_setup_s: list[float] = field(default_factory=list)
+    total_bytes: int = 0
+
+
+class BrowserEngine:
+    """Simulates page visits over an access profile."""
+
+    def __init__(self, profile: AccessProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+
+    def visit(self, page: Page, visit_id: int = 0) -> VisitResult:
+        """One visit; deterministic for (page, visit_id, seed)."""
+        rng = make_rng((self.seed, self.profile.name, page.url, visit_id))
+        profile = self.profile
+        bandwidth = max(1e5, profile.bandwidth_sampler(rng))
+        visit_factor = rng.lognormvariate(0.0, profile.visit_rtt_sigma)
+        base_sampler = profile.rtt_sampler
+        self._rtt = lambda r: base_sampler(r) * visit_factor
+
+        connected: set[str] = set()
+        setup_times: list[float] = []
+        completion_times: list[tuple[float, float]] = []  # (t, weight)
+        n_connections = 0
+        first_paint = None
+
+        t = 0.0
+        for wave in range(1, page.max_wave + 1):
+            objects = page.wave_objects(wave)
+            if not objects:
+                continue
+            by_domain: dict[str, list] = {}
+            for obj in objects:
+                by_domain.setdefault(obj.domain, []).append(obj)
+
+            # Latency phase: per-domain setups and request rounds run
+            # in parallel across domains; the wave's latency is the
+            # slowest domain.
+            wave_latency = 0.0
+            wave_bytes = 0
+            for domain, domain_objects in by_domain.items():
+                latency = 0.0
+                n_conns = min(MAX_CONNECTIONS_PER_DOMAIN,
+                              len(domain_objects))
+                if domain not in connected:
+                    setup = self._connection_setup(rng)
+                    setup_times.extend([setup] * n_conns)
+                    n_connections += n_conns
+                    connected.add(domain)
+                    latency += self._dns(rng) + setup
+                rounds = math.ceil(len(domain_objects) / n_conns)
+                rtt = self._rtt(rng)
+                think = rng.gammavariate(*profile.server_think)
+                latency += rounds * (rtt + think)
+                if not profile.has_pep:
+                    # Slow-start rounds per connection for the bytes
+                    # it must deliver in this wave.
+                    per_conn = (sum(o.size_bytes for o in domain_objects)
+                                / n_conns)
+                    if per_conn > INITIAL_WINDOW_BYTES:
+                        ss_rounds = math.log2(
+                            per_conn / INITIAL_WINDOW_BYTES)
+                        latency += min(ss_rounds, 8.0) * rtt
+                wave_latency = max(wave_latency, latency)
+                wave_bytes += sum(o.size_bytes for o in domain_objects)
+
+            transfer = wave_bytes * 8.0 / bandwidth
+            cpu = (rng.gammavariate(*profile.cpu_per_wave)
+                   + profile.cpu_per_object * len(objects))
+            wave_start = t
+            t += wave_latency + transfer + cpu
+
+            # Approximate per-object completion: objects complete
+            # spread across the wave window, weighted by size order.
+            window = t - wave_start
+            total = max(1, wave_bytes)
+            acc = 0
+            for obj in sorted(objects, key=lambda o: o.size_bytes):
+                acc += obj.size_bytes
+                finish = wave_start + window * (0.5 + 0.5 * acc / total)
+                if obj.render_weight > 0:
+                    completion_times.append((finish, obj.render_weight))
+            if wave == 2 and first_paint is None:
+                first_paint = t
+        if first_paint is None:
+            first_paint = t
+
+        onload = t + 0.05  # event dispatch overhead
+        speed_index = self._speed_index(first_paint, completion_times)
+        return VisitResult(
+            url=page.url, onload_s=onload, speed_index_s=speed_index,
+            first_paint_s=first_paint, n_connections=n_connections,
+            connection_setup_s=setup_times,
+            total_bytes=page.total_bytes)
+
+    # -- components -----------------------------------------------------
+
+    def _dns(self, rng: random.Random) -> float:
+        if rng.random() < self.profile.dns_cache_hit:
+            return 0.0
+        return self._rtt(rng)
+
+    def _connection_setup(self, rng: random.Random) -> float:
+        """TCP + TLS 1.3 setup: 2.5 RTT-equivalents plus overhead.
+
+        This is the quantity the paper reports as 167 ms (Starlink)
+        vs 2030 ms (SatCom) on average.
+        """
+        tcp = self._rtt(rng)
+        tls = self.profile.tls_rtts * self._rtt(rng)
+        return tcp + tls + rng.gammavariate(2.0, 0.008)
+
+    @staticmethod
+    def _speed_index(first_paint: float,
+                     completions: list[tuple[float, float]]) -> float:
+        """SpeedIndex = integral of (1 - visual completeness).
+
+        Visual completeness jumps to a base level at first paint and
+        then accrues with each render-weighted object completion.
+        """
+        base = 0.30
+        if not completions:
+            return first_paint
+        total_weight = sum(w for _, w in completions)
+        if total_weight <= 0:
+            return first_paint
+        si = base * first_paint
+        remaining = 1.0 - base
+        for finish, weight in sorted(completions):
+            share = (weight / total_weight) * remaining
+            si += share * max(first_paint, finish)
+        return si

@@ -1,0 +1,111 @@
+"""Synthetic top-120 website corpus.
+
+The paper visits the SimilarWeb top-120 websites for Belgium. We
+cannot ship those pages, so we generate a corpus whose aggregate
+statistics follow published web-measurement distributions (HTTP
+Archive, circa 2022): median page weight ~2 MB, ~70 objects, ~15
+connections per visit (the number the paper reports), lognormal
+object sizes by content type.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.web.page import ObjectKind, Page, PageObject
+from repro.rng import make_rng
+
+#: Object-size lognormal parameters per kind: (median bytes, sigma).
+SIZE_MODELS = {
+    ObjectKind.HTML: (30_000, 0.9),
+    ObjectKind.CSS: (18_000, 1.0),
+    ObjectKind.JS: (45_000, 1.0),
+    ObjectKind.FONT: (35_000, 0.6),
+    ObjectKind.IMAGE: (18_000, 1.2),
+    ObjectKind.MEDIA: (250_000, 1.0),
+    ObjectKind.OTHER: (8_000, 1.0),
+}
+
+
+def _lognormal(rng, median: float, sigma: float) -> int:
+    return max(200, int(median * math.exp(rng.gauss(0.0, sigma))))
+
+
+def _site_name(rank: int) -> str:
+    return f"site{rank:03d}.example.be"
+
+
+def build_page(rank: int, seed: int = 0) -> Page:
+    """Generate one deterministic synthetic page for a site rank."""
+    rng = make_rng((seed, "page", rank))
+    site = _site_name(rank)
+    page = Page(url=f"https://www.{site}/", rank=rank)
+
+    # Popular sites are a bit heavier and use more third parties.
+    popularity = max(0.6, 1.4 - rank / 120.0)
+    n_third_parties = max(2, int(rng.gauss(6, 2) * popularity))
+    third_parties = [f"cdn{j}.thirdparty{j % 7}.example"
+                     for j in range(n_third_parties)]
+
+    # Wave 1: the document itself.
+    page.objects.append(PageObject(
+        ObjectKind.HTML, _lognormal(rng, *SIZE_MODELS[ObjectKind.HTML]),
+        domain=site, wave=1, render_weight=0.1, above_fold=True))
+
+    # Wave 2: render-critical subresources (CSS/JS/fonts).
+    n_css = rng.randint(2, 6)
+    n_js = max(3, int(rng.gauss(14, 5) * popularity))
+    n_fonts = rng.randint(0, 4)
+    for i in range(n_css):
+        domain = site if rng.random() < 0.6 else rng.choice(third_parties)
+        page.objects.append(PageObject(
+            ObjectKind.CSS, _lognormal(rng, *SIZE_MODELS[ObjectKind.CSS]),
+            domain=domain, wave=2, render_weight=0.08, above_fold=True))
+    for i in range(n_js):
+        domain = site if rng.random() < 0.4 else rng.choice(third_parties)
+        page.objects.append(PageObject(
+            ObjectKind.JS, _lognormal(rng, *SIZE_MODELS[ObjectKind.JS]),
+            domain=domain, wave=2,
+            render_weight=0.02 if rng.random() < 0.5 else 0.0,
+            above_fold=rng.random() < 0.3))
+    for i in range(n_fonts):
+        page.objects.append(PageObject(
+            ObjectKind.FONT,
+            _lognormal(rng, *SIZE_MODELS[ObjectKind.FONT]),
+            domain=rng.choice(third_parties), wave=2,
+            render_weight=0.05, above_fold=True))
+
+    # Wave 3: images, media, trackers.
+    n_images = max(6, int(rng.gauss(30, 12) * popularity))
+    for i in range(n_images):
+        above = rng.random() < 0.35
+        domain = site if rng.random() < 0.5 else rng.choice(third_parties)
+        page.objects.append(PageObject(
+            ObjectKind.IMAGE,
+            _lognormal(rng, *SIZE_MODELS[ObjectKind.IMAGE]),
+            domain=domain, wave=3,
+            render_weight=0.25 / n_images * (3.0 if above else 1.0),
+            above_fold=above))
+    if rng.random() < 0.25:
+        page.objects.append(PageObject(
+            ObjectKind.MEDIA,
+            _lognormal(rng, *SIZE_MODELS[ObjectKind.MEDIA]),
+            domain=rng.choice(third_parties), wave=3,
+            render_weight=0.05, above_fold=False))
+    n_other = rng.randint(3, 12)
+    for i in range(n_other):
+        page.objects.append(PageObject(
+            ObjectKind.OTHER,
+            _lognormal(rng, *SIZE_MODELS[ObjectKind.OTHER]),
+            domain=rng.choice(third_parties), wave=3))
+    return page
+
+
+def build_corpus(n_sites: int = 120, seed: int = 0) -> list[Page]:
+    """The full synthetic top-N corpus (deterministic for a seed)."""
+    return [build_page(rank, seed=seed) for rank in range(1, n_sites + 1)]
+
+
+def top_sites(n: int = 120) -> list[str]:
+    """Site hostnames, most popular first."""
+    return [_site_name(rank) for rank in range(1, n + 1)]

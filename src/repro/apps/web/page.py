@@ -1,0 +1,75 @@
+"""Page model: objects, domains, discovery waves.
+
+A page is a set of objects grouped in *waves*: the HTML document
+(wave 1) references stylesheets/scripts/fonts (wave 2), which in turn
+reveal images and media (wave 3). The wave structure is what makes
+page loads latency-bound on high-RTT links: each wave costs at least
+one round of requests, and new domains cost connection setups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ObjectKind(enum.Enum):
+    """Content type of one page object."""
+
+    HTML = "html"
+    CSS = "css"
+    JS = "js"
+    FONT = "font"
+    IMAGE = "image"
+    MEDIA = "media"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class PageObject:
+    """One fetchable resource."""
+
+    kind: ObjectKind
+    size_bytes: int
+    domain: str
+    wave: int
+    #: Contribution to visual completeness (SpeedIndex weighting).
+    render_weight: float = 0.0
+    above_fold: bool = False
+
+
+@dataclass
+class Page:
+    """A synthetic website landing page."""
+
+    url: str
+    rank: int
+    objects: list[PageObject] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Page weight."""
+        return sum(obj.size_bytes for obj in self.objects)
+
+    @property
+    def domains(self) -> list[str]:
+        """Distinct domains, in first-appearance order."""
+        seen: list[str] = []
+        for obj in self.objects:
+            if obj.domain not in seen:
+                seen.append(obj.domain)
+        return seen
+
+    @property
+    def object_count(self) -> int:
+        """Number of objects."""
+        return len(self.objects)
+
+    def wave_objects(self, wave: int) -> list[PageObject]:
+        """Objects discovered in a given wave."""
+        return [obj for obj in self.objects if obj.wave == wave]
+
+    @property
+    def max_wave(self) -> int:
+        """Deepest discovery wave present."""
+        return max(obj.wave for obj in self.objects)

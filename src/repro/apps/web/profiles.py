@@ -1,0 +1,87 @@
+"""Access profiles for the browser engine.
+
+Builders derive an :class:`~repro.apps.web.browser.AccessProfile`
+from each access technology's path/capacity models, so browsing uses
+the same latency and bandwidth processes as everything else.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.web.browser import AccessProfile
+from repro.geo.satcom import GeoParams, GeoPathModel
+from repro.leo.access import StarlinkParams, StarlinkPathModel
+from repro.leo.channel import CapacityProcess
+from repro.units import mbps, ms
+from repro.wired.access import WiredParams, WiredPathModel
+
+#: Typical web servers sit in well-connected data centres a few
+#: milliseconds from the exit PoP / teleport / campus edge.
+SERVER_EXTRA_RTT = ms(6.0)
+
+
+def starlink_profile(epoch_t: float = 0.0, seed: int = 0,
+                     params: StarlinkParams | None = None
+                     ) -> AccessProfile:
+    """Browser view of the Starlink access at a campaign epoch."""
+    model = StarlinkPathModel(params=params, seed=seed)
+    downlink = CapacityProcess(
+        (params or StarlinkParams()).down_mean_bps,
+        slot_cv=0.22, seed=seed * 7 + 1, min_rate=mbps(90),
+        max_rate=mbps(400))
+    scale = model.timeline.capacity_scale(epoch_t)
+
+    def rtt(rng: random.Random) -> float:
+        return model.idle_rtt(epoch_t + rng.uniform(0, 10.0), rng,
+                              remote_rtt_s=SERVER_EXTRA_RTT)
+
+    def bandwidth(rng: random.Random) -> float:
+        return downlink.rate_at(epoch_t + rng.uniform(0, 15.0)) * scale
+
+    return AccessProfile(
+        name="starlink", rtt_sampler=rtt, bandwidth_sampler=bandwidth,
+        uplink_bps=(params or StarlinkParams()).up_mean_bps,
+        has_pep=False)
+
+
+def satcom_profile(epoch_t: float = 0.0, seed: int = 0,
+                   params: GeoParams | None = None,
+                   pep: bool = True) -> AccessProfile:
+    """Browser view of the GEO SatCom access."""
+    model = GeoPathModel(params, seed=seed)
+    params = params or GeoParams()
+    downlink = CapacityProcess(
+        params.down_mean_bps, slot_cv=0.10, seed=seed * 11 + 3,
+        min_rate=mbps(35), max_rate=mbps(100))
+
+    def rtt(rng: random.Random) -> float:
+        return model.idle_rtt(epoch_t + rng.uniform(0, 10.0), rng,
+                              remote_rtt_s=SERVER_EXTRA_RTT)
+
+    def bandwidth(rng: random.Random) -> float:
+        return downlink.rate_at(epoch_t + rng.uniform(0, 15.0))
+
+    return AccessProfile(
+        name="satcom", rtt_sampler=rtt, bandwidth_sampler=bandwidth,
+        uplink_bps=params.up_mean_bps, has_pep=pep,
+        # Legacy TLS negotiation is common through SatCom portals.
+        tls_rtts=2.0)
+
+
+def wired_profile(epoch_t: float = 0.0, seed: int = 0,
+                  params: WiredParams | None = None) -> AccessProfile:
+    """Browser view of the campus wired access."""
+    model = WiredPathModel(params, seed=seed)
+    params = params or WiredParams()
+
+    def rtt(rng: random.Random) -> float:
+        return model.idle_rtt(epoch_t + rng.uniform(0, 10.0), rng,
+                              remote_rtt_s=SERVER_EXTRA_RTT)
+
+    def bandwidth(rng: random.Random) -> float:
+        return params.access_rate_bps * rng.uniform(0.7, 0.95)
+
+    return AccessProfile(
+        name="wired", rtt_sampler=rtt, bandwidth_sampler=bandwidth,
+        uplink_bps=params.access_rate_bps, has_pep=False)

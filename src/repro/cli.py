@@ -1,0 +1,157 @@
+"""Command-line interface: regenerate paper artefacts on demand.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig1 --ping-days 20
+    python -m repro fig6 --sites 40
+    python -m repro middlebox
+    python -m repro errant
+    python -m repro all
+
+Artefact generation uses the quick campaign configuration by default;
+``--full`` switches to the bench-scale configuration (slower, closer
+to the paper's sample counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.campaign import Campaign, CampaignConfig, quick_config
+from repro.core.browsing import figure6_browsing
+from repro.core.datasets import CampaignDatasets
+from repro.core.loss_events import table2_loss_ratios
+from repro.core.middlebox import run_middlebox_study
+from repro.core.reporting import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_middlebox,
+    render_table1,
+    render_table2,
+)
+from repro.core.rtt import (
+    figure1_rtt_boxplots,
+    figure2_timeseries,
+    figure3_loaded_rtt,
+)
+from repro.core.throughput import figure5_throughput
+from repro.units import minutes
+
+ARTEFACTS = ("table1", "fig1", "fig2", "fig3", "table2", "fig4",
+             "fig5", "fig6", "middlebox", "errant", "all")
+
+
+def _build_config(args: argparse.Namespace) -> CampaignConfig:
+    config = quick_config(seed=args.seed)
+    if args.full:
+        config = CampaignConfig(seed=args.seed)
+    if args.ping_days is not None:
+        config.ping_days = args.ping_days
+        config.ping_interval_s = minutes(20)
+    if args.sites is not None:
+        config.web_sites = args.sites
+    return config
+
+
+def _emit(text: str) -> None:
+    print(text)
+    print()
+
+
+def run_artefact(name: str, campaign: Campaign,
+                 cache: dict) -> None:
+    """Generate and print one artefact, reusing cached datasets."""
+
+    def pings():
+        if "pings" not in cache:
+            cache["pings"] = campaign.run_pings()
+        return cache["pings"]
+
+    def bulk():
+        if "bulk" not in cache:
+            cache["bulk"] = campaign.run_bulk()
+        return cache["bulk"]
+
+    def messages():
+        if "messages" not in cache:
+            cache["messages"] = campaign.run_messages()
+        return cache["messages"]
+
+    def speedtests():
+        if "speedtests" not in cache:
+            cache["speedtests"] = campaign.run_speedtests()
+        return cache["speedtests"]
+
+    def visits():
+        if "visits" not in cache:
+            cache["visits"] = campaign.run_web()
+        return cache["visits"]
+
+    if name == "table1":
+        data = CampaignDatasets(pings=pings(), bulk=bulk(),
+                                messages=messages(),
+                                speedtests=speedtests(),
+                                visits=visits())
+        _emit(render_table1(data.table1_rows()))
+    elif name == "fig1":
+        _emit(render_figure1(figure1_rtt_boxplots(pings())))
+    elif name == "fig2":
+        _emit(render_figure2(figure2_timeseries(pings())))
+    elif name == "fig3":
+        _emit(render_figure3(figure3_loaded_rtt(bulk(), messages())))
+    elif name == "table2":
+        _emit(render_table2(table2_loss_ratios(bulk(), messages())))
+    elif name == "fig4":
+        _emit(render_figure4(table2_loss_ratios(bulk(), messages())))
+    elif name == "fig5":
+        _emit(render_figure5(figure5_throughput(speedtests(), bulk())))
+    elif name == "fig6":
+        _emit(render_figure6(figure6_browsing(visits())))
+    elif name == "middlebox":
+        _emit(render_middlebox(run_middlebox_study(
+            seed=campaign.config.seed)))
+    elif name == "errant":
+        from repro.errant import fit_profiles, to_json
+
+        data = CampaignDatasets(pings=pings(),
+                                speedtests=speedtests(),
+                                messages=messages())
+        _emit(to_json(fit_profiles(data)))
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(f"unknown artefact {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts from 'A First Look at "
+                    "Starlink Performance' (IMC 2022).")
+    parser.add_argument("artefact", choices=ARTEFACTS,
+                        help="which table/figure to regenerate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--full", action="store_true",
+                        help="bench-scale campaign (slow)")
+    parser.add_argument("--ping-days", type=float, default=None,
+                        help="override the ping-campaign length")
+    parser.add_argument("--sites", type=int, default=None,
+                        help="override the web-corpus size")
+    args = parser.parse_args(argv)
+
+    campaign = Campaign(_build_config(args))
+    cache: dict = {}
+    names = [a for a in ARTEFACTS if a != "all"] \
+        if args.artefact == "all" else [args.artefact]
+    for name in names:
+        run_artefact(name, campaign, cache)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

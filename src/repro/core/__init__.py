@@ -1,0 +1,26 @@
+"""The paper's contribution: measurement campaign + analysis.
+
+:mod:`anchors` defines the 11 ping targets; :mod:`campaign` schedules
+and runs the measurement workloads over the simulated accesses;
+:mod:`rtt`, :mod:`loss_events`, :mod:`throughput`, :mod:`browsing`
+and :mod:`middlebox` compute the paper's tables and figures from the
+collected datasets; :mod:`reporting` renders them.
+"""
+
+from repro.core.anchors import Anchor, ANCHORS, anchor_by_name
+from repro.core.stats import (
+    BoxplotStats,
+    Ecdf,
+    boxplot_stats,
+    moods_median_test,
+)
+
+__all__ = [
+    "Anchor",
+    "ANCHORS",
+    "anchor_by_name",
+    "BoxplotStats",
+    "Ecdf",
+    "boxplot_stats",
+    "moods_median_test",
+]

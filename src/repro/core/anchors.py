@@ -1,0 +1,81 @@
+"""The 11 latency anchors (paper Sec. 2).
+
+Seven RIPE-Atlas-style anchors (Amsterdam x2, Nuremberg x2, New York,
+Fremont, Singapore) plus four volunteer nodes in Belgium, the same
+country as the Starlink terminal. ``path_stretch`` captures how
+indirect the terrestrial route from the exit PoP to the anchor is --
+intra-European paths are fairly direct, Singapore is notoriously
+roundabout from Europe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.leo.geometry import GeoPoint, great_circle_distance
+from repro.units import FIBER_SPEED, ms
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One ping target."""
+
+    name: str
+    address: str
+    location: GeoPoint
+    region: str             # "BE" | "NL" | "DE" | "US-E" | "US-W" | "SG"
+    #: Fibre-route stretch over the great circle from the exit PoP.
+    path_stretch: float = 1.5
+    #: Peering/server turnaround overhead added to the RTT.
+    extra_rtt_s: float = ms(1.0)
+
+    def remote_rtt_from(self, pop: GeoPoint) -> float:
+        """PoP <-> anchor round trip over terrestrial fibre, seconds."""
+        distance = great_circle_distance(pop, self.location)
+        one_way = distance * self.path_stretch / FIBER_SPEED
+        return 2.0 * one_way + self.extra_rtt_s
+
+
+#: The paper's anchor set, west to east.
+ANCHORS: list[Anchor] = [
+    Anchor("fremont", "198.51.100.5", GeoPoint(37.55, -121.99), "US-W",
+           path_stretch=1.6, extra_rtt_s=ms(1.5)),
+    Anchor("new-york", "198.51.100.4", GeoPoint(40.71, -74.01), "US-E",
+           path_stretch=1.4, extra_rtt_s=ms(1.5)),
+    # The Belgian nodes are RIPE probes hosted by volunteers: a home
+    # last mile adds a few milliseconds over datacentre anchors.
+    Anchor("be-brussels", "203.0.113.1", GeoPoint(50.85, 4.35), "BE",
+           extra_rtt_s=ms(7.0)),
+    Anchor("be-leuven", "203.0.113.2", GeoPoint(50.88, 4.70), "BE",
+           extra_rtt_s=ms(7.5)),
+    Anchor("be-ghent", "203.0.113.3", GeoPoint(51.05, 3.72), "BE",
+           extra_rtt_s=ms(6.5)),
+    Anchor("be-liege", "203.0.113.4", GeoPoint(50.63, 5.57), "BE",
+           extra_rtt_s=ms(7.0)),
+    Anchor("amsterdam-1", "198.51.100.1", GeoPoint(52.37, 4.90), "NL",
+           extra_rtt_s=ms(2.0)),
+    Anchor("amsterdam-2", "198.51.100.7", GeoPoint(52.37, 4.90), "NL",
+           extra_rtt_s=ms(2.5)),
+    Anchor("nuremberg-1", "198.51.100.2", GeoPoint(49.45, 11.08), "DE",
+           path_stretch=1.2, extra_rtt_s=ms(0.8)),
+    Anchor("nuremberg-2", "198.51.100.8", GeoPoint(49.45, 11.08), "DE",
+           path_stretch=1.2, extra_rtt_s=ms(0.8)),
+    Anchor("singapore", "198.51.100.6", GeoPoint(1.35, 103.82), "SG",
+           path_stretch=2.15, extra_rtt_s=ms(1.5)),
+]
+
+#: Anchors the paper groups as "European" for Fig. 2.
+EUROPEAN_REGIONS = ("BE", "NL", "DE")
+
+
+def anchor_by_name(name: str) -> Anchor:
+    """Lookup helper; raises KeyError for unknown anchors."""
+    for anchor in ANCHORS:
+        if anchor.name == name:
+            return anchor
+    raise KeyError(f"unknown anchor {name!r}")
+
+
+def european_anchors() -> list[Anchor]:
+    """The Belgian, Dutch and German anchors (Fig. 2 set)."""
+    return [a for a in ANCHORS if a.region in EUROPEAN_REGIONS]

@@ -1,0 +1,58 @@
+"""Web-browsing QoE analysis: Figure 6 and Sec. 3.4 statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.datasets import VisitSample
+from repro.core.stats import BoxplotStats, Ecdf, boxplot_stats
+from repro.errors import AnalysisError
+
+
+@dataclass
+class BrowsingStats:
+    """One network's Fig. 6 summary (seconds)."""
+
+    network: str
+    visits: int
+    onload: BoxplotStats
+    speed_index: BoxplotStats
+    avg_connections: float
+    avg_setup_s: float
+
+    def onload_ecdf(self, samples) -> Ecdf:  # pragma: no cover - thin
+        return Ecdf(samples)
+
+
+def figure6_browsing(visits: list[VisitSample]) -> dict[str,
+                                                        BrowsingStats]:
+    """Per-network onLoad / SpeedIndex distributions (Fig. 6)."""
+    by_network: dict[str, list[VisitSample]] = {}
+    for visit in visits:
+        by_network.setdefault(visit.network, []).append(visit)
+    if not by_network:
+        raise AnalysisError("no visits collected")
+    out: dict[str, BrowsingStats] = {}
+    for network, group in by_network.items():
+        onloads = [v.onload_s for v in group]
+        sis = [v.speed_index_s for v in group]
+        setups = [s for v in group for s in v.connection_setup_s]
+        out[network] = BrowsingStats(
+            network=network, visits=len(group),
+            onload=boxplot_stats(onloads),
+            speed_index=boxplot_stats(sis),
+            avg_connections=float(np.mean(
+                [v.n_connections for v in group])),
+            avg_setup_s=float(np.mean(setups)) if setups else 0.0)
+    return out
+
+
+def speedup_vs_satcom(stats: dict[str, BrowsingStats]) -> float:
+    """How much faster Starlink loads pages than SatCom (paper:
+    75-80 % reduction in onLoad/SpeedIndex)."""
+    if "starlink" not in stats or "satcom" not in stats:
+        raise AnalysisError("need starlink and satcom stats")
+    return 1.0 - (stats["starlink"].onload.median
+                  / stats["satcom"].onload.median)

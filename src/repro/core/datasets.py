@@ -1,0 +1,141 @@
+"""Dataset containers collected by the campaign (Table 1).
+
+The ping series is stored as parallel numpy arrays (1M+ samples);
+packet-level experiment outcomes keep their rich result objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.bulk import BulkTransferResult
+from repro.apps.messages import MessagesResult
+from repro.core.anchors import ANCHORS, EUROPEAN_REGIONS, anchor_by_name
+
+
+@dataclass
+class PingDataset:
+    """Five months of ping samples, per anchor.
+
+    ``series[anchor_name] = (times, rtts)`` with NaN for lost probes.
+    Times are campaign seconds.
+    """
+
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict)
+
+    def anchors(self) -> list[str]:
+        """Anchor names present, in canonical order."""
+        ordered = [a.name for a in ANCHORS if a.name in self.series]
+        extras = [n for n in self.series if n not in ordered]
+        return ordered + sorted(extras)
+
+    def rtts(self, anchor: str) -> np.ndarray:
+        """Successful RTT samples (seconds) for one anchor."""
+        _, values = self.series[anchor]
+        return values[~np.isnan(values)]
+
+    def loss_ratio(self, anchor: str) -> float:
+        """Fraction of probes lost toward one anchor."""
+        _, values = self.series[anchor]
+        if values.size == 0:
+            return 0.0
+        return float(np.isnan(values).mean())
+
+    def european(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, rtts) pooled over the European anchors (Fig. 2)."""
+        times_list, values_list = [], []
+        for name in self.anchors():
+            if anchor_by_name(name).region not in EUROPEAN_REGIONS:
+                continue
+            t, v = self.series[name]
+            ok = ~np.isnan(v)
+            times_list.append(t[ok])
+            values_list.append(v[ok])
+        if not times_list:
+            return np.array([]), np.array([])
+        times = np.concatenate(times_list)
+        values = np.concatenate(values_list)
+        order = np.argsort(times)
+        return times[order], values[order]
+
+    @property
+    def total_samples(self) -> int:
+        """Number of probes across all anchors."""
+        return sum(t.size for t, _ in self.series.values())
+
+
+@dataclass
+class SpeedtestSample:
+    """One Ookla-like test outcome."""
+
+    t: float
+    network: str           # "starlink" | "satcom"
+    direction: str         # "down" | "up"
+    throughput_mbps: float
+
+
+@dataclass
+class BulkSample:
+    """One H3 bulk transfer with its full measurement record."""
+
+    t: float
+    direction: str
+    session: int           # 1 = before Apr 25, 2 = after
+    result: BulkTransferResult
+
+
+@dataclass
+class MessagesSample:
+    """One messages-workload run."""
+
+    t: float
+    direction: str
+    result: MessagesResult
+
+
+@dataclass
+class VisitSample:
+    """One web-page visit."""
+
+    t: float
+    network: str
+    url: str
+    onload_s: float
+    speed_index_s: float
+    n_connections: int
+    connection_setup_s: list[float] = field(default_factory=list)
+
+
+@dataclass
+class CampaignDatasets:
+    """Everything Table 1 inventories."""
+
+    pings: PingDataset = field(default_factory=PingDataset)
+    speedtests: list[SpeedtestSample] = field(default_factory=list)
+    bulk: list[BulkSample] = field(default_factory=list)
+    messages: list[MessagesSample] = field(default_factory=list)
+    visits: list[VisitSample] = field(default_factory=list)
+
+    def table1_rows(self) -> list[dict]:
+        """The dataset-overview rows of Table 1."""
+        st_networks = {s.network for s in self.speedtests}
+        web_networks = {v.network for v in self.visits}
+        return [
+            {"measure": "Latency", "network": "Starlink",
+             "samples": self.pings.total_samples,
+             "target": f"{len(self.pings.series)} Anchors"},
+            {"measure": "Throughput",
+             "network": " + ".join(sorted(st_networks)) or "-",
+             "samples": len(self.speedtests), "target": "Ookla servers"},
+            {"measure": "Web Browsing",
+             "network": " + ".join(sorted(web_networks)) or "-",
+             "samples": len(self.visits),
+             "target": f"{len({v.url for v in self.visits})} Websites"},
+            {"measure": "QUIC H3", "network": "Starlink",
+             "samples": len(self.bulk), "target": "Our server"},
+            {"measure": "QUIC messages", "network": "Starlink",
+             "samples": len(self.messages), "target": "Our server"},
+        ]

@@ -1,0 +1,84 @@
+"""Packet-loss analysis: Table 2 and Figure 4.
+
+Loss ratios use the paper's receiver-side method (missing packet
+numbers); burst lengths are runs of consecutive missing numbers;
+event durations come from the arrival times bracketing each gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.datasets import BulkSample, MessagesSample
+from repro.core.stats import Ecdf
+from repro.errors import AnalysisError
+
+
+@dataclass
+class LossCell:
+    """One cell of Table 2 plus its Figure-4 distributions."""
+
+    workload: str          # "h3" | "messages"
+    direction: str
+    packets: int
+    lost: int
+    burst_lengths: list[int] = field(default_factory=list)
+    event_durations_s: list[float] = field(default_factory=list)
+
+    @property
+    def loss_ratio(self) -> float:
+        """Lost / total sent (receiver view)."""
+        if self.packets == 0:
+            return 0.0
+        return self.lost / self.packets
+
+    def burst_cdf(self) -> Ecdf:
+        """Fig. 4 loss-burst-length CDF."""
+        if not self.burst_lengths:
+            raise AnalysisError(
+                f"no loss bursts for {self.workload}/{self.direction}")
+        return Ecdf(self.burst_lengths)
+
+    def single_packet_fraction(self) -> float:
+        """Share of loss events that hit exactly one packet."""
+        if not self.burst_lengths:
+            return float("nan")
+        return sum(1 for b in self.burst_lengths if b == 1) \
+            / len(self.burst_lengths)
+
+    def duration_percentiles_ms(self, percentiles=(50, 75, 90, 95, 99)
+                                ) -> dict[int, float]:
+        """Loss-event duration percentiles, milliseconds."""
+        if not self.event_durations_s:
+            return {p: float("nan") for p in percentiles}
+        values = np.asarray(self.event_durations_s) * 1e3
+        return {p: float(np.percentile(values, p)) for p in percentiles}
+
+    def outage_count(self, threshold_s: float = 1.0) -> int:
+        """Loss events longer than ``threshold_s`` (mini outages)."""
+        return sum(1 for d in self.event_durations_s
+                   if d >= threshold_s)
+
+
+def table2_loss_ratios(bulk: list[BulkSample],
+                       messages: list[MessagesSample]
+                       ) -> dict[tuple[str, str], LossCell]:
+    """Aggregate Table 2 / Fig. 4 statistics across runs."""
+    cells: dict[tuple[str, str], LossCell] = {}
+    for workload, samples in (("h3", bulk), ("messages", messages)):
+        for direction in ("down", "up"):
+            cell = LossCell(workload=workload, direction=direction,
+                            packets=0, lost=0)
+            for sample in samples:
+                if sample.direction != direction:
+                    continue
+                result = sample.result
+                cell.packets += result.receiver_max_pn + 1
+                cell.lost += len(result.receiver_lost_pns)
+                cell.burst_lengths.extend(result.loss_burst_lengths)
+                cell.event_durations_s.extend(
+                    result.loss_event_durations_s)
+            cells[(workload, direction)] = cell
+    return cells

@@ -1,0 +1,95 @@
+"""Middlebox and traffic-discrimination findings (Sec. 3.5).
+
+Runs traceroute, Tracebox and Wehe over the simulated accesses and
+summarises what the paper reports: two NAT levels and no PEP on
+Starlink, a PEP on classic SatCom, and no traffic discrimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.tracebox import tracebox
+from repro.apps.traceroute import traceroute
+from repro.apps.wehe import SERVICE_TRACES, WeheResult, run_wehe_test
+from repro.core.campaign import CAMPUS_SERVER
+from repro.geo.satcom import GeoSatComAccess
+from repro.leo.access import StarlinkAccess
+from repro.transport.tcp import TcpServer
+
+
+@dataclass
+class MiddleboxReport:
+    """Sec. 3.5 summary for one access network."""
+
+    network: str
+    traceroute_hops: list[str]
+    nat_addresses: list[str]
+    nat_levels: int
+    pep_detected: bool
+    checksum_only_mutation: bool
+    wehe: list[WeheResult] = field(default_factory=list)
+
+    @property
+    def traffic_discrimination(self) -> bool:
+        """Whether any Wehe pair flagged differentiation."""
+        return any(w.differentiation_detected for w in self.wehe)
+
+
+def _known_private(address: str) -> bool:
+    return (address.startswith("192.168.")
+            or address.startswith("100.64.")
+            or address.startswith("10."))
+
+
+def inspect_access(access, network: str, server_address: str,
+                   wehe_services: tuple[str, ...] = ("netflix", "zoom")
+                   ) -> MiddleboxReport:
+    """Run the full Sec. 3.5 toolbox over one prepared access.
+
+    ``access`` must already have a remote host at ``server_address``
+    and be finalized; a TCP listener is installed there so Tracebox
+    sees a real handshake target.
+    """
+    client = access.client
+    server = access.net.host("server35")
+
+    listener = TcpServer(server, 80)
+    hops = traceroute(client, server_address)
+    report_tb = tracebox(client, server_address, target_port=80)
+    listener.close()
+
+    wehe_results = [run_wehe_test(client, server, service,
+                                  port=9000 + 10 * i)
+                    for i, service in enumerate(wehe_services)]
+
+    return MiddleboxReport(
+        network=network,
+        traceroute_hops=[hop.address for hop in hops],
+        nat_addresses=[hop.address for hop in hops
+                       if _known_private(hop.address)],
+        nat_levels=report_tb.nat_levels,
+        pep_detected=report_tb.pep_detected,
+        checksum_only_mutation=all(
+            set(f.modified_fields) <= {"checksum"}
+            for f in report_tb.findings),
+        wehe=wehe_results)
+
+
+def run_middlebox_study(seed: int = 0, epoch_t: float = 0.0
+                        ) -> dict[str, MiddleboxReport]:
+    """Sec. 3.5 for both satellite accesses."""
+    reports = {}
+
+    starlink = StarlinkAccess(seed=seed, epoch_t=epoch_t)
+    starlink.add_remote_host("server35", "130.104.1.35", CAMPUS_SERVER)
+    starlink.finalize()
+    reports["starlink"] = inspect_access(starlink, "starlink",
+                                         "130.104.1.35")
+
+    satcom = GeoSatComAccess(seed=seed, epoch_t=epoch_t)
+    satcom.add_remote_host("server35", "130.104.1.35", CAMPUS_SERVER)
+    satcom.finalize()
+    reports["satcom"] = inspect_access(satcom, "satcom",
+                                       "130.104.1.35")
+    return reports

@@ -1,0 +1,192 @@
+"""Text rendering of the paper's tables and figures.
+
+Each renderer takes analysis output and returns a string laid out
+like the corresponding artefact in the paper, so bench output can be
+eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+from repro.core.browsing import BrowsingStats
+from repro.core.loss_events import LossCell
+from repro.core.rtt import Fig1Row, Fig2Series, LoadedRttStats
+from repro.core.throughput import ThroughputSeries
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def render_table1(rows: list[dict]) -> str:
+    """Table 1: dataset overview."""
+    lines = ["Table 1: Overview of the datasets.", _rule(),
+             f"{'Measure':<16}{'Network':<22}{'Samples':>10}  Target",
+             _rule()]
+    for row in rows:
+        lines.append(f"{row['measure']:<16}{row['network']:<22}"
+                     f"{row['samples']:>10}  {row['target']}")
+    lines.append(_rule())
+    return "\n".join(lines)
+
+
+def render_figure1(rows: list[Fig1Row]) -> str:
+    """Fig. 1: RTT distribution per anchor (boxplot numbers, ms)."""
+    lines = ["Figure 1: RTT to the anchors (ms).", _rule(86),
+             (f"{'anchor':<14}{'reg':<5}{'min':>7}{'p5':>7}{'p25':>7}"
+              f"{'med':>7}{'p75':>7}{'p95':>7}{'max':>8}{'n':>9}"),
+             _rule(86)]
+    for row in rows:
+        s = row.stats
+        lines.append(
+            f"{row.anchor:<14}{row.region:<5}{s.minimum:>7.1f}"
+            f"{s.p5:>7.1f}{s.p25:>7.1f}{s.median:>7.1f}{s.p75:>7.1f}"
+            f"{s.p95:>7.1f}{s.maximum:>8.1f}{s.count:>9}")
+    lines.append(_rule(86))
+    return "\n".join(lines)
+
+
+def render_figure2(series: Fig2Series, max_rows: int = 24) -> str:
+    """Fig. 2: European RTT percentiles over time (6-hour bins)."""
+    lines = ["Figure 2: RTT towards the European anchors (ms).",
+             _rule(),
+             f"{'day':>7}{'min':>8}{'p25':>8}{'p50':>8}{'p75':>8}"
+             f"{'p95':>8}",
+             _rule()]
+    bins = series.bins
+    stride = max(1, len(bins) // max_rows)
+    for row in bins[::stride]:
+        lines.append(
+            f"{row['t'] / 86400:>7.1f}{row['min']:>8.1f}"
+            f"{row['p25']:>8.1f}{row['p50']:>8.1f}{row['p75']:>8.1f}"
+            f"{row['p95']:>8.1f}")
+    lines.append(_rule())
+    lines.append(
+        f"median before Feb-11 step: {series.median_before_step_ms:.1f}"
+        f" ms, after: {series.median_after_step_ms:.1f} ms "
+        f"(improvement {series.step_improvement_ms:.1f} ms)")
+    lines.append(
+        f"Mood's median test across hours of day: p = "
+        f"{series.hour_of_day_pvalue:.3f} "
+        f"({'flat' if series.hour_of_day_pvalue > 0.01 else 'diurnal'})"
+        f"; hourly-median range "
+        f"{series.hourly_median_range_ms:.1f} ms")
+    return "\n".join(lines)
+
+
+def render_figure3(stats: list[LoadedRttStats]) -> str:
+    """Fig. 3 + Sec. 3.1 text: RTT under load (ms)."""
+    lines = ["Figure 3: RTT under load (per acknowledged packet, ms).",
+             _rule(),
+             f"{'workload':<12}{'dir':<6}{'samples':>9}{'median':>9}"
+             f"{'p95':>8}{'p99':>8}",
+             _rule()]
+    for row in stats:
+        lines.append(
+            f"{row.workload:<12}{row.direction:<6}{row.samples:>9}"
+            f"{row.median:>9.0f}{row.p95:>8.0f}{row.p99:>8.0f}")
+    lines.append(_rule())
+    lines.append("paper:  h3 down 95/175/210, h3 up 104/237/310, "
+                 "messages down 50/71/87, messages up 66/87/143")
+    return "\n".join(lines)
+
+
+def render_table2(cells: dict[tuple[str, str], LossCell]) -> str:
+    """Table 2: QUIC packet loss ratios."""
+    order = [("h3", "down"), ("h3", "up"),
+             ("messages", "down"), ("messages", "up")]
+    header = ["H3 down", "H3 up", "Msg down", "Msg up"]
+    values = []
+    for key in order:
+        cell = cells.get(key)
+        values.append(f"{100 * cell.loss_ratio:.2f}%" if cell else "-")
+    lines = ["Table 2: QUIC packet loss ratios.", _rule(52),
+             "".join(f"{h:>13}" for h in header),
+             "".join(f"{v:>13}" for v in values), _rule(52),
+             "paper:       1.56%        1.96%        0.40%        "
+             "0.45%"]
+    return "\n".join(lines)
+
+
+def render_figure4(cells: dict[tuple[str, str], LossCell]) -> str:
+    """Fig. 4: loss-burst length CDFs + duration percentiles."""
+    lines = ["Figure 4: loss-burst lengths and event durations.",
+             _rule(80)]
+    for (workload, direction), cell in sorted(cells.items()):
+        if not cell.burst_lengths:
+            lines.append(f"{workload}/{direction}: no loss events")
+            continue
+        cdf = cell.burst_cdf()
+        points = "  ".join(
+            f"<= {x:>2.0f}: {cdf.at(x):.2f}" for x in (1, 3, 7, 15, 100))
+        single = cell.single_packet_fraction()
+        durations = cell.duration_percentiles_ms()
+        lines.append(
+            f"{workload}/{direction}: events={len(cell.burst_lengths)}"
+            f"  single-packet={single:.0%}  burst CDF  {points}")
+        lines.append(
+            f"{'':<4}durations ms: p50={durations[50]:.3f} "
+            f"p75={durations[75]:.3f} p90={durations[90]:.3f} "
+            f"p95={durations[95]:.1f} p99={durations[99]:.1f} "
+            f">1s events={cell.outage_count()}")
+    lines.append(_rule(80))
+    return "\n".join(lines)
+
+
+def render_figure5(series: list[ThroughputSeries]) -> str:
+    """Fig. 5: throughput distributions (Mbit/s)."""
+    lines = ["Figure 5: throughput distributions (Mbit/s).", _rule(80),
+             f"{'series':<22}{'dir':<6}{'n':>5}{'p5':>8}{'p25':>8}"
+             f"{'med':>8}{'p75':>8}{'p95':>8}{'max':>8}",
+             _rule(80)]
+    for row in series:
+        s = row.stats
+        lines.append(
+            f"{row.label:<22}{row.direction:<6}{s.count:>5}{s.p5:>8.1f}"
+            f"{s.p25:>8.1f}{s.median:>8.1f}{s.p75:>8.1f}{s.p95:>8.1f}"
+            f"{s.maximum:>8.1f}")
+    lines.append(_rule(80))
+    lines.append("paper medians: starlink ookla 178 down / 17 up "
+                 "(max 386/64); satcom 82 / 4.5; h3 100-150 down")
+    return "\n".join(lines)
+
+
+def render_figure6(stats: dict[str, BrowsingStats]) -> str:
+    """Fig. 6: onLoad and SpeedIndex per network (seconds)."""
+    lines = ["Figure 6: web-browsing QoE metrics (s).", _rule(86),
+             f"{'network':<11}{'visits':>7}{'onload med':>12}"
+             f"{'IQR':>16}{'SI med':>9}{'conns':>7}{'setup ms':>10}",
+             _rule(86)]
+    for network in ("starlink", "satcom", "wired"):
+        if network not in stats:
+            continue
+        s = stats[network]
+        iqr = f"[{s.onload.p25:.2f},{s.onload.p75:.2f}]"
+        lines.append(
+            f"{network:<11}{s.visits:>7}{s.onload.median:>12.2f}"
+            f"{iqr:>16}{s.speed_index.median:>9.2f}"
+            f"{s.avg_connections:>7.1f}{1e3 * s.avg_setup_s:>10.0f}")
+    lines.append(_rule(86))
+    lines.append("paper: starlink 2.12 [1.60,2.78] SI 1.82 setup 167; "
+                 "satcom 10.91 [8.36,13.59] SI 8.19 setup 2030; "
+                 "wired 1.24 SI 1.0")
+    return "\n".join(lines)
+
+
+def render_middlebox(reports: dict) -> str:
+    """Sec. 3.5 findings."""
+    lines = ["Section 3.5: middleboxes and traffic discrimination.",
+             _rule(80)]
+    for network, report in reports.items():
+        lines.append(f"{network}:")
+        lines.append(f"  traceroute: {' -> '.join(report.traceroute_hops)}")
+        lines.append(f"  NAT addresses: {report.nat_addresses} "
+                     f"({report.nat_levels} levels)")
+        lines.append(f"  PEP detected: {report.pep_detected}; "
+                     f"checksum-only mutation: "
+                     f"{report.checksum_only_mutation}")
+        lines.append(f"  Wehe differentiation: "
+                     f"{report.traffic_discrimination}")
+    lines.append(_rule(80))
+    lines.append("paper: starlink has NAT 192.168.1.1 + CGNAT "
+                 "100.64.0.1, no PEP, checksums only, no TD")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Statistics helpers used across the analysis pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """The summary Fig. 1 draws: box p25-p75, whiskers p5-p95."""
+
+    count: int
+    minimum: float
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.p75 - self.p25
+
+
+def boxplot_stats(samples) -> BoxplotStats:
+    """Compute the Fig.-1-style summary of a sample list."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot summarise an empty sample set")
+    p5, p25, p50, p75, p95 = np.percentile(values, [5, 25, 50, 75, 95])
+    return BoxplotStats(
+        count=int(values.size), minimum=float(values.min()),
+        p5=float(p5), p25=float(p25), median=float(p50),
+        p75=float(p75), p95=float(p95), maximum=float(values.max()),
+        mean=float(values.mean()))
+
+
+@dataclass
+class Ecdf:
+    """Empirical CDF with evaluation and quantile queries."""
+
+    values: np.ndarray
+
+    def __init__(self, samples):
+        values = np.sort(np.asarray(list(samples), dtype=float))
+        if values.size == 0:
+            raise AnalysisError("cannot build an ECDF from no samples")
+        self.values = values
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.values, x, side="right")
+                     / self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0,1], got {q}")
+        return float(np.percentile(self.values, q * 100.0))
+
+    def curve(self, points: int = 200) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs for plotting/rendering."""
+        xs = np.linspace(self.values[0], self.values[-1], points)
+        return [(float(x), self.at(float(x))) for x in xs]
+
+
+def moods_median_test(*groups) -> tuple[float, float]:
+    """Mood's median test across groups: (statistic, p-value).
+
+    The paper uses it to show hour-of-day RTT distributions share a
+    median (no diurnal pattern).
+    """
+    cleaned = [np.asarray(list(g), dtype=float) for g in groups]
+    if len(cleaned) < 2 or any(g.size == 0 for g in cleaned):
+        raise AnalysisError("need at least two non-empty groups")
+    stat, p_value, _, _ = scipy_stats.median_test(*cleaned)
+    return float(stat), float(p_value)
+
+
+def time_binned_percentiles(times, values, bin_width: float,
+                            percentiles=(5, 25, 50, 75, 95)
+                            ) -> list[dict]:
+    """Per-bin percentile rows for time-series figures (Fig. 2).
+
+    Returns one dict per non-empty bin: ``{"t": bin_start,
+    "count": n, "min": ..., "p50": ..., ...}``.
+    """
+    times = np.asarray(list(times), dtype=float)
+    values = np.asarray(list(values), dtype=float)
+    if times.size != values.size:
+        raise AnalysisError("times and values must align")
+    if times.size == 0:
+        return []
+    order = np.argsort(times)
+    times, values = times[order], values[order]
+    rows = []
+    start = np.floor(times[0] / bin_width) * bin_width
+    edges = np.arange(start, times[-1] + bin_width, bin_width)
+    indices = np.searchsorted(times, edges)
+    for i in range(len(edges) - 1):
+        chunk = values[indices[i]:indices[i + 1]]
+        if chunk.size == 0:
+            continue
+        row = {"t": float(edges[i]), "count": int(chunk.size),
+               "min": float(chunk.min())}
+        for p in percentiles:
+            row[f"p{p}"] = float(np.percentile(chunk, p))
+        rows.append(row)
+    return rows

@@ -1,0 +1,73 @@
+"""Throughput analysis: Figure 5.
+
+Three distributions per direction: Ookla-like speed tests on Starlink
+and SatCom (multi-connection TCP) and H3 single-connection QUIC on
+Starlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.datasets import BulkSample, SpeedtestSample
+from repro.core.stats import BoxplotStats, boxplot_stats
+from repro.errors import AnalysisError
+
+
+@dataclass
+class ThroughputSeries:
+    """One distribution of Fig. 5 (Mbit/s)."""
+
+    label: str             # e.g. "starlink-speedtest"
+    direction: str
+    stats: BoxplotStats
+    values_mbps: np.ndarray
+
+
+def figure5_throughput(speedtests: list[SpeedtestSample],
+                       bulk: list[BulkSample],
+                       h3_session: int = 2) -> list[ThroughputSeries]:
+    """Fig. 5 distributions.
+
+    ``h3_session=2`` selects the second measurement session for the
+    H3 curve, matching the paper's figure.
+    """
+    out: list[ThroughputSeries] = []
+    for direction in ("down", "up"):
+        for network in ("starlink", "satcom"):
+            values = np.array([
+                s.throughput_mbps for s in speedtests
+                if s.network == network and s.direction == direction])
+            if values.size:
+                out.append(ThroughputSeries(
+                    label=f"{network}-speedtest", direction=direction,
+                    stats=boxplot_stats(values), values_mbps=values))
+        h3_values = np.array([
+            s.result.goodput_mbps for s in bulk
+            if s.direction == direction and s.session == h3_session
+            and s.result.completed])
+        if h3_values.size:
+            out.append(ThroughputSeries(
+                label="starlink-h3", direction=direction,
+                stats=boxplot_stats(h3_values), values_mbps=h3_values))
+    if not out:
+        raise AnalysisError("no throughput samples at all")
+    return out
+
+
+def session_comparison(bulk: list[BulkSample]) -> dict[str, dict[int,
+                                                                 float]]:
+    """Median H3 goodput per direction per session (paper: download
+    capacity increased in session 2, upload stayed put)."""
+    medians: dict[str, dict[int, float]] = {}
+    for direction in ("down", "up"):
+        medians[direction] = {}
+        for session in (1, 2):
+            values = [s.result.goodput_mbps for s in bulk
+                      if s.direction == direction
+                      and s.session == session and s.result.completed]
+            if values:
+                medians[direction][session] = float(np.median(values))
+    return medians

@@ -1,0 +1,20 @@
+"""ERRANT-style data-driven emulation profiles.
+
+The paper's released artefact is a Starlink model for the ERRANT
+network emulator: netem-style parameter sets fitted from the measured
+data so other researchers can emulate a Starlink (or GEO SatCom, or
+wired) access without hardware. :mod:`model` fits the profiles from
+campaign datasets; :mod:`export` renders them as ``tc``/``netem``
+command lines and JSON.
+"""
+
+from repro.errant.model import EmulationProfile, fit_profile, fit_profiles
+from repro.errant.export import to_netem_commands, to_json
+
+__all__ = [
+    "EmulationProfile",
+    "fit_profile",
+    "fit_profiles",
+    "to_netem_commands",
+    "to_json",
+]

@@ -1,0 +1,48 @@
+"""Exporting emulation profiles as tc/netem commands and JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.errant.model import EmulationProfile
+
+
+def to_netem_commands(profile: EmulationProfile,
+                      interface: str = "eth0") -> list[str]:
+    """The tc command lines that emulate this profile on a Linux box.
+
+    Two qdiscs: egress shaping+netem on the interface, and the same
+    on an ifb for ingress (the usual ERRANT arrangement).
+    """
+    netem = (f"delay {profile.delay_ms:.1f}ms "
+             f"{profile.jitter_ms:.1f}ms "
+             f"{profile.correlation_pct:.0f}% "
+             f"loss {profile.loss_pct:.2f}%")
+    return [
+        f"tc qdisc add dev {interface} root handle 1: tbf "
+        f"rate {profile.rate_up_mbps:.1f}mbit burst 32kbit latency "
+        f"400ms",
+        f"tc qdisc add dev {interface} parent 1:1 handle 10: netem "
+        f"{netem}",
+        f"tc qdisc add dev ifb0 root handle 1: tbf rate "
+        f"{profile.rate_down_mbps:.1f}mbit burst 32kbit latency 400ms",
+        f"tc qdisc add dev ifb0 parent 1:1 handle 10: netem {netem}",
+    ]
+
+
+def to_json(profiles: dict[str, EmulationProfile]) -> str:
+    """Machine-readable profile dump."""
+    payload = {
+        name: {
+            "delay_ms": round(p.delay_ms, 2),
+            "jitter_ms": round(p.jitter_ms, 2),
+            "correlation_pct": p.correlation_pct,
+            "rate_down_mbps": round(p.rate_down_mbps, 1),
+            "rate_up_mbps": round(p.rate_up_mbps, 1),
+            "loss_pct": round(p.loss_pct, 3),
+            "n_delay_samples": p.n_delay_samples,
+            "n_rate_samples": p.n_rate_samples,
+        }
+        for name, p in profiles.items()
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

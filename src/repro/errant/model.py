@@ -1,0 +1,115 @@
+"""Fitting emulation profiles from campaign measurements.
+
+An ERRANT profile captures one access technology as netem-style
+parameters: base one-way delay, delay jitter (with correlation),
+down/up rates and a loss percentage. Profiles are fitted from the
+same datasets the analysis consumes, so the emulator reproduces what
+was measured, not what was configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.datasets import (
+    CampaignDatasets,
+    PingDataset,
+    SpeedtestSample,
+)
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class EmulationProfile:
+    """Netem-style parameter set for one access technology."""
+
+    name: str
+    #: One-way base delay, ms (netem ``delay``).
+    delay_ms: float
+    #: Delay jitter, ms (netem ``delay ... <jitter>``).
+    jitter_ms: float
+    #: Jitter correlation percentage (netem third arg).
+    correlation_pct: float
+    #: Shaped rates, Mbit/s.
+    rate_down_mbps: float
+    rate_up_mbps: float
+    #: Random loss percentage (netem ``loss``).
+    loss_pct: float
+    #: Samples the fit is based on.
+    n_delay_samples: int = 0
+    n_rate_samples: int = 0
+
+
+def fit_profile(name: str, rtts_s: np.ndarray,
+                down_mbps: np.ndarray, up_mbps: np.ndarray,
+                loss_ratio: float,
+                correlation_pct: float = 25.0) -> EmulationProfile:
+    """Fit one profile from raw samples.
+
+    The one-way delay is half the median RTT; jitter is half the RTT
+    standard deviation (netem applies jitter per direction).
+    """
+    if rtts_s.size == 0:
+        raise AnalysisError(f"no RTT samples for profile {name!r}")
+    rtts_ms = rtts_s * 1e3
+    return EmulationProfile(
+        name=name,
+        delay_ms=float(np.median(rtts_ms) / 2.0),
+        jitter_ms=float(np.std(rtts_ms) / 2.0),
+        correlation_pct=correlation_pct,
+        rate_down_mbps=(float(np.median(down_mbps))
+                        if down_mbps.size else 0.0),
+        rate_up_mbps=(float(np.median(up_mbps))
+                      if up_mbps.size else 0.0),
+        loss_pct=float(100.0 * loss_ratio),
+        n_delay_samples=int(rtts_s.size),
+        n_rate_samples=int(down_mbps.size + up_mbps.size))
+
+
+def _speedtest_values(samples: list[SpeedtestSample], network: str,
+                      direction: str) -> np.ndarray:
+    return np.array([s.throughput_mbps for s in samples
+                     if s.network == network
+                     and s.direction == direction])
+
+
+def fit_profiles(data: CampaignDatasets,
+                 message_loss_ratio: float | None = None
+                 ) -> dict[str, EmulationProfile]:
+    """Fit the Starlink (and, when measured, SatCom) profiles."""
+    profiles: dict[str, EmulationProfile] = {}
+
+    pings: PingDataset = data.pings
+    european = pings.european()[1]
+    loss = message_loss_ratio
+    if loss is None:
+        down_msgs = [m.result for m in data.messages
+                     if m.direction == "down"]
+        total = sum(r.receiver_max_pn + 1 for r in down_msgs)
+        lost = sum(len(r.receiver_lost_pns) for r in down_msgs)
+        loss = (lost / total) if total else 0.0
+
+    profiles["starlink"] = fit_profile(
+        "starlink", european,
+        _speedtest_values(data.speedtests, "starlink", "down"),
+        _speedtest_values(data.speedtests, "starlink", "up"),
+        loss_ratio=loss)
+
+    satcom_down = _speedtest_values(data.speedtests, "satcom", "down")
+    if satcom_down.size:
+        # SatCom RTTs are not in the ping dataset (the paper pinged
+        # through Starlink only); derive delay from the GEO model.
+        from repro.geo.satcom import GeoPathModel
+        from repro.rng import make_rng
+
+        model = GeoPathModel()
+        rng = make_rng(("errant", "satcom"))
+        rtts = np.array([model.idle_rtt(i * 7.0, rng, 0.004)
+                         for i in range(500)])
+        profiles["satcom"] = fit_profile(
+            "satcom", rtts, satcom_down,
+            _speedtest_values(data.speedtests, "satcom", "up"),
+            loss_ratio=0.001)
+    return profiles

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """A component was built with invalid or contradictory parameters."""
+
+
+class RoutingError(ReproError):
+    """No route exists between two simulated hosts."""
+
+
+class TransportError(ReproError):
+    """A TCP or QUIC endpoint hit a protocol violation or failure."""
+
+
+class ConnectionClosedError(TransportError):
+    """An operation was attempted on a closed transport connection."""
+
+
+class FlowControlError(TransportError):
+    """A sender exceeded the peer's advertised flow-control limits."""
+
+
+class HandshakeTimeoutError(TransportError):
+    """The transport handshake did not complete in time."""
+
+
+class CampaignError(ReproError):
+    """A measurement campaign was misconfigured or failed to run."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received unusable data (e.g. empty samples)."""

@@ -1,0 +1,18 @@
+"""Geostationary SatCom substrate (the paper's comparison access).
+
+:mod:`satcom` builds the access network -- a ~36 000 km bent pipe with
+a 100/10 Mbit/s plan -- and :mod:`pep` provides the split-TCP
+performance-enhancing proxy that SatCom operators deploy (and that
+Tracebox detects, Sec. 3.5 of the paper).
+"""
+
+from repro.geo.satcom import GeoSatComAccess, GeoParams, GeoPathModel
+from repro.geo.pep import PepBox, PepPolicy
+
+__all__ = [
+    "GeoSatComAccess",
+    "GeoParams",
+    "GeoPathModel",
+    "PepBox",
+    "PepPolicy",
+]

@@ -1,0 +1,208 @@
+"""Split-TCP performance-enhancing proxy (PEP).
+
+SatCom operators terminate subscriber TCP connections at a proxy next
+to the hub: the SYN is answered locally (so connection setup does not
+pay the full end-to-end path), the space segment runs an operator-
+tuned sender (large initial window, paced at the provisioned plan
+rate), and a second connection is opened from the proxy to the real
+server. This module implements that data path for real -- the proxy
+impersonates the server toward the client and relays byte counts
+between its two connections.
+
+QUIC traffic is encrypted and authenticated end to end, so the PEP
+must leave it alone -- exactly the property that motivated the
+paper's use of QUIC for end-to-end measurements. The proxy also
+mutates TCP header fields, which is what Tracebox detects (the paper
+found no PEP on Starlink, Sec. 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Router
+from repro.netsim.packet import Packet, Protocol
+from repro.transport.base import DatagramSocket
+from repro.transport.tcp.connection import TcpConfig, TcpConnection
+from repro.units import mbps
+
+
+@dataclass(frozen=True)
+class PepPolicy:
+    """What the PEP does to TCP connections that cross it."""
+
+    #: Terminate TCP and relay through a second connection.
+    split_tcp: bool = True
+    #: Space-segment sender: initial window (bytes) and pacing rate.
+    #: A hub PEP knows the provisioned plan rate and paces to it.
+    space_initial_window: int = 1_500_000
+    space_pacing_rate_bps: float = mbps(95)
+    #: The far-side handshake still completes before data flows; only
+    #: the subscriber-visible SYN is accelerated.
+    accelerates_handshake: bool = True
+    #: TLS is end to end; the PEP cannot shortcut it.
+    accelerates_tls: bool = False
+
+
+class _SpoofSocket:
+    """Socket facade that sends with a forged source address.
+
+    The proxy's client-facing connection must look like the origin
+    server, so its packets carry the server's address and port.
+    """
+
+    def __init__(self, node: "PepBox", spoof_addr: str, spoof_port: int):
+        self._node = node
+        self._spoof_addr = spoof_addr
+        self.port = spoof_port
+        self.on_receive: Callable[[Packet], None] | None = None
+
+    @property
+    def address(self) -> str:
+        return self._spoof_addr
+
+    def sendto(self, dst: str, dst_port: int, size: int,
+               payload: Any = None,
+               headers: dict[str, Any] | None = None) -> Packet:
+        packet = Packet(
+            src=self._spoof_addr, dst=dst, protocol=Protocol.TCP,
+            size=size, src_port=self.port, dst_port=dst_port,
+            payload=payload, headers=dict(headers or {}),
+            created_at=self._node.sim.now)
+        # The PEP rewrites options/sequence numbers; make the
+        # mutation visible to header-comparison tools.
+        packet.headers["tcp_options"] = "pep-rewritten"
+        packet.headers["pep"] = self._node.name
+        self._node.send(packet)
+        return packet
+
+    def close(self) -> None:
+        """The proxy owns flow lifetime; nothing to release."""
+
+
+class _ProxiedFlow:
+    """One split TCP connection: client half + server half."""
+
+    def __init__(self, pep: "PepBox", client_addr: str, client_port: int,
+                 server_addr: str, server_port: int):
+        policy = pep.policy
+        space_config = TcpConfig(
+            initial_window=policy.space_initial_window,
+            pacing_rate_bps=policy.space_pacing_rate_bps)
+        self.client_conn = TcpConnection(
+            pep.sim, _SpoofSocket(pep, server_addr, server_port),
+            client_addr, client_port, role="server", config=space_config)
+        server_socket = DatagramSocket(pep, protocol=Protocol.TCP)
+        self.server_conn = TcpConnection(
+            pep.sim, server_socket, server_addr, server_port,
+            role="client")
+        server_socket.on_receive = self.server_conn._on_packet
+        self._wire_relay()
+        self.server_conn.connect()
+
+    def _wire_relay(self) -> None:
+        client, server = self.client_conn, self.server_conn
+        client.on_bytes_delivered = lambda n: server.send(n)
+        client.on_fin = lambda now: server.send(0, fin=True)
+        server.on_bytes_delivered = lambda n: client.send(n)
+        server.on_fin = lambda now: client.send(0, fin=True)
+
+
+class PepBox(Router):
+    """In-path middlebox that splits subscriber TCP connections.
+
+    Sits between the SatCom hub and the Internet core. TCP packets
+    arriving from the subscriber side are terminated at an internal
+    proxy; everything else (QUIC/UDP, ICMP) is forwarded like a
+    normal router. With ``policy.split_tcp`` False the box degrades
+    to a header-mutating router (the Tracebox-visible PEP without the
+    performance machinery -- an ablation mode).
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 policy: PepPolicy | None = None,
+                 subscriber_side: str = "hub"):
+        super().__init__(sim, name, address)
+        self.policy = policy or PepPolicy()
+        self.subscriber_side = subscriber_side
+        self.flows: dict[tuple, _ProxiedFlow] = {}
+        self.tcp_flows_touched = 0
+        # Host-like port bindings for the proxy's own connections.
+        self._bindings: dict[tuple[Protocol, int], Callable] = {}
+        self._next_ephemeral = 52000
+
+    # -- host-like API used by DatagramSocket ---------------------------
+
+    def bind(self, protocol: Protocol, port: int, handler) -> None:
+        """Register a local transport handler (proxy connections)."""
+        key = (protocol, port)
+        if key in self._bindings:
+            raise ConfigurationError(
+                f"{self.name}: port {port}/{protocol.value} already bound")
+        self._bindings[key] = handler
+
+    def unbind(self, protocol: Protocol, port: int) -> None:
+        """Remove a local binding. Missing bindings are ignored."""
+        self._bindings.pop((protocol, port), None)
+
+    def allocate_port(self) -> int:
+        """Fresh ephemeral port for a proxy-originated connection."""
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    # -- forwarding/interception ----------------------------------------
+
+    def receive(self, packet: Packet, pipe) -> None:
+        if packet.dst == self.address:
+            self.packets_received += 1
+            handler = self._bindings.get((packet.protocol,
+                                          packet.dst_port))
+            if handler is not None:
+                handler(packet)
+            else:
+                self._handle_local(packet)
+            return
+        from_subscriber = (pipe is not None and pipe.name.startswith(
+            f"{self.subscriber_side}->"))
+        if (packet.protocol is Protocol.TCP and self.policy.split_tcp
+                and from_subscriber):
+            self.packets_received += 1
+            packet.ttl -= 1
+            if packet.ttl <= 0:
+                # TTL-limited probes expire here: the PEP is a
+                # visible traceroute hop like any router.
+                self._send_time_exceeded(packet)
+                return
+            self._intercept(packet)
+            return
+        super().receive(packet, pipe)
+
+    def _intercept(self, packet: Packet) -> None:
+        key = (packet.src, packet.src_port, packet.dst, packet.dst_port)
+        flow = self.flows.get(key)
+        if flow is None:
+            kind = packet.payload[0] if packet.payload else ""
+            if kind != "ctrl":
+                return  # stray mid-connection packet; drop
+            self.tcp_flows_touched += 1
+            flow = _ProxiedFlow(self, packet.src, packet.src_port,
+                                packet.dst, packet.dst_port)
+            self.flows[key] = flow
+        flow.client_conn._on_packet(packet)
+
+    def mutate_forward(self, packet: Packet, pipe) -> bool:
+        if packet.protocol is not Protocol.TCP:
+            return True
+        # Non-split mode: mutate headers in place (Tracebox-visible).
+        self.tcp_flows_touched += 1
+        packet.headers["tcp_options"] = "pep-rewritten"
+        seq = packet.headers.get("tcp_seq")
+        if isinstance(seq, int):
+            packet.headers["tcp_seq"] = seq ^ 0x5A5A5A5A
+        packet.headers["pep"] = self.name
+        packet.refresh_checksum()
+        return True

@@ -1,0 +1,241 @@
+"""Geostationary SatCom access network.
+
+The paper's comparison service is a reseller plan on a major European
+GEO operator: up to 100 Mbit/s down, 10 Mbit/s up, with the classic
+~600 ms minimum RTT that 35 786 km of altitude imposes. The model
+derives the propagation delay from real geometry (terminal in Belgium,
+satellite around 13 deg E, teleport in northern Italy) and adds
+DVB-S2/RCS scheduling latency; bandwidth-on-demand makes the uplink
+both slower and far more variable than the headline figure -- the
+paper measured a median of only 4.5 Mbit/s up and 82 Mbit/s down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import make_rng
+from repro.geo.pep import PepBox, PepPolicy
+from repro.leo.channel import CapacityProcess
+from repro.leo.geometry import (
+    GeoPoint,
+    fiber_path_delay,
+    slant_range,
+)
+from repro.netsim.engine import Simulator
+from repro.netsim.loss import TimedGilbertElliottLoss
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+from repro.units import GEO_ALTITUDE, SPEED_OF_LIGHT, gbps, kib, mbps, ms
+
+#: Longitude of the serving geostationary satellite (KA-SAT-like).
+GEO_SATELLITE = GeoPoint(0.0, 13.0, GEO_ALTITUDE)
+
+#: The operator's European teleport (hub) location.
+TELEPORT = GeoPoint(45.1, 7.7)  # Turin area
+
+#: The subscriber terminal location (same campus as PC-Starlink).
+TERMINAL = GeoPoint(50.668, 4.611)
+
+
+@dataclass
+class GeoParams:
+    """Tunables of the GEO model, calibrated to the paper's plan."""
+
+    #: Sellable plan: "up to" 100/10 Mbit/s.
+    down_mean_bps: float = mbps(88)
+    up_mean_bps: float = mbps(5.2)
+
+    #: Hub + modem processing each way.
+    processing_one_way_s: float = ms(10.0)
+
+    #: DVB-RCS bandwidth-on-demand adds request/grant latency on the
+    #: uplink; the downlink scheduler is smoother. Jitter is drawn
+    #: once per grant cycle (frame), shared by packets in the frame.
+    bod_shape_up: float = 2.0
+    bod_scale_up_s: float = ms(14.0)
+    sched_shape_down: float = 1.5
+    sched_scale_down_s: float = ms(6.0)
+    jitter_frame_s: float = ms(45.0)
+    jitter_dither_s: float = ms(1.0)
+
+    down_queue_bytes: int = kib(2200)
+    up_queue_bytes: int = kib(192)
+
+    lan_rate_bps: float = gbps(1)
+    lan_delay_s: float = ms(0.2)
+
+    #: Ka-band rain fade: rarer but longer than Starlink's fades.
+    mean_good_s: float = 30.0
+    mean_bad_s: float = 0.06
+
+
+class GeoPathModel:
+    """Analytic delay model of the GEO access (terminal <-> hub)."""
+
+    def __init__(self, params: GeoParams | None = None, seed: int = 0):
+        self.params = params or GeoParams()
+        self.seed = seed
+        sat = GEO_SATELLITE.to_ecef()
+        up_leg = slant_range(TERMINAL.to_ecef(), sat)
+        down_leg = slant_range(TELEPORT.to_ecef(), sat)
+        #: UT -> satellite -> teleport, one way, propagation only.
+        self.propagation_one_way = float(up_leg + down_leg) / SPEED_OF_LIGHT
+        self._jitter_cache: dict[tuple[str, int], float] = {}
+
+    def base_one_way(self, t: float) -> float:
+        """Deterministic one-way delay terminal->hub, seconds."""
+        return self.propagation_one_way + self.params.processing_one_way_s
+
+    def jitter(self, rng: random.Random, direction: str,
+               t: float | None = None) -> float:
+        """Scheduling jitter for a packet sent at ``t``, seconds.
+
+        Drawn once per grant cycle (time bucket) so packets within a
+        cycle share it; ``rng`` adds only sub-millisecond dither.
+        """
+        p = self.params
+        if t is None:
+            draw = self._jitter_draw(rng, direction)
+        else:
+            frame = int(t / p.jitter_frame_s)
+            key = (direction, frame)
+            draw = self._jitter_cache.get(key)
+            if draw is None:
+                frame_rng = make_rng((self.seed, "geo-jit", direction,
+                                      frame))
+                draw = self._jitter_draw(frame_rng, direction)
+                if len(self._jitter_cache) > 50_000:
+                    self._jitter_cache.clear()
+                self._jitter_cache[key] = draw
+        return draw + rng.uniform(0, p.jitter_dither_s)
+
+    def _jitter_draw(self, rng: random.Random, direction: str) -> float:
+        p = self.params
+        if direction == "up":
+            return rng.gammavariate(p.bod_shape_up, p.bod_scale_up_s)
+        return rng.gammavariate(p.sched_shape_down, p.sched_scale_down_s)
+
+    def one_way_delay(self, t: float, rng: random.Random,
+                      direction: str) -> float:
+        """One-way delay including jitter, seconds."""
+        return self.base_one_way(t) + self.jitter(rng, direction, t)
+
+    def idle_rtt(self, t: float, rng: random.Random,
+                 remote_rtt_s: float = 0.0) -> float:
+        """One idle RTT sample, seconds."""
+        return (2.0 * self.base_one_way(t) + self.jitter(rng, "up", t)
+                + self.jitter(rng, "down", t) + remote_rtt_s)
+
+
+class GeoSatComAccess:
+    """Packet-level GEO access network for one experiment epoch.
+
+    Topology: client -> modem NAT -> GEO link -> hub -> PEP -> core,
+    with servers attached off the core. ``pep_enabled=False`` is the
+    ablation knob (what would SatCom look like without its PEP?).
+    """
+
+    CLIENT_ADDRESS = "192.168.100.10"
+    MODEM_ADDRESS = "192.168.100.1"
+    HUB_ADDRESS = "185.12.0.1"
+    PEP_ADDRESS = "185.12.0.2"
+
+    def __init__(self, params: GeoParams | None = None, seed: int = 0,
+                 epoch_t: float = 0.0, pep_enabled: bool = True,
+                 pep_policy: PepPolicy | None = None):
+        self.params = params or GeoParams()
+        self.seed = seed
+        self.epoch_t = epoch_t
+        self.pep_enabled = pep_enabled
+        self.pep_policy = pep_policy or PepPolicy()
+        self.path_model = GeoPathModel(self.params, seed=seed)
+        self.downlink = CapacityProcess(
+            self.params.down_mean_bps, slot_cv=0.10, seed=seed * 11 + 3,
+            min_rate=mbps(35), max_rate=mbps(100))
+        self.uplink = CapacityProcess(
+            self.params.up_mean_bps, slot_cv=0.35, seed=seed * 11 + 4,
+            min_rate=mbps(0.8), max_rate=mbps(10))
+        self.net = Network(Simulator(start_time=epoch_t))
+        self._build()
+
+    @property
+    def sim(self):
+        """The simulator driving this access network."""
+        return self.net.sim
+
+    @property
+    def client(self):
+        """PC-SatCom."""
+        return self.net.host("client")
+
+    @property
+    def has_pep(self) -> bool:
+        """Whether a PEP accelerates TCP on this access."""
+        return self.pep_enabled
+
+    def _build(self) -> None:
+        p = self.params
+        self.net.add_host("client", self.CLIENT_ADDRESS)
+        self.net.add_nat("modem", self.MODEM_ADDRESS,
+                         inside_neighbor="client")
+        self.net.add_router("hub", self.HUB_ADDRESS)
+
+        self.net.connect("client", "modem", rate_ab=p.lan_rate_bps,
+                         rate_ba=p.lan_rate_bps, delay=p.lan_delay_s)
+
+        up_rng = make_rng((self.seed, "geo-jitter", "up"))
+        down_rng = make_rng((self.seed, "geo-jitter", "down"))
+
+        def up_delay(now: float) -> float:
+            return self.path_model.one_way_delay(now, up_rng, "up")
+
+        def down_delay(now: float) -> float:
+            return self.path_model.one_way_delay(now, down_rng, "down")
+
+        self.space_link = self.net.connect(
+            "modem", "hub",
+            rate_ab=self.uplink.rate_at, rate_ba=self.downlink.rate_at,
+            delay=up_delay, delay_ba=down_delay,
+            queue_ab=DropTailQueue(capacity_bytes=p.up_queue_bytes),
+            queue_ba=DropTailQueue(capacity_bytes=p.down_queue_bytes),
+            loss_ab=self._loss_model("up"), loss_ba=self._loss_model("down"))
+
+        if self.pep_enabled:
+            pep = PepBox(self.net.sim, "pep", self.PEP_ADDRESS,
+                         policy=self.pep_policy)
+            self.net.nodes["pep"] = pep
+            self.net.connect("hub", "pep", rate_ab=gbps(10),
+                             rate_ba=gbps(10), delay=ms(0.05))
+            self._core_attach = "pep"
+        else:
+            self._core_attach = "hub"
+
+    def _loss_model(self, direction: str) -> TimedGilbertElliottLoss:
+        p = self.params
+        return TimedGilbertElliottLoss(
+            mean_good_s=p.mean_good_s, mean_bad_s=p.mean_bad_s,
+            loss_bad=0.9,
+            rng=make_rng((self.seed, "geo-loss", direction)))
+
+    def add_remote_host(self, name: str, address: str,
+                        location: GeoPoint,
+                        access_rate_bps: float = gbps(1),
+                        server_lan_delay_s: float = ms(0.3)):
+        """Attach a server reachable through the hub-side core."""
+        host = self.net.add_host(name, address)
+        delay = fiber_path_delay(TELEPORT, location) + server_lan_delay_s
+        self.net.connect(self._core_attach, name, rate_ab=access_rate_bps,
+                         rate_ba=access_rate_bps, delay=delay)
+        return host
+
+    def finalize(self) -> None:
+        """Install routes; call after all remote hosts are added."""
+        self.net.finalize()
+
+    def run(self, duration: float) -> None:
+        """Run the simulation ``duration`` seconds past the epoch."""
+        self.net.sim.run(until=self.net.sim.now + duration)

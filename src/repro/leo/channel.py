@@ -1,0 +1,163 @@
+"""Radio capacity and medium-loss model of the Starlink service link.
+
+Two time scales drive the capacity a subscriber sees:
+
+* per-slot allocation (every 15 s the scheduler re-plans the cell,
+  so the granted rate is resampled per slot), and
+* fast fading / PHY adaptation, modelled as an AR(1) multiplier with
+  a sub-second coherence time.
+
+Both are evaluated *by time bucket with per-bucket seeding*, so any
+query order yields the same capacity trajectory -- experiments that
+sample the channel at different instants remain reproducible.
+
+Medium loss is a continuous-time Gilbert-Elliott channel plus a rare
+outage schedule (see :mod:`repro.netsim.loss`); congestion loss is
+NOT modelled here -- it emerges from queues in the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.rng import make_rng
+from repro.errors import ConfigurationError
+from repro.netsim.loss import (
+    CompositeLoss,
+    OutageSchedule,
+    TimedGilbertElliottLoss,
+)
+from repro.units import mbps
+
+#: Capacity is re-granted on the scheduler slot cycle.
+SLOT_DURATION = 15.0
+
+
+class CapacityProcess:
+    """Time-varying capacity of one link direction, bit/s.
+
+    ``rate_at(t)`` = slot_grant(slot(t)) * fast_fading(bucket(t)),
+    clamped to [min_rate, max_rate]. Slot grants are lognormal around
+    ``mean_rate`` with coefficient of variation ``slot_cv``; fast
+    fading is an AR(1) log-multiplier with standard deviation
+    ``fast_sigma`` and bucket length ``fast_bucket_s``.
+    """
+
+    def __init__(self, mean_rate: float, slot_cv: float = 0.2,
+                 fast_sigma: float = 0.08, fast_bucket_s: float = 0.1,
+                 fast_rho: float = 0.7,
+                 min_rate: float | None = None,
+                 max_rate: float | None = None,
+                 seed: int = 0):
+        if mean_rate <= 0:
+            raise ConfigurationError("mean_rate must be positive")
+        if not 0.0 <= fast_rho < 1.0:
+            raise ConfigurationError("fast_rho must be in [0,1)")
+        self.mean_rate = mean_rate
+        self.slot_cv = slot_cv
+        self.fast_sigma = fast_sigma
+        self.fast_bucket_s = fast_bucket_s
+        self.fast_rho = fast_rho
+        self.min_rate = min_rate if min_rate is not None else mean_rate * 0.2
+        self.max_rate = max_rate if max_rate is not None else mean_rate * 2.2
+        self.seed = seed
+        # lognormal parameters so that E[grant] == mean_rate
+        self._sigma_log = math.sqrt(math.log(1.0 + slot_cv ** 2))
+        self._mu_log = math.log(mean_rate) - self._sigma_log ** 2 / 2.0
+        #: Multiplier applied on top (campaign events adjust this).
+        self.scale = 1.0
+        self._slot_cache: dict[int, float] = {}
+        self._fast_cache: dict[int, float] = {}
+
+    def _slot_grant(self, slot: int) -> float:
+        cached = self._slot_cache.get(slot)
+        if cached is None:
+            rng = make_rng((self.seed, "slot", slot))
+            cached = math.exp(rng.gauss(self._mu_log, self._sigma_log))
+            if len(self._slot_cache) > 20_000:
+                self._slot_cache.clear()
+            self._slot_cache[slot] = cached
+        return cached
+
+    def _fast_multiplier(self, bucket: int) -> float:
+        # AR(1) in log space, reconstructed independently per bucket:
+        # x_b = rho * x_{b-1} + e_b. Unrolling a few steps gives the
+        # stationary correlation structure without global state.
+        cached = self._fast_cache.get(bucket)
+        if cached is None:
+            x = 0.0
+            depth = 8
+            for k in range(bucket - depth, bucket + 1):
+                rng = make_rng((self.seed, "fast", k))
+                innovation = rng.gauss(0.0, self.fast_sigma)
+                x = self.fast_rho * x + innovation
+            cached = math.exp(x)
+            if len(self._fast_cache) > 50_000:
+                self._fast_cache.clear()
+            self._fast_cache[bucket] = cached
+        return cached
+
+    def rate_at(self, t: float) -> float:
+        """Capacity in bit/s at simulated time ``t``."""
+        slot = int(t // SLOT_DURATION)
+        bucket = int(t // self.fast_bucket_s)
+        rate = (self._slot_grant(slot) * self._fast_multiplier(bucket)
+                * self.scale)
+        return min(self.max_rate, max(self.min_rate, rate))
+
+
+@dataclass
+class ChannelParams:
+    """Medium-loss knobs of the service link (both directions)."""
+
+    #: Mean sojourn in the Good state, seconds. With 25 ms Bad
+    #: sojourns this yields ~0.4 % time-in-fade, matching the
+    #: messages-transfer loss ratios of Table 2.
+    mean_good_s: float = 6.5
+    mean_bad_s: float = 0.025
+    loss_in_bad: float = 0.95
+    #: Rare long outages (paper: loss events > 1 s).
+    outage_rate_per_hour: float = 0.5
+    outage_mean_duration_s: float = 1.8
+    outage_horizon_s: float = 48 * 3600.0
+
+
+class StarlinkChannel:
+    """Bundles capacity processes and loss models for both directions."""
+
+    def __init__(self, down_mean: float = mbps(210),
+                 up_mean: float = mbps(19),
+                 params: ChannelParams | None = None,
+                 seed: int = 0):
+        self.params = params or ChannelParams()
+        self.downlink = CapacityProcess(
+            down_mean, slot_cv=0.22, seed=seed * 7 + 1,
+            min_rate=mbps(90), max_rate=mbps(400))
+        self.uplink = CapacityProcess(
+            up_mean, slot_cv=0.25, fast_sigma=0.04, seed=seed * 7 + 2,
+            min_rate=mbps(6), max_rate=mbps(70))
+        self._seed = seed
+
+    def make_loss_model(self, direction: str) -> CompositeLoss:
+        """Fresh medium-loss model for one direction.
+
+        A *new* model is returned each call because the Gilbert-
+        Elliott chain is stateful; each experiment gets its own.
+        """
+        if direction not in ("down", "up"):
+            raise ConfigurationError(
+                f"direction must be 'down' or 'up', got {direction!r}")
+        offset = 0 if direction == "down" else 1
+        p = self.params
+        ge = TimedGilbertElliottLoss(
+            mean_good_s=p.mean_good_s, mean_bad_s=p.mean_bad_s,
+            loss_bad=p.loss_in_bad,
+            rng=make_rng((self._seed, "ge", direction)))
+        outages = OutageSchedule.poisson(
+            horizon=p.outage_horizon_s,
+            rate_per_hour=p.outage_rate_per_hour,
+            mean_duration=p.outage_mean_duration_s,
+            rng=make_rng((self._seed, "outage", offset)))
+        return CompositeLoss([ge, outages])

@@ -1,0 +1,75 @@
+"""Campaign-scale exogenous events.
+
+The paper's five-month latency series (Fig. 2) is mostly flat but
+shows two features the authors call out:
+
+* a small *downward* step around February 11, attributed to new
+  satellites joining the constellation in early 2022;
+* an RTT *increase* during the last week of April and the first week
+  of May, attributed to load or reorganisation.
+
+The paper also reports that the QUIC download throughput was higher
+in the measurement session that started on April 25. This module
+encodes those dates (as offsets from the campaign start) and exposes
+the resulting latency/capacity adjustments to the rest of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.units import days, ms
+
+#: Campaign origin: ping collection started mid-December 2021.
+CAMPAIGN_START = datetime(2021, 12, 15)
+
+#: Campaign length covered by the latency dataset (five months).
+CAMPAIGN_DAYS = 151
+
+
+def date_to_t(when: datetime) -> float:
+    """Seconds since campaign start for a calendar date."""
+    return (when - CAMPAIGN_START).total_seconds()
+
+
+def t_to_date(t: float) -> datetime:
+    """Calendar date for a campaign time in seconds."""
+    return CAMPAIGN_START + timedelta(seconds=t)
+
+
+@dataclass
+class CampaignTimeline:
+    """Adjustments applied to the base model as the campaign unfolds."""
+
+    #: New satellites improve scheduling slightly from this date on.
+    fleet_improvement_t: float = date_to_t(datetime(2022, 2, 11))
+    fleet_improvement_gain_s: float = ms(3.0)
+
+    #: Elevated load window observed late April / early May.
+    load_window_start_t: float = date_to_t(datetime(2022, 4, 24))
+    load_window_end_t: float = date_to_t(datetime(2022, 5, 8))
+    load_window_extra_s: float = ms(7.0)
+
+    #: QUIC download capacity increased in the second session.
+    capacity_step_t: float = date_to_t(datetime(2022, 4, 25))
+    capacity_step_scale: float = 1.25
+
+    def extra_latency(self, t: float) -> float:
+        """Additive one-way latency adjustment at campaign time ``t``."""
+        extra = 0.0
+        if t < self.fleet_improvement_t:
+            extra += self.fleet_improvement_gain_s / 2.0
+        if self.load_window_start_t <= t < self.load_window_end_t:
+            extra += self.load_window_extra_s / 2.0
+        return extra
+
+    def capacity_scale(self, t: float) -> float:
+        """Multiplicative downlink capacity adjustment at time ``t``."""
+        if t >= self.capacity_step_t:
+            return self.capacity_step_scale
+        return 1.0
+
+    def in_campaign(self, t: float) -> bool:
+        """Whether ``t`` falls inside the five-month campaign."""
+        return 0.0 <= t <= days(CAMPAIGN_DAYS)

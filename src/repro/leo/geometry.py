@@ -1,0 +1,103 @@
+"""Spherical-Earth geometry for satellite links.
+
+A spherical Earth (mean radius) is accurate to well under 1 % for the
+path-length and elevation computations the latency model needs; WGS-84
+flattening would change Starlink RTTs by tens of microseconds, far
+below the scheduling jitter the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import EARTH_RADIUS, SPEED_OF_LIGHT
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point given in geodetic coordinates (degrees, metres)."""
+
+    lat_deg: float
+    lon_deg: float
+    alt_m: float = 0.0
+
+    def to_ecef(self) -> np.ndarray:
+        """Earth-centred Earth-fixed position vector, metres."""
+        return ecef(self.lat_deg, self.lon_deg, self.alt_m)
+
+
+def ecef(lat_deg: float, lon_deg: float, alt_m: float = 0.0) -> np.ndarray:
+    """Geodetic (spherical) to ECEF coordinates, metres."""
+    lat = np.radians(lat_deg)
+    lon = np.radians(lon_deg)
+    r = EARTH_RADIUS + alt_m
+    return np.array([
+        r * np.cos(lat) * np.cos(lon),
+        r * np.cos(lat) * np.sin(lon),
+        r * np.sin(lat),
+    ])
+
+
+def slant_range(a: np.ndarray, b: np.ndarray) -> float | np.ndarray:
+    """Straight-line distance between ECEF positions, metres.
+
+    ``b`` may be an (N, 3) array of satellite positions, in which case
+    an (N,) array of ranges is returned.
+    """
+    diff = np.asarray(b) - np.asarray(a)
+    if diff.ndim == 1:
+        return float(np.linalg.norm(diff))
+    return np.linalg.norm(diff, axis=1)
+
+
+def elevation_angle(ground: np.ndarray,
+                    sat: np.ndarray) -> float | np.ndarray:
+    """Elevation of ``sat`` above the local horizon at ``ground``, degrees.
+
+    ``sat`` may be an (N, 3) array; an (N,) array is then returned.
+    Negative values mean the satellite is below the horizon.
+    """
+    ground = np.asarray(ground, dtype=float)
+    sat = np.asarray(sat, dtype=float)
+    up = ground / np.linalg.norm(ground)
+    los = sat - ground
+    if los.ndim == 1:
+        rng = np.linalg.norm(los)
+        sin_el = np.dot(los, up) / rng
+        return float(np.degrees(np.arcsin(np.clip(sin_el, -1.0, 1.0))))
+    rng = np.linalg.norm(los, axis=1)
+    sin_el = los @ up / rng
+    return np.degrees(np.arcsin(np.clip(sin_el, -1.0, 1.0)))
+
+
+def great_circle_distance(a: GeoPoint, b: GeoPoint) -> float:
+    """Surface distance between two geodetic points, metres."""
+    lat1, lon1 = np.radians(a.lat_deg), np.radians(a.lon_deg)
+    lat2, lon2 = np.radians(b.lat_deg), np.radians(b.lon_deg)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (np.sin(dlat / 2) ** 2
+         + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2) ** 2)
+    return float(2 * EARTH_RADIUS * np.arcsin(np.sqrt(h)))
+
+
+def propagation_delay(distance_m: float,
+                      speed: float = SPEED_OF_LIGHT) -> float:
+    """One-way propagation delay for ``distance_m``, seconds."""
+    return distance_m / speed
+
+
+def fiber_path_delay(a: GeoPoint, b: GeoPoint,
+                     stretch: float = 1.5) -> float:
+    """One-way delay of a terrestrial fibre path between two sites.
+
+    Real fibre routes are longer than the great circle; ``stretch``
+    (default 1.5) captures routing detours, and propagation uses the
+    ~2/3 c speed of light in glass.
+    """
+    from repro.units import FIBER_SPEED
+
+    distance = great_circle_distance(a, b) * stretch
+    return distance / FIBER_SPEED

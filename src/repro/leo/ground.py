@@ -1,0 +1,74 @@
+"""Ground segment: user terminals, gateways and points of presence.
+
+Gateway and PoP locations approximate the Starlink ground segment
+reachable from Belgium during the paper's campaign (winter 2021 to
+spring 2022). The paper's traceroutes saw exactly two exits, one in
+the Netherlands and one in Germany; our gateway-to-PoP mapping
+reproduces that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.leo.geometry import GeoPoint
+
+
+@dataclass(frozen=True)
+class GroundStation:
+    """A gateway (dish farm) or PoP site."""
+
+    name: str
+    location: GeoPoint
+    #: Name of the PoP this gateway feeds (gateways only).
+    pop: str = ""
+
+    def ecef(self) -> np.ndarray:
+        """ECEF position, metres."""
+        return self.location.to_ecef()
+
+
+@dataclass(frozen=True)
+class UserTerminal:
+    """A subscriber dish."""
+
+    name: str
+    location: GeoPoint
+
+    def ecef(self) -> np.ndarray:
+        """ECEF position, metres."""
+        return self.location.to_ecef()
+
+
+#: The paper's vantage point: UCLouvain, Louvain-la-Neuve, Belgium.
+LOUVAIN_LA_NEUVE = GeoPoint(50.668, 4.611)
+
+#: Gateways a Belgian terminal's serving satellites can reach
+#: (bent-pipe: the same satellite must see both the dish and a
+#: gateway). Sites follow publicly mapped 2021/22 gateway builds.
+STARLINK_GATEWAYS: list[GroundStation] = [
+    GroundStation("gw-gravelines-fr", GeoPoint(50.99, 2.13),
+                  pop="pop-frankfurt"),
+    GroundStation("gw-aerzen-de", GeoPoint(52.05, 9.26),
+                  pop="pop-frankfurt"),
+    GroundStation("gw-middenmeer-nl", GeoPoint(52.81, 4.99),
+                  pop="pop-amsterdam"),
+    GroundStation("gw-turnhout-be", GeoPoint(51.32, 4.95),
+                  pop="pop-amsterdam"),
+    GroundStation("gw-isle-of-man", GeoPoint(54.23, -4.53),
+                  pop="pop-london"),
+]
+
+#: Points of presence where Starlink traffic exits to the Internet.
+STARLINK_POPS: dict[str, GroundStation] = {
+    "pop-frankfurt": GroundStation("pop-frankfurt", GeoPoint(50.11, 8.68)),
+    "pop-amsterdam": GroundStation("pop-amsterdam", GeoPoint(52.37, 4.90)),
+    "pop-london": GroundStation("pop-london", GeoPoint(51.51, -0.13)),
+}
+
+
+def default_terminal() -> UserTerminal:
+    """The campaign's user terminal (PC-Starlink's dish)."""
+    return UserTerminal("ut-louvain", LOUVAIN_LA_NEUVE)

@@ -1,0 +1,146 @@
+"""Serving-satellite selection and handover.
+
+Starlink reallocates the serving satellite on a fixed 15-second cycle.
+Within a slot the dish tracks one satellite, so path length (and hence
+the latency floor) is piecewise-continuous with small jumps at slot
+boundaries -- the jitter visible in the paper's idle-latency
+distributions.
+
+Selection is randomised among the best candidates rather than purely
+greedy: the real scheduler balances load across cells, which shows up
+to a single user as *not always* getting the highest-elevation
+satellite. Randomness is seeded per slot, so a snapshot for a given
+time is reproducible no matter the query order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import make_rng
+from repro.errors import ConfigurationError
+from repro.leo.constellation import Constellation
+from repro.leo.geometry import elevation_angle, slant_range
+from repro.leo.ground import GroundStation, UserTerminal
+from repro.units import SPEED_OF_LIGHT
+
+#: Reallocation period of the Starlink scheduler, seconds.
+SLOT_DURATION = 15.0
+
+#: Gateways track satellites down to lower elevations than dishes.
+GATEWAY_MIN_ELEVATION_DEG = 10.0
+
+
+@dataclass(frozen=True)
+class PathSnapshot:
+    """The bent-pipe path in force during one scheduler slot."""
+
+    slot: int
+    sat_index: int
+    gateway: GroundStation
+    ut_range_m: float
+    gw_range_m: float
+    elevation_deg: float
+
+    @property
+    def one_way_propagation(self) -> float:
+        """UT -> satellite -> gateway radio propagation, seconds."""
+        return (self.ut_range_m + self.gw_range_m) / SPEED_OF_LIGHT
+
+    @property
+    def pop(self) -> str:
+        """Name of the PoP this path exits at."""
+        return self.gateway.pop
+
+
+class SatelliteScheduler:
+    """Chooses the serving satellite and gateway per 15 s slot."""
+
+    def __init__(self, constellation: Constellation,
+                 terminal: UserTerminal,
+                 gateways: list[GroundStation],
+                 seed: int = 0,
+                 candidate_pool: int = 4):
+        if not gateways:
+            raise ConfigurationError("at least one gateway is required")
+        self.constellation = constellation
+        self.terminal = terminal
+        self.gateways = list(gateways)
+        self.seed = seed
+        self.candidate_pool = candidate_pool
+        self._ut_ecef = terminal.ecef()
+        self._gw_ecef = np.array([gw.ecef() for gw in self.gateways])
+        self._cache: dict[int, PathSnapshot] = {}
+
+    def slot_of(self, t: float) -> int:
+        """Scheduler slot index containing time ``t``."""
+        return int(t // SLOT_DURATION)
+
+    def snapshot(self, t: float) -> PathSnapshot:
+        """The path in force at time ``t`` (cached per slot)."""
+        slot = self.slot_of(t)
+        cached = self._cache.get(slot)
+        if cached is None:
+            cached = self._compute_slot(slot)
+            if len(self._cache) > 10_000:
+                self._cache.clear()
+            self._cache[slot] = cached
+        return cached
+
+    def _compute_slot(self, slot: int) -> PathSnapshot:
+        t = slot * SLOT_DURATION
+        indices, elevations, ranges = self.constellation.visible_from(
+            self._ut_ecef, t)
+        if indices.size == 0:
+            raise ConfigurationError(
+                f"no satellite visible from {self.terminal.name} at t={t}; "
+                "constellation too sparse for this latitude")
+        positions = self.constellation.positions(t)
+        candidates = []
+        for idx, elev, rng_m in zip(indices, elevations, ranges):
+            gw_choice = self._best_gateway(positions[idx])
+            if gw_choice is None:
+                continue
+            gw_pos_idx, gw_range = gw_choice
+            candidates.append((int(idx), float(elev), float(rng_m),
+                               gw_pos_idx, gw_range))
+            if len(candidates) >= self.candidate_pool:
+                break
+        if not candidates:
+            raise ConfigurationError(
+                f"no visible satellite sees a gateway at t={t}")
+        rng = make_rng((self.seed, slot))
+        sat_idx, elev, ut_range, gw_idx, gw_range = rng.choice(candidates)
+        return PathSnapshot(
+            slot=slot, sat_index=sat_idx, gateway=self.gateways[gw_idx],
+            ut_range_m=ut_range, gw_range_m=gw_range, elevation_deg=elev)
+
+    def _best_gateway(self, sat_pos: np.ndarray
+                      ) -> tuple[int, float] | None:
+        """Closest gateway this satellite can serve, or None."""
+        elevations = np.array([
+            elevation_angle(gw, sat_pos) for gw in self._gw_ecef])
+        usable = np.nonzero(elevations >= GATEWAY_MIN_ELEVATION_DEG)[0]
+        if usable.size == 0:
+            return None
+        ranges = np.array([
+            slant_range(self._gw_ecef[i], sat_pos) for i in usable])
+        best = int(usable[np.argmin(ranges)])
+        return best, float(slant_range(self._gw_ecef[best], sat_pos))
+
+    def handover_times(self, start: float, end: float) -> list[float]:
+        """Slot boundaries where the serving satellite changes."""
+        times = []
+        previous = self.snapshot(start).sat_index
+        slot = self.slot_of(start) + 1
+        while slot * SLOT_DURATION < end:
+            t = slot * SLOT_DURATION
+            current = self.snapshot(t).sat_index
+            if current != previous:
+                times.append(t)
+                previous = current
+            slot += 1
+        return times

@@ -1,0 +1,48 @@
+"""Packet-level discrete-event network simulator.
+
+This package is the substrate everything else runs on: a simulated
+clock and event heap (:mod:`engine`), packets with mutable header
+fields (:mod:`packet`), links with finite rate, propagation delay,
+queues and loss processes (:mod:`link`, :mod:`queues`, :mod:`loss`),
+and nodes -- hosts, routers, NAT boxes, PEP boxes and traffic shapers
+(:mod:`node`). :mod:`topology` offers a convenience builder that wires
+nodes together and installs shortest-path routes.
+"""
+
+from repro.netsim.engine import Simulator, Event
+from repro.netsim.packet import Packet, Protocol
+from repro.netsim.link import Link, Pipe
+from repro.netsim.queues import CoDelQueue, DropTailQueue
+from repro.netsim.loss import (
+    NoLoss,
+    BernoulliLoss,
+    GilbertElliottLoss,
+    TimedGilbertElliottLoss,
+    OutageSchedule,
+    CompositeLoss,
+)
+from repro.netsim.node import Node, Host, Router, NatBox, Shaper
+from repro.netsim.topology import Network
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "Protocol",
+    "Link",
+    "Pipe",
+    "CoDelQueue",
+    "DropTailQueue",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "TimedGilbertElliottLoss",
+    "OutageSchedule",
+    "CompositeLoss",
+    "Node",
+    "Host",
+    "Router",
+    "NatBox",
+    "Shaper",
+    "Network",
+]

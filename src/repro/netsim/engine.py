@@ -1,0 +1,149 @@
+"""Discrete-event simulation engine.
+
+The engine keeps a simulated clock and a binary heap of pending
+events. Components schedule callbacks with :meth:`Simulator.schedule`
+(relative delay) or :meth:`Simulator.at` (absolute time); the main loop
+pops events in timestamp order and invokes them. Ties are broken by
+insertion order so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback. Returned by the scheduling methods.
+
+    Call :meth:`cancel` to prevent a pending event from firing;
+    cancelled events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing. Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {self.fn!r} {state}>"
+
+
+class Simulator:
+    """Event loop with a simulated clock starting at ``start_time``.
+
+    The clock unit is seconds. A single :class:`Simulator` instance
+    drives one experiment; components hold a reference to it and use
+    :meth:`now`, :meth:`schedule` and :meth:`at`.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; clock already at {self._now}")
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        ``until`` is an absolute simulated time; the clock is advanced
+        to exactly ``until`` when the condition triggers, so repeated
+        ``run(until=...)`` calls see a monotonic clock.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    return
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                event.fn(*event.args)
+                executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        """Drain the event heap completely (bounded by ``max_events``)."""
+        self.run(max_events=max_events)
+        if self._heap and all(not e.cancelled for e in self._heap[:1]):
+            # The bound is a runaway-loop backstop, not a normal exit.
+            if self._events_processed >= max_events:
+                raise SimulationError(
+                    f"simulation did not converge in {max_events} events")

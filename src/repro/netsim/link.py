@@ -1,0 +1,198 @@
+"""Links: serialisation, propagation, queueing and medium loss.
+
+A :class:`Pipe` is one direction of a link. It models
+
+* a finite transmission rate (serialisation delay, one packet at a
+  time, FIFO queue while busy),
+* a propagation delay, either fixed or time-varying (the Starlink
+  path length changes with every satellite handover),
+* a medium-loss process applied at transmission time.
+
+A :class:`Link` bundles the two directions between two nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.netsim.engine import Simulator
+from repro.netsim.loss import LossModel, NoLoss
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+
+
+class Pipe:
+    """One direction of a link, from ``src`` node to ``dst`` node.
+
+    Args:
+        sim: the driving simulator.
+        dst: destination node (must expose ``receive(packet, pipe)``).
+        rate: transmission rate in bit/s, a callable
+            ``rate(now) -> bit/s`` for time-varying capacity (the
+            Starlink service link), or None for infinite.
+        delay: propagation delay in seconds, or a callable
+            ``delay(now) -> seconds`` for time-varying paths.
+        queue: egress queue; an unbounded DropTailQueue by default.
+        loss: medium loss process applied per transmitted packet.
+        name: label used in traces and diagnostics.
+    """
+
+    def __init__(self, sim: Simulator, dst,
+                 rate: float | Callable[[float], float] | None = None,
+                 delay: float | Callable[[float], float] = 0.0,
+                 queue: DropTailQueue | None = None,
+                 loss: LossModel | None = None,
+                 name: str = ""):
+        if rate is not None and not callable(rate) and rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self.sim = sim
+        self.dst = dst
+        self._rate = rate
+        self._delay = delay
+        # Explicit None check: an empty DropTailQueue is falsy (len 0).
+        self.queue = queue if queue is not None else DropTailQueue()
+        if getattr(self.queue, "clock", "absent") is None:
+            # AQM queues (CoDel) need the simulated clock for
+            # sojourn-time measurements.
+            self.queue.clock = lambda: self.sim.now
+        self.loss = loss or NoLoss()
+        self.name = name
+        self._busy = False
+        self._last_delivery_time = float("-inf")
+        # statistics
+        self.sent = 0
+        self.delivered = 0
+        self.lost_medium = 0
+        self.bytes_delivered = 0
+        # trace hooks
+        self.on_transmit: Callable[[float, Packet], None] | None = None
+        self.on_deliver: Callable[[float, Packet], None] | None = None
+        self.on_loss: Callable[[float, Packet, str], None] | None = None
+
+    @property
+    def rate(self) -> float | None:
+        """Transmission rate now, bit/s (None = infinite)."""
+        if callable(self._rate):
+            return self._rate(self.sim.now)
+        return self._rate
+
+    def set_rate(self,
+                 rate: float | Callable[[float], float] | None) -> None:
+        """Change the link rate (static value or callable)."""
+        if rate is not None and not callable(rate) and rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self._rate = rate
+
+    def propagation_delay(self, now: float) -> float:
+        """Propagation delay that applies to a packet sent at ``now``."""
+        if callable(self._delay):
+            return self._delay(now)
+        return self._delay
+
+    def set_delay(self, delay: float | Callable[[float], float]) -> None:
+        """Replace the propagation-delay model."""
+        self._delay = delay
+
+    def send(self, packet: Packet) -> None:
+        """Entry point: enqueue ``packet`` for transmission."""
+        self.sent += 1
+        if self._rate is None:
+            # Infinite-rate pipe: no serialisation, no queueing.
+            self._launch(packet)
+            return
+        if self._busy:
+            if not self.queue.push(packet):
+                if self.on_loss is not None:
+                    self.on_loss(self.sim.now, packet, "queue-drop")
+            return
+        self._start_transmission(packet)
+
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        rate = self._rate
+        if callable(rate):
+            rate = rate(self.sim.now)
+        tx_time = packet.size * 8.0 / rate
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self._launch(packet)
+        next_packet = self.queue.pop()
+        if next_packet is not None:
+            self._start_transmission(next_packet)
+        else:
+            self._busy = False
+
+    def _launch(self, packet: Packet) -> None:
+        """Apply medium loss, then schedule delivery after propagation."""
+        now = self.sim.now
+        if self.on_transmit is not None:
+            self.on_transmit(now, packet)
+        if self.loss.is_lost(now):
+            self.lost_medium += 1
+            if self.on_loss is not None:
+                self.on_loss(now, packet, "medium")
+            return
+        # FIFO guarantee: random per-packet delay components (jitter)
+        # must not reorder packets -- real link-layer schedulers delay
+        # but do not overtake. Later packets queue behind the slowest
+        # recent delivery.
+        target = now + self.propagation_delay(now)
+        if target < self._last_delivery_time:
+            target = self._last_delivery_time
+        self._last_delivery_time = target
+        self.sim.at(target, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered += 1
+        self.bytes_delivered += packet.size
+        if self.on_deliver is not None:
+            self.on_deliver(self.sim.now, packet)
+        self.dst.receive(packet, self)
+
+    def __repr__(self) -> str:
+        return f"<Pipe {self.name or id(self)} -> {self.dst!r}>"
+
+
+class Link:
+    """Bidirectional link between nodes ``a`` and ``b``.
+
+    Each direction is an independent :class:`Pipe`; asymmetric rates
+    (e.g. Starlink's ~200/17 Mbit/s) are expressed by passing
+    different ``rate_ab`` and ``rate_ba``.
+    """
+
+    def __init__(self, sim: Simulator, a, b,
+                 rate_ab: float | None = None,
+                 rate_ba: float | None = None,
+                 delay: float | Callable[[float], float] = 0.0,
+                 delay_ba: float | Callable[[float], float] | None = None,
+                 queue_ab: DropTailQueue | None = None,
+                 queue_ba: DropTailQueue | None = None,
+                 loss_ab: LossModel | None = None,
+                 loss_ba: LossModel | None = None,
+                 name: str = ""):
+        self.a = a
+        self.b = b
+        self.name = name or f"{a.name}<->{b.name}"
+        self.pipe_ab = Pipe(sim, b, rate=rate_ab, delay=delay,
+                            queue=queue_ab, loss=loss_ab,
+                            name=f"{a.name}->{b.name}")
+        self.pipe_ba = Pipe(sim, a, rate=rate_ba,
+                            delay=delay if delay_ba is None else delay_ba,
+                            queue=queue_ba, loss=loss_ba,
+                            name=f"{b.name}->{a.name}")
+        a.attach(b.name, self.pipe_ab)
+        b.attach(a.name, self.pipe_ba)
+
+    def pipe_from(self, node) -> Pipe:
+        """The egress pipe as seen from ``node``."""
+        if node is self.a:
+            return self.pipe_ab
+        if node is self.b:
+            return self.pipe_ba
+        raise ConfigurationError(f"{node!r} is not an endpoint of {self!r}")
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name}>"

@@ -1,0 +1,401 @@
+"""Simulated nodes: hosts, routers, NAT boxes and traffic shapers.
+
+Nodes exchange :class:`~repro.netsim.packet.Packet` objects over
+:class:`~repro.netsim.link.Pipe` objects. Forwarding uses static
+per-destination routing tables (installed by
+:class:`~repro.netsim.topology.Network`). Routers decrement the TTL
+and emit ICMP Time-Exceeded messages, which is what makes traceroute
+and Tracebox work; NAT boxes rewrite source addresses and checksums,
+which is what those tools then observe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import (
+    ICMP_HEADER_SIZE,
+    IP_HEADER_SIZE,
+    IcmpMessage,
+    IcmpType,
+    Packet,
+    Protocol,
+)
+
+#: Routing-table key matching any destination.
+DEFAULT_ROUTE = "default"
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Node:
+    """Base class: a named, addressed device with attached pipes.
+
+    ``neighbors`` maps neighbour node name to the egress pipe toward
+    it; ``routes`` maps destination address (or :data:`DEFAULT_ROUTE`)
+    to a neighbour name.
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: str):
+        self.sim = sim
+        self.name = name
+        self.address = address
+        self.neighbors: dict[str, Any] = {}
+        self.routes: dict[str, str] = {}
+        self.packets_received = 0
+        self.packets_forwarded = 0
+
+    def attach(self, neighbor_name: str, pipe) -> None:
+        """Register the egress pipe toward ``neighbor_name``."""
+        self.neighbors[neighbor_name] = pipe
+
+    def add_route(self, dst_address: str, via_neighbor: str) -> None:
+        """Install a static route for ``dst_address``."""
+        if via_neighbor not in self.neighbors:
+            raise ConfigurationError(
+                f"{self.name}: unknown neighbor {via_neighbor!r}")
+        self.routes[dst_address] = via_neighbor
+
+    def set_default_route(self, via_neighbor: str) -> None:
+        """Install the catch-all route."""
+        self.add_route(DEFAULT_ROUTE, via_neighbor)
+
+    def _egress_pipe(self, dst_address: str):
+        via = self.routes.get(dst_address) or self.routes.get(DEFAULT_ROUTE)
+        if via is None:
+            raise RoutingError(
+                f"{self.name}: no route to {dst_address!r}")
+        return self.neighbors[via]
+
+    def send(self, packet: Packet) -> None:
+        """Originate or forward ``packet`` toward its destination."""
+        if packet.dst == self.address:
+            # Loopback: deliver without touching the network.
+            self.sim.schedule(0.0, self.receive, packet, None)
+            return
+        self._egress_pipe(packet.dst).send(packet)
+
+    def receive(self, packet: Packet, pipe) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def quote_headers(packet: Packet) -> dict[str, Any]:
+        """Header snapshot quoted inside ICMP error messages."""
+        quote = packet.copy_headers()
+        quote["src"] = packet.src
+        quote["dst"] = packet.dst
+        quote["src_port"] = packet.src_port
+        quote["dst_port"] = packet.dst_port
+        quote["protocol"] = packet.protocol.value
+        return quote
+
+    def send_icmp(self, icmp_type: IcmpType, dst: str,
+                  message: IcmpMessage, size: int | None = None) -> None:
+        """Build and send an ICMP packet to ``dst``."""
+        message.origin = self.address
+        packet = Packet(
+            src=self.address, dst=dst, protocol=Protocol.ICMP,
+            size=size or (IP_HEADER_SIZE + ICMP_HEADER_SIZE + 36),
+            payload=message, ttl=64, created_at=self.sim.now)
+        self.send(packet)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} {self.address}>"
+
+
+class Host(Node):
+    """An end system: binds transport handlers, answers pings.
+
+    Transport endpoints (TCP/QUIC sockets, ping clients) register a
+    handler for a ``(protocol, port)`` pair with :meth:`bind`; ICMP
+    messages are fanned out to handlers registered with
+    :meth:`bind_icmp` keyed by the echo identifier.
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: str):
+        super().__init__(sim, name, address)
+        self._bindings: dict[tuple[Protocol, int], PacketHandler] = {}
+        self._icmp_listeners: dict[int, PacketHandler] = {}
+        self._next_ephemeral = 49152
+
+    def bind(self, protocol: Protocol, port: int,
+             handler: PacketHandler) -> None:
+        """Register ``handler`` for packets to ``(protocol, port)``."""
+        key = (protocol, port)
+        if key in self._bindings:
+            raise ConfigurationError(
+                f"{self.name}: port {port}/{protocol.value} already bound")
+        self._bindings[key] = handler
+
+    def unbind(self, protocol: Protocol, port: int) -> None:
+        """Remove a port binding. Missing bindings are ignored."""
+        self._bindings.pop((protocol, port), None)
+
+    def bind_icmp(self, ident: int, handler: PacketHandler) -> None:
+        """Register a handler for ICMP replies with ``ident``."""
+        self._icmp_listeners[ident] = handler
+
+    def unbind_icmp(self, ident: int) -> None:
+        """Remove an ICMP listener. Missing listeners are ignored."""
+        self._icmp_listeners.pop(ident, None)
+
+    def allocate_port(self) -> int:
+        """Return a fresh ephemeral port number."""
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def receive(self, packet: Packet, pipe) -> None:
+        self.packets_received += 1
+        if packet.dst != self.address:
+            # Hosts do not forward; stray packets are dropped.
+            return
+        if packet.protocol is Protocol.ICMP:
+            self._handle_icmp(packet)
+            return
+        handler = self._bindings.get((packet.protocol, packet.dst_port))
+        if handler is not None:
+            handler(packet)
+        elif packet.protocol is Protocol.UDP:
+            # Port unreachable -- this is how traceroute detects that
+            # its probe reached the destination host.
+            ident = packet.headers.get("probe_ident", packet.src_port)
+            message = IcmpMessage(IcmpType.DEST_UNREACHABLE, ident=ident,
+                                  quoted_headers=self.quote_headers(packet))
+            self.send_icmp(IcmpType.DEST_UNREACHABLE, packet.src, message)
+
+    def _handle_icmp(self, packet: Packet) -> None:
+        message: IcmpMessage = packet.payload
+        if message.icmp_type is IcmpType.ECHO_REQUEST:
+            reply = IcmpMessage(
+                IcmpType.ECHO_REPLY, ident=message.ident, seq=message.seq,
+                timestamp=message.timestamp)
+            self.send_icmp(IcmpType.ECHO_REPLY, packet.src, reply,
+                           size=packet.size)
+            return
+        listener = self._icmp_listeners.get(message.ident)
+        if listener is not None:
+            listener(packet)
+
+
+class Router(Node):
+    """Forwards packets, decrements TTL, answers pings.
+
+    Subclasses override :meth:`mutate_forward` to model middlebox
+    behaviour (NAT rewrites, PEP fiddling); the base router leaves
+    packets untouched, which Tracebox then reports as a transparent
+    hop.
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: str):
+        super().__init__(sim, name, address)
+
+    def receive(self, packet: Packet, pipe) -> None:
+        self.packets_received += 1
+        if packet.dst == self.address:
+            self._handle_local(packet)
+            return
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self._send_time_exceeded(packet)
+            return
+        if not self.mutate_forward(packet, pipe):
+            return
+        try:
+            out_pipe = self._egress_pipe(packet.dst)
+        except RoutingError:
+            message = IcmpMessage(IcmpType.DEST_UNREACHABLE,
+                                  quoted_headers=self._quote(packet))
+            self.send_icmp(IcmpType.DEST_UNREACHABLE, packet.src, message)
+            return
+        self.packets_forwarded += 1
+        out_pipe.send(packet)
+
+    def mutate_forward(self, packet: Packet, pipe) -> bool:
+        """Middlebox hook. Return False to swallow the packet."""
+        return True
+
+    def _handle_local(self, packet: Packet) -> None:
+        if packet.protocol is not Protocol.ICMP:
+            return
+        message: IcmpMessage = packet.payload
+        if message.icmp_type is IcmpType.ECHO_REQUEST:
+            reply = IcmpMessage(
+                IcmpType.ECHO_REPLY, ident=message.ident, seq=message.seq,
+                timestamp=message.timestamp)
+            self.send_icmp(IcmpType.ECHO_REPLY, packet.src, reply,
+                           size=packet.size)
+
+    def _quote(self, packet: Packet) -> dict[str, Any]:
+        return self.quote_headers(packet)
+
+    def _send_time_exceeded(self, packet: Packet) -> None:
+        ident = packet.headers.get("probe_ident", packet.src_port)
+        message = IcmpMessage(IcmpType.TIME_EXCEEDED, ident=ident,
+                              quoted_headers=self._quote(packet))
+        self.send_icmp(IcmpType.TIME_EXCEEDED, packet.src, message)
+
+
+class NatBox(Router):
+    """Network address translator.
+
+    Traffic forwarded from the inside neighbour gets its source
+    address rewritten to the NAT's public address (and a fresh source
+    port); return traffic is translated back. As in the paper's
+    Tracebox findings, the rewrite also updates the transport
+    checksum, which is the only header mutation an end host can
+    observe.
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 inside_neighbor: str):
+        super().__init__(sim, name, address)
+        self.inside_neighbor = inside_neighbor
+        # (protocol, public_port) -> (inner address, inner port)
+        self._reverse: dict[tuple[Protocol, int], tuple[str, int]] = {}
+        # (protocol, inner addr, inner port) -> public port
+        self._forward: dict[tuple[Protocol, str, int], int] = {}
+        self._next_public_port = 30000
+        self.translations = 0
+
+    def _public_port_for(self, protocol: Protocol, src: str,
+                         src_port: int) -> int:
+        key = (protocol, src, src_port)
+        port = self._forward.get(key)
+        if port is None:
+            port = self._next_public_port
+            self._next_public_port += 1
+            self._forward[key] = port
+            self._reverse[(protocol, port)] = (src, src_port)
+        return port
+
+    def mutate_forward(self, packet: Packet, pipe) -> bool:
+        outbound = (pipe is not None
+                    and pipe.name.startswith(f"{self.inside_neighbor}->"))
+        if outbound:
+            self.translations += 1
+            if packet.protocol is Protocol.ICMP:
+                message: IcmpMessage = packet.payload
+                public = self._public_port_for(
+                    packet.protocol, packet.src, message.ident)
+                message.ident = public
+                packet.headers["nat_ident"] = public
+            else:
+                public = self._public_port_for(
+                    packet.protocol, packet.src, packet.src_port)
+                packet.src_port = public
+            packet.src = self.address
+            packet.refresh_checksum()
+            return True
+        return self._translate_inbound(packet)
+
+    def _translate_inbound(self, packet: Packet) -> bool:
+        if packet.dst != self.address:
+            return True
+        if packet.protocol is Protocol.ICMP:
+            return self._translate_inbound_icmp(packet)
+        inner = self._reverse.get((packet.protocol, packet.dst_port))
+        if inner is None:
+            return False
+        packet.dst, packet.dst_port = inner
+        packet.refresh_checksum()
+        return True
+
+    def _translate_inbound_icmp(self, packet: Packet) -> bool:
+        message: IcmpMessage = packet.payload
+        if message.icmp_type is IcmpType.ECHO_REPLY:
+            inner = self._reverse.get((Protocol.ICMP, message.ident))
+            if inner is None:
+                return False
+            packet.dst, message.ident = inner
+            return True
+        if message.quoted_headers is not None:
+            # Errors (time-exceeded, unreachable) quote the translated
+            # flow; map the quoted public port back to the inner host
+            # and restore the quoted addressing, RFC 5508 style. The
+            # quoted *checksum* is deliberately left as rewritten --
+            # that is the mutation Tracebox reports (paper Sec 3.5).
+            quoted_port = message.quoted_headers.get("src_port", 0)
+            quoted_proto = message.quoted_headers.get("protocol")
+            for proto in (Protocol.TCP, Protocol.UDP, Protocol.ICMP):
+                if quoted_proto is not None and proto.value != quoted_proto:
+                    continue
+                inner = self._reverse.get((proto, quoted_port))
+                if inner is not None:
+                    packet.dst = inner[0]
+                    message.quoted_headers["src"] = inner[0]
+                    message.quoted_headers["src_port"] = inner[1]
+                    return True
+            nat_ident = message.quoted_headers.get("nat_ident")
+            if nat_ident is not None:
+                inner = self._reverse.get((Protocol.ICMP, nat_ident))
+                if inner is not None:
+                    packet.dst = inner[0]
+                    message.ident = inner[1]
+                    message.quoted_headers["src"] = inner[0]
+                    return True
+        return False
+
+    def receive(self, packet: Packet, pipe) -> None:
+        # Inbound translation must happen even though the packet is
+        # addressed to the NAT itself; _translate_inbound rewrites the
+        # destination so normal forwarding can take over.
+        self.packets_received += 1
+        if packet.dst == self.address:
+            if packet.protocol is Protocol.ICMP:
+                message: IcmpMessage = packet.payload
+                if message.icmp_type is IcmpType.ECHO_REQUEST:
+                    self._handle_local(packet)
+                    return
+            if not self._translate_inbound(packet):
+                return
+            if packet.dst == self.address:
+                self._handle_local(packet)
+                return
+            self.packets_forwarded += 1
+            try:
+                self._egress_pipe(packet.dst).send(packet)
+            except RoutingError:
+                pass
+            return
+        super().receive(packet, pipe)
+
+
+class Shaper(Router):
+    """Traffic-discrimination middlebox (Wehe's quarry).
+
+    A classifier maps packets to a class name; classes present in
+    ``class_rates`` are policed to the given rate with a token
+    bucket. Unclassified traffic passes untouched. The Starlink model
+    deploys a Shaper with an empty policy (the paper found no TD);
+    tests exercise a discriminating policy to prove Wehe detects it.
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 classifier: Callable[[Packet], str | None] | None = None,
+                 class_rates: dict[str, float] | None = None,
+                 burst_bytes: int = 64_000):
+        super().__init__(sim, name, address)
+        self.classifier = classifier or (lambda packet: None)
+        self.class_rates = dict(class_rates or {})
+        self.burst_bytes = burst_bytes
+        self._buckets: dict[str, tuple[float, float]] = {}
+        self.policed_drops = 0
+
+    def mutate_forward(self, packet: Packet, pipe) -> bool:
+        cls = self.classifier(packet)
+        if cls is None or cls not in self.class_rates:
+            return True
+        rate = self.class_rates[cls]
+        tokens, last = self._buckets.get(cls, (float(self.burst_bytes),
+                                               self.sim.now))
+        now = self.sim.now
+        tokens = min(self.burst_bytes, tokens + (now - last) * rate / 8.0)
+        if tokens >= packet.size:
+            self._buckets[cls] = (tokens - packet.size, now)
+            return True
+        self._buckets[cls] = (tokens, now)
+        self.policed_drops += 1
+        return False

@@ -1,0 +1,122 @@
+"""Packets and protocol identifiers.
+
+A :class:`Packet` models one IP datagram. The transport payload is an
+arbitrary Python object (a TCP segment, a QUIC packet, an application
+record); ``size`` is the on-the-wire size in bytes and is what links
+serialise. ``headers`` is a mutable dict of header fields that
+middleboxes (NATs, PEPs, shapers) may rewrite -- the Tracebox
+application detects middleboxes by comparing this dict hop by hop.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Fixed overhead added on the wire for IP + transport framing, bytes.
+IP_HEADER_SIZE = 20
+UDP_HEADER_SIZE = 8
+TCP_HEADER_SIZE = 20
+ICMP_HEADER_SIZE = 8
+
+#: Default IPv4 time-to-live.
+DEFAULT_TTL = 64
+
+_packet_ids = itertools.count(1)
+
+
+class Protocol(enum.Enum):
+    """Transport protocol carried by a packet."""
+
+    ICMP = "icmp"
+    TCP = "tcp"
+    UDP = "udp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class IcmpType(enum.Enum):
+    """Subset of ICMP message types used by ping and traceroute."""
+
+    ECHO_REQUEST = "echo-request"
+    ECHO_REPLY = "echo-reply"
+    TIME_EXCEEDED = "time-exceeded"
+    DEST_UNREACHABLE = "dest-unreachable"
+
+
+@dataclass
+class Packet:
+    """One simulated IP datagram.
+
+    Attributes:
+        src, dst: node addresses (dotted-quad strings).
+        protocol: transport protocol of the payload.
+        size: total on-the-wire size in bytes (headers included).
+        src_port, dst_port: transport ports (0 for ICMP).
+        ttl: remaining hop count; routers decrement it.
+        payload: opaque transport/application object.
+        headers: mutable header-field dict inspected by Tracebox.
+        uid: globally unique packet id (diagnostics, NAT mapping).
+        created_at: simulated time the packet was built, if known.
+    """
+
+    src: str
+    dst: str
+    protocol: Protocol
+    size: int
+    src_port: int = 0
+    dst_port: int = 0
+    ttl: int = DEFAULT_TTL
+    payload: Any = None
+    headers: dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+        # Every packet carries a pseudo transport checksum so that NATs
+        # have something observable to rewrite (Sec 3.5 of the paper:
+        # "Only the TCP and UDP checksums are altered by the NATs").
+        self.headers.setdefault("checksum", self._checksum())
+
+    def _checksum(self) -> int:
+        """Pseudo checksum over the addressing 5-tuple."""
+        material = (self.src, self.src_port, self.dst, self.dst_port,
+                    self.protocol.value)
+        return hash(material) & 0xFFFF
+
+    def refresh_checksum(self) -> None:
+        """Recompute the pseudo checksum after a header rewrite."""
+        self.headers["checksum"] = self._checksum()
+
+    def copy_headers(self) -> dict[str, Any]:
+        """Snapshot of the header dict (for ICMP quoting/Tracebox)."""
+        return dict(self.headers)
+
+    def reply_to(self) -> tuple[str, int]:
+        """Address/port a response to this packet should target."""
+        return self.src, self.src_port
+
+    def __repr__(self) -> str:
+        return (f"<Packet #{self.uid} {self.protocol.value} "
+                f"{self.src}:{self.src_port}->{self.dst}:{self.dst_port} "
+                f"{self.size}B ttl={self.ttl}>")
+
+
+@dataclass
+class IcmpMessage:
+    """Payload of an ICMP packet."""
+
+    icmp_type: IcmpType
+    ident: int = 0
+    seq: int = 0
+    #: Header snapshot of the offending packet (TIME_EXCEEDED quotes).
+    quoted_headers: dict[str, Any] | None = None
+    #: Address of the node that generated the message.
+    origin: str = ""
+    #: Echo payload timestamp for RTT computation.
+    timestamp: float = 0.0

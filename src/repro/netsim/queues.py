@@ -1,0 +1,164 @@
+"""Transmission queues for link egress.
+
+Queues are where congestion happens: when a link is busy serialising,
+packets wait here, and when the queue is full they are dropped. Under
+load this produces the frequent short loss bursts the paper attributes
+to congestion (Fig. 4a) and the RTT inflation of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.netsim.packet import Packet
+
+
+class DropTailQueue:
+    """FIFO queue bounded in bytes and/or packets; drops at the tail.
+
+    ``capacity_bytes`` is the classic router-buffer knob. Upload and
+    download bottlenecks in the Starlink model share the same byte
+    capacity, which (as the paper argues in Sec. 3.1) makes the slower
+    upload direction drain more slowly and therefore show larger
+    queueing delay.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None,
+                 capacity_packets: int | None = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes must be positive, got {capacity_bytes}")
+        if capacity_packets is not None and capacity_packets <= 0:
+            raise ConfigurationError(
+                f"capacity_packets must be positive, got {capacity_packets}")
+        self.capacity_bytes = capacity_bytes
+        self.capacity_packets = capacity_packets
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self.drops = 0
+        self.enqueues = 0
+        #: Optional hook called with each dropped packet.
+        self.on_drop: Callable[[Packet], None] | None = None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Total bytes currently waiting."""
+        return self._bytes
+
+    def would_overflow(self, packet: Packet) -> bool:
+        """Whether enqueueing ``packet`` would exceed a capacity bound."""
+        if (self.capacity_packets is not None
+                and len(self._queue) + 1 > self.capacity_packets):
+            return True
+        if (self.capacity_bytes is not None
+                and self._bytes + packet.size > self.capacity_bytes):
+            return True
+        return False
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False (and drops it) on overflow."""
+        if self.would_overflow(packet):
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueues += 1
+        return True
+
+    def pop(self) -> Packet | None:
+        """Dequeue the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def clear(self) -> None:
+        """Drop everything (used when a link is torn down)."""
+        self._queue.clear()
+        self._bytes = 0
+
+
+class CoDelQueue(DropTailQueue):
+    """Controlled-delay AQM (simplified CoDel, RFC 8289 flavour).
+
+    Packets are timestamped on enqueue; when the *sojourn time* at
+    dequeue stays above ``target_s`` for at least ``interval_s``, the
+    queue enters a dropping state and discards head packets at an
+    increasing rate. The paper measured deep drop-tail buffers
+    (hundred-ms loaded RTTs); this queue is the ablation showing what
+    an AQM would have done to Fig. 3.
+
+    The enqueue clock is provided by the owning pipe via
+    :attr:`clock`, a zero-argument callable returning simulated time.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None,
+                 capacity_packets: int | None = None,
+                 target_s: float = 0.015, interval_s: float = 0.1):
+        super().__init__(capacity_bytes, capacity_packets)
+        if target_s <= 0 or interval_s <= 0:
+            raise ConfigurationError(
+                "CoDel target and interval must be positive")
+        self.target_s = target_s
+        self.interval_s = interval_s
+        self.clock: Callable[[], float] | None = None
+        self._enqueue_time: dict[int, float] = {}
+        self._first_above: float | None = None
+        self._dropping = False
+        self._drop_count = 0
+        self._drop_next = 0.0
+        self.aqm_drops = 0
+
+    def push(self, packet: Packet) -> bool:
+        accepted = super().push(packet)
+        if accepted and self.clock is not None:
+            self._enqueue_time[packet.uid] = self.clock()
+        return accepted
+
+    def pop(self) -> Packet | None:
+        if self.clock is None:
+            return super().pop()
+        now = self.clock()
+        while True:
+            packet = super().pop()
+            if packet is None:
+                self._first_above = None
+                self._dropping = False
+                return None
+            sojourn = now - self._enqueue_time.pop(packet.uid, now)
+            if not self._should_drop(now, sojourn):
+                return packet
+            self.aqm_drops += 1
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet)
+
+    def _should_drop(self, now: float, sojourn: float) -> bool:
+        if sojourn < self.target_s:
+            self._first_above = None
+            self._dropping = False
+            return False
+        if self._first_above is None:
+            self._first_above = now + self.interval_s
+            return False
+        if not self._dropping:
+            if now >= self._first_above:
+                self._dropping = True
+                self._drop_count = 1
+                self._drop_next = now + self.interval_s
+                return True
+            return False
+        if now >= self._drop_next:
+            self._drop_count += 1
+            self._drop_next = now + self.interval_s / (
+                self._drop_count ** 0.5)
+            return True
+        return False

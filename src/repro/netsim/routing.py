@@ -1,0 +1,63 @@
+"""Static route computation over a simulated topology.
+
+Routes are computed once with networkx shortest paths (hop count or
+explicit weights) and installed as per-destination entries on every
+node. The simulated networks are small (tens of nodes), so full
+any-to-any tables are cheap and keep forwarding trivial.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.netsim.node import Node
+
+
+def build_graph(nodes: list[Node],
+                edges: list[tuple[str, str, float]]) -> nx.Graph:
+    """Build a weighted graph of node names from (a, b, weight) edges."""
+    graph = nx.Graph()
+    for node in nodes:
+        graph.add_node(node.name)
+    for a, b, weight in edges:
+        graph.add_edge(a, b, weight=weight)
+    return graph
+
+
+def install_shortest_path_routes(nodes: list[Node],
+                                 edges: list[tuple[str, str, float]]) -> None:
+    """Install any-to-any shortest-path routes on every node.
+
+    Destination keys are node *addresses*; next hops are neighbour
+    node names, matching :class:`repro.netsim.node.Node` tables.
+    """
+    graph = build_graph(nodes, edges)
+    by_name = {node.name: node for node in nodes}
+    try:
+        paths = dict(nx.all_pairs_dijkstra_path(graph, weight="weight"))
+    except nx.NetworkXError as exc:  # pragma: no cover - defensive
+        raise RoutingError(f"route computation failed: {exc}") from exc
+    for src_name, dst_paths in paths.items():
+        src = by_name[src_name]
+        for dst_name, path in dst_paths.items():
+            if len(path) < 2:
+                continue
+            dst = by_name[dst_name]
+            next_hop = path[1]
+            if next_hop not in src.neighbors:
+                raise RoutingError(
+                    f"{src_name}: computed next hop {next_hop} is not "
+                    f"attached")
+            src.routes[dst.address] = next_hop
+
+
+def path_between(nodes: list[Node], edges: list[tuple[str, str, float]],
+                 src_name: str, dst_name: str) -> list[str]:
+    """Names of the nodes along the routed path, endpoints included."""
+    graph = build_graph(nodes, edges)
+    try:
+        return nx.shortest_path(graph, src_name, dst_name, weight="weight")
+    except nx.NetworkXNoPath as exc:
+        raise RoutingError(
+            f"no path between {src_name} and {dst_name}") from exc

@@ -1,0 +1,82 @@
+"""Packet capture for simulated pipes.
+
+A :class:`PipeTracer` attaches to a :class:`~repro.netsim.link.Pipe`
+and records transmit / deliver / loss events, mirroring the packet
+captures the paper's authors took with tcpdump on client and server.
+Analysis code (loss-event extraction, per-packet RTTs) consumes the
+resulting :class:`TraceRecord` lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.link import Pipe
+from repro.netsim.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured event on a pipe."""
+
+    time: float
+    event: str          # "tx" | "rx" | "loss"
+    uid: int
+    size: int
+    src: str
+    dst: str
+    protocol: str
+    info: str = ""      # loss cause, payload summary
+
+
+class PipeTracer:
+    """Records every packet event on one pipe.
+
+    Attach with ``PipeTracer(pipe)``; detach with :meth:`close`.
+    Multiple tracers per pipe are not supported (last one wins), which
+    matches how the experiments use them.
+    """
+
+    def __init__(self, pipe: Pipe, capture_tx: bool = True,
+                 capture_rx: bool = True, capture_loss: bool = True):
+        self.pipe = pipe
+        self.records: list[TraceRecord] = []
+        if capture_tx:
+            pipe.on_transmit = self._on_tx
+        if capture_rx:
+            pipe.on_deliver = self._on_rx
+        if capture_loss:
+            pipe.on_loss = self._on_loss
+
+    def _record(self, time: float, event: str, packet: Packet,
+                info: str = "") -> None:
+        self.records.append(TraceRecord(
+            time=time, event=event, uid=packet.uid, size=packet.size,
+            src=packet.src, dst=packet.dst,
+            protocol=packet.protocol.value, info=info))
+
+    def _on_tx(self, time: float, packet: Packet) -> None:
+        self._record(time, "tx", packet)
+
+    def _on_rx(self, time: float, packet: Packet) -> None:
+        self._record(time, "rx", packet)
+
+    def _on_loss(self, time: float, packet: Packet, cause: str) -> None:
+        self._record(time, "loss", packet, info=cause)
+
+    def close(self) -> None:
+        """Stop capturing (records remain available)."""
+        if self.pipe.on_transmit == self._on_tx:
+            self.pipe.on_transmit = None
+        if self.pipe.on_deliver == self._on_rx:
+            self.pipe.on_deliver = None
+        if self.pipe.on_loss == self._on_loss:
+            self.pipe.on_loss = None
+
+    def events(self, kind: str) -> list[TraceRecord]:
+        """All records of one event kind ("tx", "rx" or "loss")."""
+        return [r for r in self.records if r.event == kind]
+
+    def loss_count(self) -> int:
+        """Number of loss events captured."""
+        return sum(1 for r in self.records if r.event == "loss")

@@ -1,0 +1,19 @@
+"""Simplified TCP and QUIC transport stacks.
+
+Shared machinery lives at this level: :mod:`rangeset` (interval
+bookkeeping for ACKs and reassembly), :mod:`rtt` (RFC 6298 smoothing)
+and :mod:`cc` (NewReno and Cubic congestion control, both used by TCP
+and QUIC). The protocol stacks are in :mod:`repro.transport.tcp` and
+:mod:`repro.transport.quic`.
+"""
+
+from repro.transport.rangeset import RangeSet
+from repro.transport.rtt import RttEstimator
+from repro.transport.cc import CubicController, NewRenoController
+
+__all__ = [
+    "RangeSet",
+    "RttEstimator",
+    "CubicController",
+    "NewRenoController",
+]

@@ -1,0 +1,84 @@
+"""Datagram socket abstraction over simulated hosts."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet, Protocol
+
+
+class DatagramSocket:
+    """A bound UDP (or raw-protocol) endpoint on a simulated host.
+
+    Transports build on this: it owns a local port binding and turns
+    ``sendto`` calls into simulated packets.
+    """
+
+    def __init__(self, host: Host, port: int | None = None,
+                 protocol: Protocol = Protocol.UDP):
+        self.host = host
+        self.protocol = protocol
+        self.port = port if port is not None else host.allocate_port()
+        self.on_receive: Callable[[Packet], None] | None = None
+        host.bind(protocol, self.port, self._dispatch)
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        """The host's network address."""
+        return self.host.address
+
+    def _dispatch(self, packet: Packet) -> None:
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    def sendto(self, dst: str, dst_port: int, size: int,
+               payload: Any = None,
+               headers: dict[str, Any] | None = None) -> Packet:
+        """Build and send one packet; returns it for bookkeeping."""
+        packet = Packet(
+            src=self.host.address, dst=dst, protocol=self.protocol,
+            size=size, src_port=self.port, dst_port=dst_port,
+            payload=payload, headers=dict(headers or {}),
+            created_at=self.host.sim.now)
+        self.host.send(packet)
+        return packet
+
+    def close(self) -> None:
+        """Release the port binding. Idempotent."""
+        if not self._closed:
+            self.host.unbind(self.protocol, self.port)
+            self._closed = True
+
+
+class SharedSocket:
+    """Facade letting many server connections share one listener port.
+
+    The listener demultiplexes inbound packets itself; connections
+    only use the facade to send, and closing a facade is a no-op so a
+    single connection teardown cannot unbind the listener.
+    """
+
+    def __init__(self, socket: DatagramSocket):
+        self._socket = socket
+        self.on_receive: Callable[[Packet], None] | None = None
+
+    @property
+    def address(self) -> str:
+        """The listener's network address."""
+        return self._socket.address
+
+    @property
+    def port(self) -> int:
+        """The listener's port."""
+        return self._socket.port
+
+    def sendto(self, dst: str, dst_port: int, size: int,
+               payload: Any = None,
+               headers: dict[str, Any] | None = None) -> Packet:
+        """Send through the shared listener socket."""
+        return self._socket.sendto(dst, dst_port, size, payload, headers)
+
+    def close(self) -> None:
+        """No-op: the listener owns the underlying binding."""

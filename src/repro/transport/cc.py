@@ -1,0 +1,240 @@
+"""Congestion control: NewReno and Cubic.
+
+Both controllers work in bytes and are transport-agnostic; TCP and
+QUIC drive them with ``on_ack`` / ``on_congestion_event`` /
+``on_timeout``. Cubic follows RFC 8312 (the kernel and quiche default
+during the paper's campaign); NewReno exists for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Default initial window, segments (RFC 6928).
+INITIAL_WINDOW_SEGMENTS = 10
+
+
+class NewRenoController:
+    """Classic AIMD congestion control in bytes."""
+
+    def __init__(self, mss: int, initial_window: int | None = None):
+        if mss <= 0:
+            raise ConfigurationError(f"mss must be positive, got {mss}")
+        self.mss = mss
+        self.cwnd = (initial_window if initial_window is not None
+                     else INITIAL_WINDOW_SEGMENTS * mss)
+        self.ssthresh = float("inf")
+        self._recovery_until = -1.0
+        self.congestion_events = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether the controller is in slow start."""
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, bytes_acked: int, now: float, rtt: float) -> None:
+        """Grow the window for newly acknowledged bytes."""
+        if now < self._recovery_until:
+            return
+        if self.in_slow_start:
+            self.cwnd += bytes_acked
+        else:
+            self.cwnd += self.mss * bytes_acked / self.cwnd
+
+    def on_congestion_event(self, now: float) -> None:
+        """Multiplicative decrease; at most once per RTT burst."""
+        if now < self._recovery_until:
+            return
+        self.congestion_events += 1
+        self.ssthresh = max(2 * self.mss, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+        self._recovery_until = now  # caller extends via set_recovery
+
+    def set_recovery(self, until: float) -> None:
+        """Ignore further congestion signals until ``until``."""
+        self._recovery_until = until
+
+    def on_timeout(self, now: float) -> None:
+        """RTO: collapse to one segment."""
+        self.congestion_events += 1
+        self.ssthresh = max(2 * self.mss, self.cwnd / 2.0)
+        self.cwnd = self.mss
+
+    @property
+    def name(self) -> str:
+        """Controller name for reports."""
+        return "newreno"
+
+
+class CubicController:
+    """CUBIC congestion control (RFC 8312), in bytes.
+
+    The window grows as W(t) = C*(t-K)^3 + W_max with the standard
+    C = 0.4 (in segment/second units) and beta = 0.7, including the
+    TCP-friendly region and fast convergence.
+    """
+
+    C = 0.4
+    BETA = 0.7
+    #: HyStart delay-increase detection (RFC 9406 flavoured): leave
+    #: slow start when the *minimum* RTT of a round exceeds the
+    #: all-time minimum by eta = clamp(min_rtt/8, 8 ms, 16 ms) for
+    #: two consecutive rounds. Using per-round minima plus a
+    #: confirmation round makes the heuristic robust to link-layer
+    #: jitter (Starlink scheduling swings +/-10 ms): only sustained
+    #: queue build-up raises the floor of two whole rounds.
+    HYSTART_MIN_SEGMENTS = 16
+    HYSTART_MIN_SAMPLES = 8
+    HYSTART_CONFIRM_ROUNDS = 2
+
+    def __init__(self, mss: int, initial_window: int | None = None,
+                 hystart: bool = True):
+        if mss <= 0:
+            raise ConfigurationError(f"mss must be positive, got {mss}")
+        self.mss = mss
+        self.hystart = hystart
+        self._min_rtt = float("inf")
+        self._round_end = 0.0
+        self._round_min = float("inf")
+        self._round_samples = 0
+        self._round_flagged = False
+        self._bad_rounds = 0
+        self.cwnd = (initial_window if initial_window is not None
+                     else INITIAL_WINDOW_SEGMENTS * mss)
+        self.ssthresh = float("inf")
+        self._w_max = 0.0
+        self._epoch_start: float | None = None
+        self._k = 0.0
+        self._w_est = 0.0
+        self._acked_in_epoch = 0.0
+        self._recovery_until = -1.0
+        self.congestion_events = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether the controller is in slow start."""
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, bytes_acked: int, now: float, rtt: float) -> None:
+        """Window growth per RFC 8312 (``rtt`` = latest sample)."""
+        if now < self._recovery_until:
+            return
+        if rtt > 0:
+            self._min_rtt = min(self._min_rtt, rtt)
+        if self.in_slow_start:
+            if self.hystart and rtt > 0 and self._hystart_exit(now, rtt):
+                self.ssthresh = self.cwnd
+            else:
+                if self._bad_rounds > 0:
+                    # Conservative Slow Start (RFC 9406): growth is
+                    # quartered while the delay rise awaits
+                    # confirmation, bounding the overshoot.
+                    self.cwnd += bytes_acked // 4
+                else:
+                    self.cwnd += bytes_acked
+                return
+        if self._epoch_start is None:
+            self._start_epoch(now)
+        t = now - self._epoch_start
+        # Cubic function, converted from segments to bytes.
+        w_cubic_seg = (self.C * (t - self._k) ** 3
+                       + self._w_max / self.mss)
+        w_cubic = w_cubic_seg * self.mss
+        # TCP-friendly estimate (standard AIMD rate).
+        self._acked_in_epoch += bytes_acked
+        rtt = max(rtt, 1e-4)
+        self._w_est += (3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+                        * self.mss * bytes_acked / self.cwnd)
+        target = max(w_cubic, self._w_est)
+        if target > self.cwnd:
+            self.cwnd += (target - self.cwnd) * bytes_acked / self.cwnd
+        else:
+            self.cwnd += 0.01 * self.mss * bytes_acked / self.cwnd
+
+    def _hystart_exit(self, now: float, rtt: float) -> bool:
+        """Round-based delay-increase detection with confirmation.
+
+        A round is flagged as soon as its running *minimum* exceeds
+        min_rtt + eta over enough samples -- the minimum can only
+        fall, so flagging mid-round is sound and saves a full round
+        of exponential growth (which would otherwise overshoot deep
+        buffers by a factor of two).
+        """
+        self._round_min = min(self._round_min, rtt)
+        self._round_samples += 1
+        eligible = (self._round_samples >= self.HYSTART_MIN_SAMPLES
+                    and self.cwnd >= self.HYSTART_MIN_SEGMENTS * self.mss
+                    and self._min_rtt < float("inf"))
+        if eligible and not self._round_flagged:
+            # Wider eta than wired-era HyStart: LEO scheduling jitter
+            # swings +/-10 ms, so only a sustained >15 ms floor rise
+            # counts as queue build-up.
+            eta = min(0.025, max(0.015, self._min_rtt / 4.0))
+            if self._round_min > self._min_rtt + eta:
+                self._round_flagged = True
+                self._bad_rounds += 1
+                if self._bad_rounds >= self.HYSTART_CONFIRM_ROUNDS:
+                    return True
+        if now >= self._round_end:
+            if not self._round_flagged and eligible:
+                self._bad_rounds = 0   # clean round: rise not confirmed
+            self._round_end = now + rtt
+            self._round_min = float("inf")
+            self._round_samples = 0
+            self._round_flagged = False
+        return False
+
+    def _start_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        if self.cwnd < self._w_max:
+            self._k = ((self._w_max - self.cwnd)
+                       / (self.C * self.mss)) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+            self._w_max = self.cwnd
+        self._w_est = self.cwnd
+        self._acked_in_epoch = 0.0
+
+    def on_congestion_event(self, now: float) -> None:
+        """Loss: multiplicative decrease with fast convergence."""
+        if now < self._recovery_until:
+            return
+        self.congestion_events += 1
+        if self.cwnd < self._w_max:
+            # Fast convergence: remember an even smaller W_max.
+            self._w_max = self.cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self._w_max = self.cwnd
+        self.cwnd = max(2 * self.mss, self.cwnd * self.BETA)
+        self.ssthresh = self.cwnd
+        self._epoch_start = None
+        self._recovery_until = now
+
+    def set_recovery(self, until: float) -> None:
+        """Ignore further congestion signals until ``until``."""
+        self._recovery_until = until
+
+    def on_timeout(self, now: float) -> None:
+        """RTO: collapse to one segment."""
+        self.congestion_events += 1
+        self._w_max = self.cwnd
+        self.ssthresh = max(2 * self.mss, self.cwnd * self.BETA)
+        self.cwnd = self.mss
+        self._epoch_start = None
+
+    @property
+    def name(self) -> str:
+        """Controller name for reports."""
+        return "cubic"
+
+
+def make_controller(kind: str, mss: int,
+                    initial_window: int | None = None):
+    """Factory: ``kind`` is "cubic" or "newreno"."""
+    if kind == "cubic":
+        return CubicController(mss, initial_window)
+    if kind == "newreno":
+        return NewRenoController(mss, initial_window)
+    raise ConfigurationError(f"unknown congestion controller {kind!r}")

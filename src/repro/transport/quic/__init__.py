@@ -1,0 +1,36 @@
+"""Simplified QUIC (RFC 9000/9002 machinery that matters here).
+
+Deliberate fidelity choices, mirroring the quiche build the paper
+used (commit ba87786):
+
+* packet numbers are allocated without gaps, and retransmitted data
+  always gets a *new* packet number -- so a receiver can identify
+  every lost packet as a missing packet number (the paper's loss
+  measurement method);
+* no pacing -- quiche did not pace, which the paper blames for the
+  higher upload RTT of large messages;
+* initial ``max_data``/``max_stream_data`` of 10 MB with automatic
+  receive-window tuning;
+* Cubic congestion control.
+"""
+
+from repro.transport.quic.frames import AckFrame, StreamFrame
+from repro.transport.quic.connection import (
+    QuicConnection,
+    QuicConfig,
+    QuicStats,
+)
+from repro.transport.quic.endpoint import QuicServer, open_connection
+from repro.transport.quic.h3 import H3Client, H3Server
+
+__all__ = [
+    "AckFrame",
+    "StreamFrame",
+    "QuicConnection",
+    "QuicConfig",
+    "QuicStats",
+    "QuicServer",
+    "open_connection",
+    "H3Client",
+    "H3Server",
+]

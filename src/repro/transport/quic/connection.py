@@ -1,0 +1,587 @@
+"""QUIC connection: streams, ACK machinery, recovery, Cubic.
+
+One :class:`QuicConnection` is one endpoint of a connection. Both
+endpoints run the full sender and receiver machinery; the application
+(HTTP/3 bulk transfers, the messages workload) drives streams through
+:meth:`open_stream` / :meth:`stream_write` and completion callbacks.
+
+Measurement hooks (what the paper's analysis consumes):
+
+* ``stats.acked_packet_rtts`` -- one RTT sample per acknowledged
+  packet (Fig. 3);
+* ``received_pns`` -- the receiver's packet-number ranges; missing
+  numbers below the maximum are exactly the lost packets (Table 2,
+  Fig. 4), because packet numbers are gapless and retransmissions use
+  fresh numbers;
+* ``stats.lost_pns`` -- the sender's view of loss (upload analysis
+  via returned ACK frames).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import FlowControlError, TransportError
+from repro.netsim.engine import Event, Simulator
+from repro.netsim.packet import Packet
+from repro.transport.base import DatagramSocket
+from repro.transport.cc import make_controller
+from repro.transport.quic.frames import (
+    AckFrame,
+    HandshakeFrame,
+    QuicPacketPayload,
+    StreamFrame,
+)
+from repro.transport.rangeset import RangeSet
+from repro.transport.rtt import RttEstimator
+from repro.units import mb
+
+#: Total on-wire size budget of one QUIC datagram, bytes.
+MAX_DATAGRAM = 1350
+#: IP + UDP + QUIC short header + AEAD tag.
+WIRE_OVERHEAD = 50
+#: Frame budget inside one datagram.
+MAX_PAYLOAD = MAX_DATAGRAM - WIRE_OVERHEAD
+
+
+@dataclass
+class QuicConfig:
+    """Endpoint configuration (quiche-flavoured defaults)."""
+
+    cc: str = "cubic"
+    initial_max_data: int = mb(10)
+    initial_max_stream_data: int = mb(10)
+    autotune: bool = True
+    max_receive_window: int = mb(150)
+    max_ack_delay: float = 0.025
+    ack_every: int = 2
+    packet_threshold: int = 3
+    time_threshold: float = 9.0 / 8.0
+    handshake_timeout: float = 10.0
+    #: Server handshake flight: ServerHello + certificate chain.
+    server_flight_sizes: tuple[int, ...] = (1200, 1200, 900)
+    #: Log (packet number, arrival time) on the receiver. Needed to
+    #: measure loss-event durations the way the paper does from
+    #: client-side captures.
+    record_arrivals: bool = False
+
+
+@dataclass
+class QuicStats:
+    """Counters and samples exposed for analysis."""
+
+    packets_sent: int = 0
+    packets_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    ack_eliciting_sent: int = 0
+    acked_packets: int = 0
+    #: (ack receive time, rtt sample) per acknowledged packet.
+    acked_packet_rtts: list[tuple[float, float]] = field(
+        default_factory=list)
+    #: Packet numbers this sender declared lost.
+    lost_pns: list[int] = field(default_factory=list)
+    congestion_events: int = 0
+    pto_count: int = 0
+    handshake_rtt: float | None = None
+    connect_time: float | None = None
+
+
+@dataclass
+class _SentPacket:
+    pn: int
+    size: int
+    time_sent: float
+    frames: list
+    ack_eliciting: bool
+
+
+class _SendStream:
+    """Sender-side stream state (sizes only, no byte contents)."""
+
+    __slots__ = ("stream_id", "total", "fin", "next_offset", "retransmit")
+
+    def __init__(self, stream_id: int):
+        self.stream_id = stream_id
+        self.total = 0            # bytes queued by the application
+        self.fin = False
+        self.next_offset = 0      # next fresh byte to packetise
+        self.retransmit: list[tuple[int, int]] = []   # (offset, length)
+
+    @property
+    def fresh_pending(self) -> int:
+        return self.total - self.next_offset
+
+    @property
+    def has_pending(self) -> bool:
+        if self.retransmit:
+            return True
+        if self.fresh_pending > 0:
+            return True
+        return self.fin and self.next_offset == self.total
+
+
+class _RecvStream:
+    """Receiver-side stream state."""
+
+    __slots__ = ("stream_id", "received", "fin_size", "completed")
+
+    def __init__(self, stream_id: int):
+        self.stream_id = stream_id
+        self.received = RangeSet()
+        self.fin_size: int | None = None
+        self.completed = False
+
+    @property
+    def complete(self) -> bool:
+        return (self.fin_size is not None
+                and self.received.first_missing(0) >= self.fin_size)
+
+
+class QuicConnection:
+    """One endpoint of a QUIC connection over the simulator."""
+
+    def __init__(self, sim: Simulator, socket: DatagramSocket,
+                 peer_addr: str, peer_port: int, role: str,
+                 config: QuicConfig | None = None):
+        if role not in ("client", "server"):
+            raise TransportError(f"role must be client/server, got {role}")
+        self.sim = sim
+        self.socket = socket
+        self.peer_addr = peer_addr
+        self.peer_port = peer_port
+        self.role = role
+        self.config = config or QuicConfig()
+        self.stats = QuicStats()
+
+        self.cc = make_controller(self.config.cc, MAX_PAYLOAD)
+        self.rtt = RttEstimator()
+
+        # send side
+        self._next_pn = 0
+        self._sent: dict[int, _SentPacket] = {}
+        self._sent_heap: list[int] = []      # lazy-deleted min-heap
+        self.bytes_in_flight = 0
+        self.send_streams: dict[int, _SendStream] = {}
+        self._next_stream_id = 0 if role == "client" else 1
+        self._recovery_start = -1.0
+        self._pto_event: Event | None = None
+        self._pto_streak = 0
+        self._pump_scheduled = False
+
+        # receive side
+        self.received_pns = RangeSet()
+        self.arrival_log: list[tuple[int, float]] = []
+        self.recv_streams: dict[int, _RecvStream] = {}
+        self._ack_elicited = 0
+        self._ack_timer: Event | None = None
+        self._largest_recv_time = 0.0
+
+        # flow control
+        self.local_max_data = self.config.initial_max_data
+        self.peer_max_data = self.config.initial_max_data
+        self.data_sent = 0
+        self.data_received = 0
+
+        self.established = False
+        self.closed = False
+        self._handshake_sent_at: float | None = None
+        self._handshake_timer: Event | None = None
+
+        # application callbacks
+        self.on_established: Callable[[], None] | None = None
+        self.on_stream_complete: Callable[[int, int, float],
+                                          None] | None = None
+        self.on_stream_data: Callable[[int, int], None] | None = None
+
+        socket.on_receive = self._on_datagram
+
+    # -- public API ----------------------------------------------------
+
+    def connect(self) -> None:
+        """Client: start the handshake."""
+        if self.role != "client":
+            raise TransportError("connect() is for clients")
+        self._handshake_sent_at = self.sim.now
+        self.stats.connect_time = self.sim.now
+        self._send_packet([HandshakeFrame("client-hello", 300)],
+                          ack_eliciting=True, pad_to=1200)
+        self._handshake_timer = self.sim.schedule(
+            self.config.handshake_timeout, self._handshake_timeout)
+
+    def open_stream(self) -> int:
+        """Allocate a new bidirectional stream id."""
+        stream_id = self._next_stream_id
+        self._next_stream_id += 4
+        self.send_streams[stream_id] = _SendStream(stream_id)
+        return stream_id
+
+    def stream_write(self, stream_id: int, nbytes: int,
+                     fin: bool = False) -> None:
+        """Queue ``nbytes`` of application data on a stream."""
+        if self.closed:
+            raise TransportError("connection is closed")
+        if nbytes < 0:
+            raise TransportError(f"cannot write {nbytes} bytes")
+        stream = self.send_streams.get(stream_id)
+        if stream is None:
+            stream = _SendStream(stream_id)
+            self.send_streams[stream_id] = stream
+        if stream.fin:
+            raise TransportError(f"stream {stream_id} already finished")
+        stream.total += nbytes
+        stream.fin = fin
+        self._schedule_pump()
+
+    def close(self) -> None:
+        """Tear the connection down (timers cancelled)."""
+        self.closed = True
+        for event in (self._pto_event, self._ack_timer,
+                      self._handshake_timer):
+            if event is not None:
+                event.cancel()
+        self.socket.close()
+
+    @property
+    def pending_send_bytes(self) -> int:
+        """Application bytes queued but not yet packetised."""
+        return sum(s.fresh_pending + sum(r[1] for r in s.retransmit)
+                   for s in self.send_streams.values())
+
+    # -- handshake -----------------------------------------------------
+
+    def _handshake_timeout(self) -> None:
+        if not self.established and not self.closed:
+            # Retry the hello (rare: only full handshake-flight loss).
+            self._send_packet([HandshakeFrame("client-hello", 300)],
+                              ack_eliciting=True, pad_to=1200)
+            self._handshake_timer = self.sim.schedule(
+                self.config.handshake_timeout, self._handshake_timeout)
+
+    def _handle_handshake_frame(self, frame: HandshakeFrame) -> None:
+        if self.role == "server" and frame.kind == "client-hello":
+            if not self.established:
+                self.established = True
+                for size in self.config.server_flight_sizes:
+                    self._send_packet(
+                        [HandshakeFrame("server-hello", size - 60)],
+                        ack_eliciting=True)
+                if self.on_established is not None:
+                    self.on_established()
+            return
+        if self.role == "client" and frame.kind == "server-hello":
+            if not self.established:
+                self.established = True
+                if self._handshake_timer is not None:
+                    self._handshake_timer.cancel()
+                if self._handshake_sent_at is not None:
+                    self.stats.handshake_rtt = (self.sim.now
+                                                - self._handshake_sent_at)
+                if self.on_established is not None:
+                    self.on_established()
+                self._schedule_pump()
+
+    # -- sending -------------------------------------------------------
+
+    def _schedule_pump(self) -> None:
+        if not self._pump_scheduled and not self.closed:
+            self._pump_scheduled = True
+            self.sim.schedule(0.0, self._pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if self.closed or not self.established:
+            return
+        while True:
+            if self.bytes_in_flight + MAX_DATAGRAM > self.cc.cwnd:
+                break
+            frame = self._next_stream_frame()
+            if frame is None:
+                break
+            frames: list = [frame]
+            if self._ack_elicited > 0:
+                frames.append(self._build_ack_frame())
+                self._ack_elicited = 0
+                if self._ack_timer is not None:
+                    self._ack_timer.cancel()
+                    self._ack_timer = None
+            self._send_packet(frames, ack_eliciting=True)
+
+    def _next_stream_frame(self) -> StreamFrame | None:
+        budget = MAX_PAYLOAD - 8  # stream frame header
+        for stream in self.send_streams.values():
+            if not stream.has_pending:
+                continue
+            if stream.retransmit:
+                offset, length = stream.retransmit.pop(0)
+                take = min(length, budget)
+                if take < length:
+                    stream.retransmit.insert(0, (offset + take,
+                                                 length - take))
+                fin = (stream.fin and offset + take == stream.total)
+                return StreamFrame(stream.stream_id, offset, take, fin)
+            fresh = stream.fresh_pending
+            if fresh > 0:
+                # Respect connection flow control for fresh data only.
+                allowed = self.peer_max_data - self.data_sent
+                if allowed <= 0:
+                    continue
+                take = min(fresh, budget, allowed)
+                offset = stream.next_offset
+                stream.next_offset += take
+                self.data_sent += take
+                fin = stream.fin and stream.next_offset == stream.total
+                return StreamFrame(stream.stream_id, offset, take, fin)
+            if stream.fin and stream.next_offset == stream.total:
+                # Pure FIN (empty stream or fin after full send).
+                stream.fin = False  # consumed
+                return StreamFrame(stream.stream_id, stream.total, 0, True)
+        return None
+
+    def _send_packet(self, frames: list, ack_eliciting: bool,
+                     pad_to: int = 0) -> None:
+        payload_size = sum(f.wire_size() for f in frames)
+        size = max(WIRE_OVERHEAD + payload_size, pad_to)
+        pn = self._next_pn
+        self._next_pn += 1
+        payload = QuicPacketPayload(pn=pn, frames=list(frames),
+                                    ack_eliciting=ack_eliciting)
+        self.socket.sendto(self.peer_addr, self.peer_port, size, payload,
+                           headers={"quic_pn": pn})
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += size
+        if ack_eliciting:
+            self.stats.ack_eliciting_sent += 1
+            self._sent[pn] = _SentPacket(pn, size, self.sim.now,
+                                         list(frames), ack_eliciting)
+            heapq.heappush(self._sent_heap, pn)
+            self.bytes_in_flight += size
+            self._arm_pto()
+
+    # -- receiving -----------------------------------------------------
+
+    def _on_datagram(self, packet: Packet) -> None:
+        if self.closed:
+            return
+        payload: QuicPacketPayload = packet.payload
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.size
+        if self.received_pns.contains(payload.pn):
+            return  # duplicate
+        self.received_pns.add(payload.pn)
+        self._largest_recv_time = self.sim.now
+        if self.config.record_arrivals:
+            self.arrival_log.append((payload.pn, self.sim.now))
+        for frame in payload.frames:
+            if isinstance(frame, StreamFrame):
+                self._handle_stream_frame(frame)
+            elif isinstance(frame, AckFrame):
+                self._handle_ack_frame(frame)
+            elif isinstance(frame, HandshakeFrame):
+                self._handle_handshake_frame(frame)
+        if payload.ack_eliciting:
+            self._on_ack_eliciting()
+
+    def _handle_stream_frame(self, frame: StreamFrame) -> None:
+        stream = self.recv_streams.get(frame.stream_id)
+        if stream is None:
+            stream = _RecvStream(frame.stream_id)
+            self.recv_streams[frame.stream_id] = stream
+        if frame.fin:
+            stream.fin_size = frame.end
+        if frame.length > 0:
+            before = stream.received.total
+            stream.received.add(frame.offset, frame.end)
+            added = stream.received.total - before
+            self.data_received += added
+            if added and self.on_stream_data is not None:
+                self.on_stream_data(frame.stream_id, added)
+            if self.data_received > self.local_max_data:
+                raise FlowControlError(
+                    f"peer exceeded max_data ({self.data_received} > "
+                    f"{self.local_max_data})")
+            self._maybe_grow_receive_window()
+        if stream.complete and not stream.completed:
+            stream.completed = True
+            if self.on_stream_complete is not None:
+                self.on_stream_complete(frame.stream_id,
+                                        stream.fin_size or 0, self.sim.now)
+
+    def _maybe_grow_receive_window(self) -> None:
+        if not self.config.autotune:
+            return
+        while (self.data_received > self.local_max_data // 2
+               and self.local_max_data < self.config.max_receive_window):
+            self.local_max_data = min(self.config.max_receive_window,
+                                      self.local_max_data * 2)
+
+    # -- ACK generation --------------------------------------------------
+
+    def _on_ack_eliciting(self) -> None:
+        self._ack_elicited += 1
+        if self._ack_elicited >= self.config.ack_every:
+            self._send_ack_now()
+        elif self._ack_timer is None:
+            self._ack_timer = self.sim.schedule(
+                self.config.max_ack_delay, self._ack_timer_fired)
+
+    def _ack_timer_fired(self) -> None:
+        self._ack_timer = None
+        if self._ack_elicited > 0:
+            self._send_ack_now()
+
+    def _send_ack_now(self) -> None:
+        self._ack_elicited = 0
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        if not self.received_pns:
+            return
+        self._send_packet([self._build_ack_frame()], ack_eliciting=False)
+
+    def _build_ack_frame(self) -> AckFrame:
+        ranges = tuple(self.received_pns.ranges_descending(limit=16))
+        ack_delay = max(0.0, self.sim.now - self._largest_recv_time)
+        return AckFrame(ranges=ranges, ack_delay=ack_delay,
+                        max_data=self.local_max_data)
+
+    # -- ACK processing / loss detection ---------------------------------
+
+    def _handle_ack_frame(self, frame: AckFrame) -> None:
+        if frame.max_data > self.peer_max_data:
+            self.peer_max_data = frame.max_data
+        if not self._sent:
+            return  # nothing in flight (e.g. pure ACK receiver)
+        self._compact_heap()
+        floor = self._sent_heap[0] if self._sent_heap else 0
+        largest = frame.largest_acked
+        newly_acked: list[_SentPacket] = []
+        for start, end in frame.ranges:
+            # Only pns >= the smallest unacked one can still be
+            # tracked, so huge historical ranges cost nothing.
+            for pn in range(max(start, floor), end):
+                sent = self._sent.pop(pn, None)
+                if sent is not None:
+                    newly_acked.append(sent)
+        if not newly_acked:
+            return
+        now = self.sim.now
+        newly_acked.sort(key=lambda s: s.pn)
+        largest_newly = newly_acked[-1]
+        if largest_newly.pn == largest and largest_newly.ack_eliciting:
+            self.rtt.update(now - largest_newly.time_sent,
+                            ack_delay=min(frame.ack_delay,
+                                          self.config.max_ack_delay))
+        for sent in newly_acked:
+            self.bytes_in_flight -= sent.size
+            self.stats.acked_packets += 1
+            self.stats.acked_packet_rtts.append(
+                (now, now - sent.time_sent))
+            self.cc.on_ack(sent.size, now, self.rtt.smoothed)
+        self._pto_streak = 0
+        self._detect_losses(largest)
+        self._compact_heap()
+        self._arm_pto()
+        self._schedule_pump()
+
+    def _compact_heap(self) -> None:
+        while self._sent_heap and self._sent_heap[0] not in self._sent:
+            heapq.heappop(self._sent_heap)
+
+    def _detect_losses(self, largest_acked: int) -> None:
+        now = self.sim.now
+        loss_delay = self.config.time_threshold * max(
+            self.rtt.smoothed, self.rtt.latest or 0.0)
+        lost: list[_SentPacket] = []
+        self._compact_heap()
+        while self._sent_heap:
+            pn = self._sent_heap[0]
+            if pn not in self._sent:
+                heapq.heappop(self._sent_heap)
+                continue
+            if pn >= largest_acked:
+                break
+            sent = self._sent[pn]
+            pn_lost = largest_acked - pn >= self.config.packet_threshold
+            time_lost = sent.time_sent <= now - loss_delay
+            if not (pn_lost or time_lost):
+                break
+            heapq.heappop(self._sent_heap)
+            del self._sent[pn]
+            lost.append(sent)
+        if not lost:
+            return
+        congestion = False
+        for sent in lost:
+            self.bytes_in_flight -= sent.size
+            self.stats.lost_pns.append(sent.pn)
+            self._requeue_frames(sent)
+            if sent.time_sent > self._recovery_start:
+                congestion = True
+        if congestion:
+            self._recovery_start = now
+            self.stats.congestion_events += 1
+            self.cc.on_congestion_event(now)
+
+    def _requeue_frames(self, sent: _SentPacket) -> None:
+        for frame in sent.frames:
+            if isinstance(frame, StreamFrame):
+                stream = self.send_streams.get(frame.stream_id)
+                if stream is None:
+                    continue
+                if frame.length > 0:
+                    stream.retransmit.append((frame.offset, frame.length))
+                elif frame.fin:
+                    stream.fin = True  # resend the pure FIN
+            elif isinstance(frame, HandshakeFrame):
+                self._send_packet([frame], ack_eliciting=True)
+
+    # -- PTO --------------------------------------------------------------
+
+    def _arm_pto(self) -> None:
+        if self._pto_event is not None:
+            self._pto_event.cancel()
+            self._pto_event = None
+        if not self._sent:
+            return
+        timeout = self.rtt.pto(self.config.max_ack_delay)
+        timeout *= 2 ** min(self._pto_streak, 6)
+        self._pto_event = self.sim.schedule(timeout, self._on_pto)
+
+    def _on_pto(self) -> None:
+        self._pto_event = None
+        if self.closed or not self._sent:
+            return
+        self.stats.pto_count += 1
+        self._pto_streak += 1
+        if self._pto_streak >= 3:
+            self.cc.on_timeout(self.sim.now)
+        # Probe: retransmit the oldest unacked packet's data with a
+        # new packet number, bypassing the congestion window.
+        self._compact_heap()
+        if self._sent_heap:
+            oldest = self._sent.pop(self._sent_heap[0])
+            heapq.heappop(self._sent_heap)
+            self.bytes_in_flight -= oldest.size
+            self.stats.lost_pns.append(oldest.pn)
+            self._requeue_frames(oldest)
+            frame = self._next_stream_frame()
+            if frame is not None:
+                self._send_packet([frame], ack_eliciting=True)
+        self._arm_pto()
+
+    # -- analysis helpers --------------------------------------------------
+
+    def receiver_lost_pns(self) -> list[int]:
+        """Missing packet numbers on the receive side (paper method)."""
+        return self.received_pns.missing_below_max()
+
+    def receiver_loss_ratio(self) -> float:
+        """Fraction of peer packets that never arrived."""
+        max_pn = self.received_pns.max_value
+        if max_pn is None:
+            return 0.0
+        missing = len(self.receiver_lost_pns())
+        return missing / (max_pn + 1)

@@ -1,0 +1,64 @@
+"""QUIC endpoint helpers: server demux and client construction."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.transport.base import DatagramSocket, SharedSocket
+from repro.transport.quic.connection import QuicConfig, QuicConnection
+
+
+class QuicServer:
+    """Listens on a port and spawns one connection per client tuple.
+
+    ``on_connection`` is called with each fresh
+    :class:`QuicConnection` so the application can attach stream
+    callbacks before any request data is processed.
+    """
+
+    def __init__(self, host: Host, port: int,
+                 config: QuicConfig | None = None,
+                 on_connection: Callable[[QuicConnection], None]
+                 | None = None):
+        self.host = host
+        self.port = port
+        self.config = config or QuicConfig()
+        self.on_connection = on_connection
+        self.connections: dict[tuple[str, int], QuicConnection] = {}
+        self._socket = DatagramSocket(host, port)
+        self._socket.on_receive = self._demux
+
+    def _demux(self, packet: Packet) -> None:
+        key = (packet.src, packet.src_port)
+        conn = self.connections.get(key)
+        if conn is None:
+            conn = self._spawn(key)
+        conn._on_datagram(packet)
+
+    def _spawn(self, key: tuple[str, int]) -> QuicConnection:
+        # Each connection gets a dedicated reply socket bound to the
+        # listener port semantics via a shared port: we reuse the
+        # listener socket address but a distinct connection object.
+        conn = QuicConnection(
+            self.host.sim, SharedSocket(self._socket), key[0], key[1],
+            role="server", config=self.config)
+        self.connections[key] = conn
+        if self.on_connection is not None:
+            self.on_connection(conn)
+        return conn
+
+    def close(self) -> None:
+        """Close every connection and release the port."""
+        for conn in self.connections.values():
+            conn.closed = True
+        self._socket.close()
+
+
+def open_connection(client_host: Host, server_addr: str, server_port: int,
+                    config: QuicConfig | None = None) -> QuicConnection:
+    """Create a client connection object (call ``connect()`` on it)."""
+    socket = DatagramSocket(client_host)
+    return QuicConnection(client_host.sim, socket, server_addr,
+                          server_port, role="client", config=config)

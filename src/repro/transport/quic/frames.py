@@ -1,0 +1,80 @@
+"""QUIC frames (the subset the simulation needs).
+
+Frames carry no real bytes -- stream data is tracked as (offset,
+length) ranges, which is all the measurement pipeline needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Approximate wire overhead of a STREAM frame header, bytes.
+STREAM_FRAME_OVERHEAD = 8
+
+#: Approximate wire size of an ACK frame with a few ranges, bytes.
+ACK_FRAME_BASE_SIZE = 12
+ACK_FRAME_PER_RANGE = 4
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """A chunk of one stream: ``[offset, offset+length)``."""
+
+    stream_id: int
+    offset: int
+    length: int
+    fin: bool = False
+
+    @property
+    def end(self) -> int:
+        """One past the last byte carried."""
+        return self.offset + self.length
+
+    def wire_size(self) -> int:
+        """Bytes this frame occupies in a packet."""
+        return STREAM_FRAME_OVERHEAD + self.length
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Acknowledges packet-number ranges (descending order)."""
+
+    ranges: tuple[tuple[int, int], ...]   # half-open [start, end)
+    ack_delay: float
+    #: Piggybacked flow-control update (simplification: every ACK
+    #: refreshes the peer's view of our receive limits).
+    max_data: int = 0
+
+    @property
+    def largest_acked(self) -> int:
+        """Largest packet number acknowledged."""
+        return self.ranges[0][1] - 1
+
+    def wire_size(self) -> int:
+        """Bytes this frame occupies in a packet."""
+        return ACK_FRAME_BASE_SIZE + ACK_FRAME_PER_RANGE * len(self.ranges)
+
+    def covers(self, pn: int) -> bool:
+        """Whether packet number ``pn`` is acknowledged."""
+        return any(start <= pn < end for start, end in self.ranges)
+
+
+@dataclass(frozen=True)
+class HandshakeFrame:
+    """Stand-in for Initial/Handshake crypto exchanges."""
+
+    kind: str          # "client-hello" | "server-hello" | "done"
+    length: int = 0
+
+    def wire_size(self) -> int:
+        """Bytes this frame occupies in a packet."""
+        return 4 + self.length
+
+
+@dataclass
+class QuicPacketPayload:
+    """The decoded content of one QUIC packet on the wire."""
+
+    pn: int
+    frames: list = field(default_factory=list)
+    ack_eliciting: bool = True

@@ -1,0 +1,149 @@
+"""Minimal HTTP/3 semantics over the QUIC stack.
+
+A request/response pair lives on one bidirectional stream: the
+requester writes its request (with FIN), the responder answers with
+the resource (with FIN). That is all the paper's bulk-transfer
+experiments need -- 100 MB downloads are a GET with a huge response,
+uploads are a POST with a huge request body and a tiny response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netsim.node import Host
+from repro.transport.quic.connection import QuicConfig, QuicConnection
+from repro.transport.quic.endpoint import QuicServer, open_connection
+
+#: Wire size of bare HTTP/3 request headers (HEADERS frame).
+REQUEST_HEADER_BYTES = 200
+#: Wire size of bare HTTP/3 response headers.
+RESPONSE_HEADER_BYTES = 100
+
+
+@dataclass
+class TransferResult:
+    """Timing record of one HTTP/3 exchange, client side."""
+
+    request_bytes: int
+    response_bytes: int
+    start_time: float
+    handshake_done_time: float | None = None
+    complete_time: float | None = None
+    connection: QuicConnection | None = field(default=None, repr=False)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the exchange finished."""
+        return self.complete_time is not None
+
+    @property
+    def duration(self) -> float:
+        """Start to completion, seconds."""
+        if self.complete_time is None:
+            raise ValueError("transfer did not complete")
+        return self.complete_time - self.start_time
+
+    def goodput_bps(self) -> float:
+        """Application payload rate of the dominant direction."""
+        payload = max(self.request_bytes, self.response_bytes)
+        return payload * 8.0 / self.duration
+
+
+class H3Server:
+    """Serves one resource per request stream.
+
+    ``responder(stream_id, request_bytes) -> response_bytes`` decides
+    the response size; by default every request is answered with
+    ``resource_bytes``.
+    """
+
+    def __init__(self, host: Host, port: int = 443,
+                 resource_bytes: int = 0,
+                 responder: Callable[[int, int], int] | None = None,
+                 config: QuicConfig | None = None):
+        self.resource_bytes = resource_bytes
+        self.responder = responder
+        self.server = QuicServer(host, port, config=config,
+                                 on_connection=self._setup)
+        self.requests_served = 0
+
+    def _setup(self, conn: QuicConnection) -> None:
+        def on_request_complete(stream_id: int, nbytes: int,
+                                now: float) -> None:
+            response = (self.responder(stream_id, nbytes)
+                        if self.responder is not None
+                        else self.resource_bytes)
+            self.requests_served += 1
+            conn.stream_write(stream_id,
+                              RESPONSE_HEADER_BYTES + response, fin=True)
+
+        conn.on_stream_complete = on_request_complete
+
+    @property
+    def connections(self) -> dict:
+        """Live connections keyed by client (address, port)."""
+        return self.server.connections
+
+    def close(self) -> None:
+        """Shut the listener down."""
+        self.server.close()
+
+
+class H3Client:
+    """Issues HTTP/3 exchanges and records their timing."""
+
+    def __init__(self, host: Host, server_addr: str, server_port: int = 443,
+                 config: QuicConfig | None = None):
+        self.host = host
+        self.sim = host.sim
+        self.connection = open_connection(host, server_addr, server_port,
+                                          config=config)
+        self._results: dict[int, TransferResult] = {}
+        self.connection.on_stream_complete = self._on_complete
+        self._handshake_result_pending: list[TransferResult] = []
+        self.connection.on_established = self._on_established
+        self._connected = False
+
+    def _on_established(self) -> None:
+        self._connected = True
+        for result in self._handshake_result_pending:
+            result.handshake_done_time = self.sim.now
+        self._handshake_result_pending.clear()
+
+    def _on_complete(self, stream_id: int, nbytes: int,
+                     now: float) -> None:
+        result = self._results.get(stream_id)
+        if result is not None and result.complete_time is None:
+            result.complete_time = now
+
+    def get(self, response_bytes: int) -> TransferResult:
+        """Start a download of ``response_bytes`` (returns immediately;
+        run the simulator to progress it)."""
+        return self._exchange(REQUEST_HEADER_BYTES, response_bytes)
+
+    def post(self, request_body_bytes: int) -> TransferResult:
+        """Start an upload of ``request_body_bytes``."""
+        return self._exchange(
+            REQUEST_HEADER_BYTES + request_body_bytes, 0)
+
+    def _exchange(self, request_bytes: int,
+                  response_bytes: int) -> TransferResult:
+        if not self._connected and self.connection.stats.connect_time is None:
+            self.connection.connect()
+        stream_id = self.connection.open_stream()
+        result = TransferResult(
+            request_bytes=request_bytes, response_bytes=response_bytes,
+            start_time=self.sim.now, connection=self.connection)
+        if self._connected:
+            result.handshake_done_time = self.sim.now
+        else:
+            self._handshake_result_pending.append(result)
+        self._results[stream_id] = result
+        self.connection.stream_write(stream_id, request_bytes, fin=True)
+        return result
+
+    def close(self) -> None:
+        """Tear down the underlying connection."""
+        self.connection.close()

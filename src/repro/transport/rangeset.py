@@ -1,0 +1,115 @@
+"""Disjoint integer-interval bookkeeping.
+
+Used for QUIC ACK ranges, received packet-number tracking and TCP
+out-of-order reassembly. Ranges are half-open ``[start, end)`` and
+kept sorted and coalesced.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class RangeSet:
+    """A sorted set of disjoint half-open integer ranges."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self):
+        return iter(zip(self._starts, self._ends))
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(f"[{s},{e})" for s, e in self)
+        return f"<RangeSet {ranges}>"
+
+    @property
+    def total(self) -> int:
+        """Total number of integers covered."""
+        return sum(e - s for s, e in self)
+
+    @property
+    def max_value(self) -> int | None:
+        """Largest covered integer, or None when empty."""
+        if not self._ends:
+            return None
+        return self._ends[-1] - 1
+
+    @property
+    def min_value(self) -> int | None:
+        """Smallest covered integer, or None when empty."""
+        if not self._starts:
+            return None
+        return self._starts[0]
+
+    def add(self, start: int, end: int | None = None) -> None:
+        """Insert ``[start, end)`` (or the single integer ``start``)."""
+        if end is None:
+            end = start + 1
+        if end <= start:
+            raise ValueError(f"empty range [{start},{end})")
+        # Find the window of existing ranges that touch [start, end).
+        i = bisect_left(self._ends, start)
+        j = i
+        n = len(self._starts)
+        while j < n and self._starts[j] <= end:
+            j += 1
+        if i < j:
+            start = min(start, self._starts[i])
+            end = max(end, self._ends[j - 1])
+        self._starts[i:j] = [start]
+        self._ends[i:j] = [end]
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` is covered."""
+        i = bisect_left(self._ends, value + 1)
+        return i < len(self._starts) and self._starts[i] <= value
+
+    def first_missing(self, floor: int = 0) -> int:
+        """Smallest integer >= ``floor`` not covered.
+
+        This is the cumulative-ACK point for TCP reassembly when
+        ``floor`` is the initial sequence number.
+        """
+        i = bisect_left(self._ends, floor + 1)
+        while i < len(self._starts):
+            if self._starts[i] > floor:
+                return floor
+            floor = self._ends[i]
+            i += 1
+        return floor
+
+    def missing_below_max(self) -> list[int]:
+        """Every uncovered integer between min and max covered values.
+
+        This is the paper's loss-detection rule: quiche assigns packet
+        numbers without gaps, so on the receiver every missing number
+        below the largest received means a lost packet.
+        """
+        missing: list[int] = []
+        for (s1, e1), (s2, _) in zip(self, list(self)[1:]):
+            missing.extend(range(e1, s2))
+        return missing
+
+    def gap_runs(self) -> list[tuple[int, int]]:
+        """Runs of consecutive missing integers as ``(start, length)``."""
+        runs: list[tuple[int, int]] = []
+        pairs = list(self)
+        for (s1, e1), (s2, _) in zip(pairs, pairs[1:]):
+            runs.append((e1, s2 - e1))
+        return runs
+
+    def ranges_descending(self, limit: int | None = None
+                          ) -> list[tuple[int, int]]:
+        """Ranges from highest to lowest (QUIC ACK frame order)."""
+        ranges = list(self)[::-1]
+        if limit is not None:
+            ranges = ranges[:limit]
+        return ranges

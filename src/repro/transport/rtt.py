@@ -1,0 +1,59 @@
+"""RTT estimation (RFC 6298 / RFC 9002 style)."""
+
+from __future__ import annotations
+
+
+class RttEstimator:
+    """Smoothed RTT and variance tracking.
+
+    The first sample initialises ``srtt``; later samples use the
+    standard EWMA constants (alpha 1/8, beta 1/4). ``min_rtt`` tracks
+    the smallest sample seen, which QUIC uses to reject implausible
+    ack-delay corrections.
+    """
+
+    #: Conservative default before any sample arrives, seconds.
+    INITIAL_RTT = 0.333
+
+    def __init__(self) -> None:
+        self.srtt: float | None = None
+        self.rttvar: float = self.INITIAL_RTT / 2.0
+        self.min_rtt: float = float("inf")
+        self.latest: float | None = None
+        self.samples = 0
+
+    def update(self, rtt_sample: float, ack_delay: float = 0.0) -> float:
+        """Feed one sample; returns the adjusted sample used."""
+        if rtt_sample < 0:
+            raise ValueError(f"negative RTT sample: {rtt_sample}")
+        self.min_rtt = min(self.min_rtt, rtt_sample)
+        # Subtract the peer's ack delay only if the result stays
+        # above min_rtt (RFC 9002 Sec. 5.3).
+        adjusted = rtt_sample
+        if rtt_sample - ack_delay >= self.min_rtt:
+            adjusted = rtt_sample - ack_delay
+        if self.srtt is None:
+            self.srtt = adjusted
+            self.rttvar = adjusted / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt
+                                                          - adjusted)
+            self.srtt = 0.875 * self.srtt + 0.125 * adjusted
+        self.latest = adjusted
+        self.samples += 1
+        return adjusted
+
+    @property
+    def smoothed(self) -> float:
+        """Smoothed RTT, or the initial default before any sample."""
+        return self.srtt if self.srtt is not None else self.INITIAL_RTT
+
+    def rto(self, min_rto: float = 0.2, max_rto: float = 60.0) -> float:
+        """Retransmission timeout, clamped to [min_rto, max_rto]."""
+        rto = self.smoothed + max(4.0 * self.rttvar, 0.001)
+        return min(max_rto, max(min_rto, rto))
+
+    def pto(self, max_ack_delay: float = 0.025) -> float:
+        """QUIC probe timeout (RFC 9002 Sec. 6.2)."""
+        return (self.smoothed + max(4.0 * self.rttvar, 0.001)
+                + max_ack_delay)

@@ -1,0 +1,22 @@
+"""Simplified TCP (Linux-flavoured: Cubic, DRS window autotuning).
+
+Matches the paper's end-host configuration: Cubic congestion control,
+a 131072-byte default receive window autotuned up to 6291456 bytes.
+NewReno-style fast retransmit / fast recovery with cumulative ACKs
+and an RTO fallback.
+"""
+
+from repro.transport.tcp.connection import (
+    TcpConfig,
+    TcpConnection,
+    TcpStats,
+)
+from repro.transport.tcp.sockets import TcpServer, tcp_connect
+
+__all__ = [
+    "TcpConfig",
+    "TcpConnection",
+    "TcpStats",
+    "TcpServer",
+    "tcp_connect",
+]

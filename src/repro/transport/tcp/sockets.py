@@ -1,0 +1,59 @@
+"""TCP listener and connector helpers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet, Protocol
+from repro.transport.base import DatagramSocket, SharedSocket
+from repro.transport.tcp.connection import TcpConfig, TcpConnection
+
+
+class TcpServer:
+    """Listens on a port; one :class:`TcpConnection` per client tuple.
+
+    ``on_connection`` runs for each fresh connection before its first
+    segment is processed, so applications can attach callbacks.
+    """
+
+    def __init__(self, host: Host, port: int,
+                 config: TcpConfig | None = None,
+                 on_connection: Callable[[TcpConnection], None]
+                 | None = None):
+        self.host = host
+        self.port = port
+        self.config = config or TcpConfig()
+        self.on_connection = on_connection
+        self.connections: dict[tuple[str, int], TcpConnection] = {}
+        self._socket = DatagramSocket(host, port, protocol=Protocol.TCP)
+        self._socket.on_receive = self._demux
+
+    def _demux(self, packet: Packet) -> None:
+        key = (packet.src, packet.src_port)
+        conn = self.connections.get(key)
+        if conn is None:
+            conn = TcpConnection(
+                self.host.sim, SharedSocket(self._socket),
+                key[0], key[1], role="server", config=self.config)
+            self.connections[key] = conn
+            if self.on_connection is not None:
+                self.on_connection(conn)
+        conn._on_packet(packet)
+
+    def close(self) -> None:
+        """Close every connection and release the port."""
+        for conn in self.connections.values():
+            conn.closed = True
+        self._socket.close()
+
+
+def tcp_connect(client_host: Host, server_addr: str, server_port: int,
+                config: TcpConfig | None = None) -> TcpConnection:
+    """Create a client connection and start its handshake."""
+    socket = DatagramSocket(client_host, protocol=Protocol.TCP)
+    conn = TcpConnection(client_host.sim, socket, server_addr,
+                         server_port, role="client", config=config)
+    socket.on_receive = conn._on_packet
+    conn.connect()
+    return conn

@@ -1,0 +1,124 @@
+"""Unit helpers and physical constants.
+
+All simulator-internal quantities use SI base units: seconds for time,
+bits per second for rates, bytes for data sizes, metres for distances.
+These helpers exist so that calling code reads naturally
+(``mbps(100)``, ``ms(50)``) instead of sprinkling magic factors.
+"""
+
+from __future__ import annotations
+
+# -- physical constants -------------------------------------------------
+
+#: Speed of light in vacuum, m/s. Radio propagation to satellites.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Effective propagation speed in optical fibre, m/s (~2/3 c).
+FIBER_SPEED = SPEED_OF_LIGHT * 2.0 / 3.0
+
+#: Mean Earth radius, metres (spherical model).
+EARTH_RADIUS = 6_371_000.0
+
+#: Standard gravitational parameter of the Earth, m^3/s^2.
+EARTH_MU = 3.986_004_418e14
+
+#: Sidereal day, seconds (Earth rotation period).
+SIDEREAL_DAY = 86_164.0905
+
+#: Geostationary orbit altitude above the surface, metres.
+GEO_ALTITUDE = 35_786_000.0
+
+
+# -- time ---------------------------------------------------------------
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def minutes(value: float) -> float:
+    """Minutes to seconds."""
+    return value * 60.0
+
+
+def hours(value: float) -> float:
+    """Hours to seconds."""
+    return value * 3600.0
+
+
+def days(value: float) -> float:
+    """Days to seconds."""
+    return value * 86_400.0
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def to_us(seconds: float) -> float:
+    """Seconds to microseconds."""
+    return seconds * 1e6
+
+
+# -- data rates ---------------------------------------------------------
+
+def kbps(value: float) -> float:
+    """Kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Megabits per second to bits per second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return value * 1e9
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Bits per second to megabits per second."""
+    return bits_per_second / 1e6
+
+
+# -- data sizes ---------------------------------------------------------
+
+def kib(value: float) -> int:
+    """Kibibytes to bytes."""
+    return int(value * 1024)
+
+
+def mib(value: float) -> int:
+    """Mebibytes to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def kb(value: float) -> int:
+    """Kilobytes (10^3) to bytes."""
+    return int(value * 1e3)
+
+
+def mb(value: float) -> int:
+    """Megabytes (10^6) to bytes."""
+    return int(value * 1e6)
+
+
+# -- distances ----------------------------------------------------------
+
+def km(value: float) -> float:
+    """Kilometres to metres."""
+    return value * 1e3
+
+
+def transmission_time(size_bytes: int, rate_bps: float) -> float:
+    """Serialisation time of ``size_bytes`` on a link of ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return size_bytes * 8.0 / rate_bps

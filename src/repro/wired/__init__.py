@@ -1,0 +1,5 @@
+"""Wired campus access (the paper's PC-Wired baseline)."""
+
+from repro.wired.access import WiredAccess, WiredParams, WiredPathModel
+
+__all__ = ["WiredAccess", "WiredParams", "WiredPathModel"]

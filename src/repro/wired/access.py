@@ -1,0 +1,146 @@
+"""Campus wired access network.
+
+PC-Wired sits on the UCLouvain campus network behind a 1 Gbit/s
+Ethernet port. Latency to Belgian destinations is a few milliseconds
+and jitter is tiny; this is the paper's best-case baseline for the
+browsing comparison (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.rng import make_rng
+from repro.leo.geometry import GeoPoint, fiber_path_delay
+from repro.netsim.engine import Simulator
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+from repro.units import gbps, kib, ms
+
+#: Campus location (same site as the Starlink dish).
+CAMPUS = GeoPoint(50.668, 4.611)
+
+
+@dataclass
+class WiredParams:
+    """Tunables of the wired baseline."""
+
+    access_rate_bps: float = gbps(1)
+    lan_delay_s: float = ms(0.15)
+    #: Campus -> national backbone handoff.
+    backbone_delay_s: float = ms(0.8)
+    jitter_shape: float = 1.2
+    jitter_scale_s: float = ms(0.35)
+    jitter_frame_s: float = ms(5.0)
+    queue_bytes: int = kib(1024)
+
+
+class WiredPathModel:
+    """Analytic delay model of the wired access."""
+
+    def __init__(self, params: WiredParams | None = None, seed: int = 0):
+        self.params = params or WiredParams()
+        self.seed = seed
+        self._jitter_cache: dict[tuple[str, int], float] = {}
+
+    def base_one_way(self, t: float) -> float:
+        """Deterministic one-way delay client->backbone, seconds."""
+        return self.params.lan_delay_s + self.params.backbone_delay_s
+
+    def jitter(self, rng: random.Random, direction: str,
+               t: float | None = None) -> float:
+        """Jitter sample (bucketed per 5 ms frame when ``t`` given)."""
+        if t is None:
+            return rng.gammavariate(self.params.jitter_shape,
+                                    self.params.jitter_scale_s)
+        frame = int(t / self.params.jitter_frame_s)
+        key = (direction, frame)
+        cached = self._jitter_cache.get(key)
+        if cached is None:
+            frame_rng = make_rng((self.seed, "wired-jit", direction,
+                                  frame))
+            cached = frame_rng.gammavariate(self.params.jitter_shape,
+                                            self.params.jitter_scale_s)
+            if len(self._jitter_cache) > 50_000:
+                self._jitter_cache.clear()
+            self._jitter_cache[key] = cached
+        return cached
+
+    def one_way_delay(self, t: float, rng: random.Random,
+                      direction: str) -> float:
+        """One-way delay including jitter, seconds."""
+        return self.base_one_way(t) + self.jitter(rng, direction, t)
+
+    def idle_rtt(self, t: float, rng: random.Random,
+                 remote_rtt_s: float = 0.0) -> float:
+        """One idle RTT sample, seconds."""
+        return (2.0 * self.base_one_way(t) + self.jitter(rng, "up", t)
+                + self.jitter(rng, "down", t) + remote_rtt_s)
+
+
+class WiredAccess:
+    """Packet-level wired access network for one experiment epoch."""
+
+    CLIENT_ADDRESS = "130.104.10.20"
+    GATEWAY_ADDRESS = "130.104.254.1"
+
+    def __init__(self, params: WiredParams | None = None, seed: int = 0,
+                 epoch_t: float = 0.0):
+        self.params = params or WiredParams()
+        self.seed = seed
+        self.epoch_t = epoch_t
+        self.path_model = WiredPathModel(self.params, seed=seed)
+        self.net = Network(Simulator(start_time=epoch_t))
+        self._build()
+
+    @property
+    def sim(self):
+        """The simulator driving this access network."""
+        return self.net.sim
+
+    @property
+    def client(self):
+        """PC-Wired."""
+        return self.net.host("client")
+
+    @property
+    def has_pep(self) -> bool:
+        """Wired paths carry no PEP."""
+        return False
+
+    def _build(self) -> None:
+        p = self.params
+        self.net.add_host("client", self.CLIENT_ADDRESS)
+        self.net.add_router("campus-gw", self.GATEWAY_ADDRESS)
+        rng = make_rng((self.seed, "wired-jitter"))
+
+        def delay(now: float) -> float:
+            return (self.path_model.base_one_way(now)
+                    + self.path_model.jitter(rng, "any", now))
+
+        self.net.connect(
+            "client", "campus-gw",
+            rate_ab=p.access_rate_bps, rate_ba=p.access_rate_bps,
+            delay=delay,
+            queue_ab=DropTailQueue(capacity_bytes=p.queue_bytes),
+            queue_ba=DropTailQueue(capacity_bytes=p.queue_bytes))
+
+    def add_remote_host(self, name: str, address: str,
+                        location: GeoPoint,
+                        access_rate_bps: float = gbps(1),
+                        server_lan_delay_s: float = ms(0.3)):
+        """Attach a server reachable through the campus gateway."""
+        host = self.net.add_host(name, address)
+        delay = fiber_path_delay(CAMPUS, location) + server_lan_delay_s
+        self.net.connect("campus-gw", name, rate_ab=access_rate_bps,
+                         rate_ba=access_rate_bps, delay=delay)
+        return host
+
+    def finalize(self) -> None:
+        """Install routes; call after all remote hosts are added."""
+        self.net.finalize()
+
+    def run(self, duration: float) -> None:
+        """Run the simulation ``duration`` seconds past the epoch."""
+        self.net.sim.run(until=self.net.sim.now + duration)

@@ -1,0 +1,64 @@
+"""Timing-sensitive behaviour of the messages workload."""
+
+import numpy as np
+
+from repro.apps.messages import (
+    MESSAGE_MAX_BYTES,
+    MESSAGE_MIN_BYTES,
+    run_messages_workload,
+)
+from repro.netsim import Network
+from repro.units import mbps, ms
+
+
+def make_net(up_rate=mbps(18), down_rate=mbps(200)):
+    net = Network()
+    net.add_host("client", "10.0.0.1")
+    net.add_host("server", "10.0.1.1")
+    net.connect("client", "server", rate_ab=up_rate, rate_ba=down_rate,
+                delay=ms(22))
+    net.finalize()
+    return net
+
+
+def test_message_sizes_in_paper_band():
+    assert MESSAGE_MIN_BYTES == 5000
+    assert MESSAGE_MAX_BYTES == 25000
+
+
+def test_bitrate_close_to_three_mbps():
+    net = make_net()
+    result = run_messages_workload(net.host("client"),
+                                   net.host("server"), "up",
+                                   duration_s=6.0, seed=4)
+    # 25 msg/s x ~15 kB avg ~ 3 Mbit/s (paper Sec. 2).
+    assert 2.0 <= result.average_bitrate_mbps <= 4.5
+
+
+def test_upload_bursts_inflate_latency_on_slow_uplink():
+    """A 25 kB message is ~19 packets; at 18 Mbit/s the burst takes
+    ~11 ms to serialise, so upload completion latency exceeds the
+    symmetric-download case (the paper's no-pacing observation)."""
+    net_up = make_net()
+    up = run_messages_workload(net_up.host("client"),
+                               net_up.host("server"), "up",
+                               duration_s=6.0, seed=5)
+    net_down = make_net()
+    down = run_messages_workload(net_down.host("client"),
+                                 net_down.host("server"), "down",
+                                 duration_s=6.0, seed=5)
+    up_med = float(np.median(up.message_latencies_s))
+    down_med = float(np.median(down.message_latencies_s))
+    assert up_med > down_med
+
+
+def test_deterministic_for_seed():
+    net1, net2 = make_net(), make_net()
+    r1 = run_messages_workload(net1.host("client"),
+                               net1.host("server"), "up",
+                               duration_s=3.0, seed=9)
+    r2 = run_messages_workload(net2.host("client"),
+                               net2.host("server"), "up",
+                               duration_s=3.0, seed=9)
+    assert r1.bytes_sent == r2.bytes_sent
+    assert r1.messages_sent == r2.messages_sent

@@ -1,0 +1,100 @@
+"""Tests for ping, traceroute and Tracebox over simulated paths."""
+
+import pytest
+
+from repro.apps.ping import ping
+from repro.apps.tracebox import tracebox
+from repro.apps.traceroute import traceroute
+from repro.geo.satcom import GeoSatComAccess
+from repro.leo.access import StarlinkAccess
+from repro.leo.geometry import GeoPoint
+from repro.netsim import Network
+from repro.transport.tcp import TcpServer
+from repro.units import ms
+
+BRUSSELS = GeoPoint(50.85, 4.35)
+
+
+@pytest.fixture()
+def simple_net():
+    net = Network()
+    net.add_host("client", "10.1.0.1")
+    net.add_router("r1", "10.1.0.254")
+    net.add_router("r2", "10.2.0.254")
+    net.add_host("server", "10.2.0.1")
+    net.connect("client", "r1", delay=ms(2))
+    net.connect("r1", "r2", delay=ms(3))
+    net.connect("r2", "server", delay=ms(1))
+    net.finalize()
+    return net
+
+
+def test_ping_counts_and_rtt(simple_net):
+    result = ping(simple_net.host("client"), "10.2.0.1", count=3)
+    assert result.sent == 3
+    assert result.received == 3
+    assert result.loss_ratio == 0.0
+    assert result.min_rtt == pytest.approx(0.012)
+    assert result.avg_rtt == pytest.approx(0.012)
+
+
+def test_ping_to_router(simple_net):
+    result = ping(simple_net.host("client"), "10.1.0.254", count=2)
+    assert result.received == 2
+    assert result.min_rtt == pytest.approx(0.004)
+
+
+def test_traceroute_lists_hops_in_order(simple_net):
+    hops = traceroute(simple_net.host("client"), "10.2.0.1")
+    addresses = [hop.address for hop in hops]
+    assert addresses == ["10.1.0.254", "10.2.0.254", "10.2.0.1"]
+    assert hops[-1].reached_destination
+    assert hops[0].rtt < hops[1].rtt < hops[2].rtt
+
+
+def test_traceroute_on_starlink_shows_the_two_nats():
+    access = StarlinkAccess(seed=1)
+    access.add_remote_host("server", "130.104.1.1", BRUSSELS)
+    access.finalize()
+    hops = traceroute(access.client, "130.104.1.1")
+    addresses = [hop.address for hop in hops]
+    assert addresses[0] == "192.168.1.1"
+    assert addresses[1] == "100.64.0.1"
+    assert addresses[-1] == "130.104.1.1"
+
+
+def test_tracebox_transparent_path(simple_net):
+    server = simple_net.host("server")
+    listener = TcpServer(server, 80)
+    report = tracebox(simple_net.host("client"), "10.2.0.1",
+                      target_port=80)
+    listener.close()
+    assert report.nat_levels == 0
+    assert not report.pep_detected
+    assert report.syn_ack_from_destination
+    assert all(f.transparent for f in report.findings)
+
+
+def test_tracebox_starlink_finds_nats_but_no_pep():
+    access = StarlinkAccess(seed=2)
+    server = access.add_remote_host("server", "130.104.1.1", BRUSSELS)
+    access.finalize()
+    listener = TcpServer(server, 80)
+    report = tracebox(access.client, "130.104.1.1", target_port=80)
+    listener.close()
+    assert report.nat_levels == 2
+    assert not report.pep_detected
+    # Only checksums change (paper Sec. 3.5).
+    for finding in report.findings:
+        assert set(finding.modified_fields) <= {"checksum"}
+
+
+def test_tracebox_satcom_detects_pep():
+    access = GeoSatComAccess(seed=2)
+    server = access.add_remote_host("server", "62.4.0.10", BRUSSELS)
+    access.finalize()
+    listener = TcpServer(server, 80)
+    report = tracebox(access.client, "62.4.0.10", target_port=80,
+                      probe_timeout=8.0)
+    listener.close()
+    assert report.pep_detected

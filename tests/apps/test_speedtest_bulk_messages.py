@@ -1,0 +1,113 @@
+"""Tests for the speedtest, bulk-transfer and messages workloads."""
+
+import pytest
+
+from repro.apps.bulk import run_bulk_transfer
+from repro.apps.messages import run_messages_workload
+from repro.apps.speedtest import run_speedtest
+from repro.netsim import Network
+from repro.netsim.loss import BernoulliLoss
+from repro.units import mb, mbps, ms
+
+
+def make_net(rate=mbps(80), delay=ms(15), loss=None):
+    net = Network()
+    net.add_host("client", "10.0.0.1")
+    net.add_host("server", "10.0.1.1")
+    net.connect("client", "server", rate_ab=rate, rate_ba=rate,
+                delay=delay, loss_ab=loss, loss_ba=loss)
+    net.finalize()
+    return net
+
+
+def test_speedtest_reads_near_link_rate():
+    net = make_net(rate=mbps(80))
+    result = run_speedtest(net.host("client"), net.host("server"),
+                           "down", connections=4, warmup_s=1.5,
+                           measure_s=3.0)
+    assert result.direction == "down"
+    assert result.connections == 4
+    assert 0.75 * 80 <= result.throughput_mbps <= 80
+    assert len(result.handshake_rtts) == 4
+
+
+def test_speedtest_upload_direction():
+    net = make_net(rate=mbps(40))
+    result = run_speedtest(net.host("client"), net.host("server"),
+                           "up", connections=2, warmup_s=1.5,
+                           measure_s=3.0)
+    assert 0.7 * 40 <= result.throughput_mbps <= 40
+
+
+def test_speedtest_rejects_bad_direction():
+    net = make_net()
+    with pytest.raises(ValueError):
+        run_speedtest(net.host("client"), net.host("server"),
+                      "sideways")
+
+
+def test_bulk_download_result_fields():
+    net = make_net()
+    result = run_bulk_transfer(net.host("client"), net.host("server"),
+                               "down", payload_bytes=mb(3))
+    assert result.completed
+    assert result.direction == "down"
+    assert result.payload_bytes == mb(3)
+    assert result.duration_s > 0
+    assert result.goodput_mbps > 10
+    assert result.handshake_rtt_s == pytest.approx(0.03, rel=0.1)
+    assert result.rtt_samples
+    assert result.loss_ratio == 0.0
+
+
+def test_bulk_upload_and_loss_extraction():
+    net = make_net(rate=mbps(30), loss=BernoulliLoss(0.01))
+    result = run_bulk_transfer(net.host("client"), net.host("server"),
+                               "up", payload_bytes=mb(2))
+    assert result.completed
+    assert result.receiver_lost_pns
+    assert result.loss_burst_lengths
+    assert 0.001 <= result.loss_ratio <= 0.05
+    # Burst bookkeeping is self-consistent.
+    assert sum(result.loss_burst_lengths) == len(
+        result.receiver_lost_pns)
+    # Event durations exist for bracketable gaps and are positive.
+    assert all(d > 0 for d in result.loss_event_durations_s)
+
+
+def test_bulk_rejects_bad_direction():
+    net = make_net()
+    with pytest.raises(ValueError):
+        run_bulk_transfer(net.host("client"), net.host("server"),
+                          "both")
+
+
+def test_messages_workload_down():
+    net = make_net()
+    result = run_messages_workload(net.host("client"),
+                                   net.host("server"), "down",
+                                   duration_s=4.0, seed=1)
+    assert result.direction == "down"
+    assert result.messages_sent >= 90       # ~25/s for 4 s
+    assert result.messages_completed >= 0.9 * result.messages_sent
+    assert 1.0 <= result.average_bitrate_mbps <= 6.0
+    assert result.message_latencies_s
+    # One-way small-message latency ~ RTT scale.
+    assert min(result.message_latencies_s) < 0.2
+
+
+def test_messages_workload_up_with_loss():
+    net = make_net(rate=mbps(20), loss=BernoulliLoss(0.005))
+    result = run_messages_workload(net.host("client"),
+                                   net.host("server"), "up",
+                                   duration_s=4.0, seed=2)
+    assert result.messages_completed >= 0.9 * result.messages_sent
+    assert result.loss_ratio >= 0.0
+    assert result.rtt_samples
+
+
+def test_messages_rejects_bad_direction():
+    net = make_net()
+    with pytest.raises(ValueError):
+        run_messages_workload(net.host("client"), net.host("server"),
+                              "sideways")

@@ -1,0 +1,112 @@
+"""Tests for the web corpus, page model and browser engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.web.browser import AccessProfile, BrowserEngine
+from repro.apps.web.corpus import build_corpus, build_page, top_sites
+from repro.apps.web.page import ObjectKind
+from repro.apps.web.profiles import (
+    satcom_profile,
+    starlink_profile,
+    wired_profile,
+)
+from repro.units import days, mbps
+
+
+def test_corpus_is_deterministic():
+    a = build_corpus(10, seed=3)
+    b = build_corpus(10, seed=3)
+    assert [p.total_bytes for p in a] == [p.total_bytes for p in b]
+    c = build_corpus(10, seed=4)
+    assert [p.total_bytes for p in a] != [p.total_bytes for p in c]
+
+
+def test_corpus_statistics_plausible():
+    corpus = build_corpus(120, seed=1)
+    weights = np.array([p.total_bytes for p in corpus])
+    objects = np.array([p.object_count for p in corpus])
+    assert 1e6 <= np.median(weights) <= 5e6
+    assert 25 <= np.median(objects) <= 120
+    assert all(3 <= len(p.domains) <= 25 for p in corpus)
+
+
+def test_page_structure():
+    page = build_page(1, seed=2)
+    assert page.objects[0].kind is ObjectKind.HTML
+    assert page.objects[0].wave == 1
+    assert page.max_wave == 3
+    assert page.wave_objects(2)
+    assert page.wave_objects(3)
+    assert page.total_bytes == sum(o.size_bytes for o in page.objects)
+
+
+def test_top_sites_naming():
+    sites = top_sites(5)
+    assert len(sites) == 5
+    assert sites[0] == "site001.example.be"
+
+
+def _flat_profile(rtt_s: float, bw: float, pep=False) -> AccessProfile:
+    return AccessProfile(
+        name=f"flat-{rtt_s}", rtt_sampler=lambda rng: rtt_s,
+        bandwidth_sampler=lambda rng: bw, uplink_bps=bw,
+        has_pep=pep, visit_rtt_sigma=0.0)
+
+
+def test_visit_deterministic_per_id():
+    page = build_page(2, seed=2)
+    engine = BrowserEngine(_flat_profile(0.05, mbps(100)), seed=1)
+    a = engine.visit(page, visit_id=0)
+    b = engine.visit(page, visit_id=0)
+    c = engine.visit(page, visit_id=1)
+    assert a.onload_s == b.onload_s
+    assert a.onload_s != c.onload_s
+
+
+def test_higher_rtt_means_slower_page():
+    page = build_page(2, seed=2)
+    fast = BrowserEngine(_flat_profile(0.02, mbps(100)), seed=1)
+    slow = BrowserEngine(_flat_profile(0.6, mbps(100)), seed=1)
+    assert slow.visit(page).onload_s > 2 * fast.visit(page).onload_s
+
+
+def test_more_bandwidth_helps():
+    page = build_page(1, seed=2)
+    narrow = BrowserEngine(_flat_profile(0.05, mbps(4)), seed=1)
+    wide = BrowserEngine(_flat_profile(0.05, mbps(200)), seed=1)
+    assert narrow.visit(page).onload_s > wide.visit(page).onload_s
+
+
+def test_pep_accelerates_high_rtt_page():
+    page = build_page(1, seed=2)
+    raw = BrowserEngine(_flat_profile(0.6, mbps(80), pep=False),
+                        seed=1)
+    pep = BrowserEngine(_flat_profile(0.6, mbps(80), pep=True), seed=1)
+    assert pep.visit(page).onload_s < raw.visit(page).onload_s
+
+
+def test_metrics_invariants():
+    page = build_page(3, seed=2)
+    engine = BrowserEngine(_flat_profile(0.05, mbps(100)), seed=1)
+    result = engine.visit(page)
+    assert result.speed_index_s <= result.onload_s
+    assert result.first_paint_s <= result.onload_s
+    assert result.n_connections >= len(page.domains)
+    assert result.connection_setup_s
+    # Setup = TCP + 1.5x TLS at 50 ms plus overhead.
+    assert min(result.connection_setup_s) >= 0.12
+
+
+def test_profile_ordering_matches_paper():
+    corpus = build_corpus(15, seed=5)
+    epoch = days(40)
+    onloads = {}
+    for name, maker in (("starlink", starlink_profile),
+                        ("satcom", satcom_profile),
+                        ("wired", wired_profile)):
+        engine = BrowserEngine(maker(epoch, seed=2), seed=3)
+        onloads[name] = np.median(
+            [engine.visit(p).onload_s for p in corpus])
+    assert onloads["wired"] < onloads["starlink"] < onloads["satcom"]
+    assert onloads["satcom"] > 3 * onloads["starlink"]

@@ -1,0 +1,67 @@
+"""Tests for the access profiles feeding the browser engine."""
+
+import random
+
+import pytest
+
+from repro.apps.web.profiles import (
+    SERVER_EXTRA_RTT,
+    satcom_profile,
+    starlink_profile,
+    wired_profile,
+)
+from repro.units import days, to_ms
+
+
+@pytest.mark.parametrize("maker,name", [
+    (starlink_profile, "starlink"),
+    (satcom_profile, "satcom"),
+    (wired_profile, "wired"),
+])
+def test_profile_names_and_samplers(maker, name):
+    profile = maker(epoch_t=days(20), seed=1)
+    assert profile.name == name
+    rng = random.Random(3)
+    rtts = [profile.rtt_sampler(rng) for _ in range(50)]
+    bws = [profile.bandwidth_sampler(rng) for _ in range(50)]
+    assert all(r > 0 for r in rtts)
+    assert all(b > 1e5 for b in bws)
+
+
+def test_rtt_ordering_across_technologies():
+    rng = random.Random(3)
+    epoch = days(20)
+    med = {}
+    for maker, name in ((starlink_profile, "starlink"),
+                        (satcom_profile, "satcom"),
+                        (wired_profile, "wired")):
+        profile = maker(epoch_t=epoch, seed=1)
+        samples = sorted(profile.rtt_sampler(rng) for _ in range(200))
+        med[name] = samples[100]
+    assert med["wired"] < med["starlink"] < med["satcom"]
+    assert to_ms(med["satcom"]) > 500
+    assert to_ms(med["starlink"]) < 80
+    assert to_ms(med["wired"]) < 20
+
+
+def test_pep_flags():
+    assert not starlink_profile(0.0).has_pep
+    assert satcom_profile(0.0).has_pep
+    assert not satcom_profile(0.0, pep=False).has_pep
+    assert not wired_profile(0.0).has_pep
+
+
+def test_satcom_uses_legacy_tls():
+    assert satcom_profile(0.0).tls_rtts > starlink_profile(0.0).tls_rtts
+
+
+def test_starlink_capacity_step_in_profiles():
+    from repro.leo.events import CampaignTimeline
+
+    timeline = CampaignTimeline()
+    rng = random.Random(5)
+    early = starlink_profile(days(10), seed=2)
+    late = starlink_profile(timeline.capacity_step_t + days(2), seed=2)
+    early_bw = sum(early.bandwidth_sampler(rng) for _ in range(60))
+    late_bw = sum(late.bandwidth_sampler(rng) for _ in range(60))
+    assert late_bw > early_bw

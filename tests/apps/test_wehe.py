@@ -1,0 +1,67 @@
+"""Tests for the Wehe traffic-discrimination detector."""
+
+import pytest
+
+from repro.apps.wehe import SERVICE_TRACES, run_wehe_test
+from repro.netsim import Network
+from repro.units import mbps, ms
+
+
+def neutral_net():
+    net = Network()
+    net.add_host("client", "10.1.0.1")
+    net.add_router("r", "10.1.0.254")
+    net.add_host("server", "10.2.0.1")
+    net.connect("client", "r", rate_ab=mbps(100), rate_ba=mbps(100),
+                delay=ms(10))
+    net.connect("r", "server", rate_ab=mbps(1000), rate_ba=mbps(1000),
+                delay=ms(2))
+    net.finalize()
+    return net
+
+
+def throttling_net(rate):
+    net = Network()
+    net.add_host("client", "10.1.0.1")
+    net.add_shaper("td", "10.1.0.254",
+                   classifier=lambda p: p.headers.get("service"),
+                   class_rates={"netflix": rate}, burst_bytes=20_000)
+    net.add_host("server", "10.2.0.1")
+    net.connect("client", "td", rate_ab=mbps(100), rate_ba=mbps(100),
+                delay=ms(10))
+    net.connect("td", "server", rate_ab=mbps(1000), rate_ba=mbps(1000),
+                delay=ms(2))
+    net.finalize()
+    return net
+
+
+def test_neutral_network_shows_no_differentiation():
+    net = neutral_net()
+    result = run_wehe_test(net.host("client"), net.host("server"),
+                           "zoom")
+    assert not result.differentiation_detected
+    ratio = (result.original.throughput_bps
+             / result.randomized.throughput_bps)
+    assert ratio == pytest.approx(1.0, rel=0.05)
+
+
+def test_throttled_service_is_detected():
+    net = throttling_net(mbps(2))
+    result = run_wehe_test(net.host("client"), net.host("server"),
+                           "netflix")
+    assert result.differentiation_detected
+    assert result.original.throughput_bps < \
+        0.5 * result.randomized.throughput_bps
+
+
+def test_unknown_service_rejected():
+    net = neutral_net()
+    with pytest.raises(ValueError):
+        run_wehe_test(net.host("client"), net.host("server"),
+                      "myspace")
+
+
+def test_trace_rates_are_realistic():
+    for service, (size, count, duration) in SERVICE_TRACES.items():
+        rate = size * 8 * count / duration / 1e6
+        assert 1.0 <= rate <= 20.0, service

@@ -1,0 +1,184 @@
+"""Tests for the analysis modules on synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bulk import BulkTransferResult
+from repro.apps.messages import MessagesResult
+from repro.core.browsing import figure6_browsing, speedup_vs_satcom
+from repro.core.datasets import (
+    BulkSample,
+    MessagesSample,
+    PingDataset,
+    SpeedtestSample,
+    VisitSample,
+)
+from repro.core.loss_events import table2_loss_ratios
+from repro.core.reporting import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table1,
+    render_table2,
+)
+from repro.core.rtt import (
+    figure1_rtt_boxplots,
+    figure2_timeseries,
+    figure3_loaded_rtt,
+)
+from repro.core.throughput import figure5_throughput, session_comparison
+from repro.errors import AnalysisError
+from repro.rng import make_rng
+from repro.units import days
+
+
+def synthetic_pings(step_drop_ms=3.0) -> PingDataset:
+    rng = make_rng("synthetic-pings")
+    ds = PingDataset()
+    times = np.arange(0, days(120), 1800.0)
+    step_t = days(58)
+    for name in ("be-brussels", "nuremberg-1", "amsterdam-1",
+                 "singapore"):
+        base = 270.0 if name == "singapore" else 50.0
+        rtts = []
+        for t in times:
+            value = base + rng.gauss(0, 4)
+            if t >= step_t and name != "singapore":
+                value -= step_drop_ms
+            rtts.append(max(20.0, value) / 1e3)
+        ds.series[name] = (times.copy(), np.array(rtts))
+    return ds
+
+
+def bulk_result(direction, lost, total, rtt_med) -> BulkSample:
+    rng = make_rng(("bulk", direction, lost))
+    result = BulkTransferResult(
+        direction=direction, payload_bytes=10_000_000, completed=True,
+        duration_s=1.0, handshake_rtt_s=0.05,
+        rtt_samples=[(i * 0.01, max(0.02, rng.gauss(rtt_med, 0.01)))
+                     for i in range(500)],
+        receiver_lost_pns=list(range(lost)),
+        receiver_max_pn=total - 1,
+        loss_burst_lengths=[1] * (lost // 2) + [2] * (lost // 4),
+        loss_event_durations_s=[0.0001] * (lost // 2))
+    return BulkSample(t=days(130), direction=direction, session=2,
+                      result=result)
+
+
+def test_figure1_and_rendering():
+    rows = figure1_rtt_boxplots(synthetic_pings())
+    assert len(rows) == 4
+    text = render_figure1(rows)
+    assert "singapore" in text
+    sg = next(r for r in rows if r.anchor == "singapore")
+    assert 260 <= sg.stats.median <= 280
+
+
+def test_figure2_detects_step_and_flat_hours():
+    series = figure2_timeseries(synthetic_pings(step_drop_ms=4.0),
+                                step_t=days(58))
+    assert series.step_improvement_ms == pytest.approx(4.0, abs=1.5)
+    assert series.hour_of_day_pvalue > 0.01
+    assert "Mood" in render_figure2(series)
+
+
+def test_figure3_loaded_rtt_stats():
+    bulk = [bulk_result("down", 10, 1000, 0.095),
+            bulk_result("up", 10, 1000, 0.104)]
+    msgs = [MessagesSample(t=0, direction="down", result=MessagesResult(
+        direction="down", messages_sent=10, messages_completed=10,
+        rtt_samples=[(0.0, 0.05)] * 100))]
+    stats = figure3_loaded_rtt(bulk, msgs)
+    by_key = {(s.workload, s.direction): s for s in stats}
+    assert by_key[("h3", "down")].median == pytest.approx(95, abs=3)
+    assert by_key[("h3", "up")].median == pytest.approx(104, abs=3)
+    assert ("messages", "down") in by_key
+    assert "h3" in render_figure3(stats)
+
+
+def test_table2_aggregation():
+    bulk = [bulk_result("down", 16, 1000, 0.09),
+            bulk_result("down", 15, 1000, 0.09),
+            bulk_result("up", 20, 1000, 0.10)]
+    cells = table2_loss_ratios(bulk, [])
+    down = cells[("h3", "down")]
+    assert down.packets == 2000
+    assert down.lost == 31
+    assert down.loss_ratio == pytest.approx(0.0155)
+    assert cells[("h3", "up")].loss_ratio == pytest.approx(0.02)
+    text = render_table2(cells)
+    assert "1.5" in text  # 1.55 %
+    assert "Figure 4" in render_figure4(cells)
+
+
+def test_loss_cell_statistics():
+    bulk = [bulk_result("down", 40, 1000, 0.09)]
+    cell = table2_loss_ratios(bulk, [])[("h3", "down")]
+    assert cell.single_packet_fraction() == pytest.approx(20 / 30)
+    assert cell.burst_cdf().at(1) == pytest.approx(20 / 30)
+    assert cell.outage_count() == 0
+    assert cell.duration_percentiles_ms()[50] == pytest.approx(0.1)
+
+
+def test_figure5_series_and_sessions():
+    tests = ([SpeedtestSample(0, "starlink", "down", v)
+              for v in (150, 170, 180, 200)]
+             + [SpeedtestSample(0, "starlink", "up", v)
+                for v in (15, 17, 19)]
+             + [SpeedtestSample(0, "satcom", "down", v)
+                for v in (78, 82, 85)]
+             + [SpeedtestSample(0, "satcom", "up", v)
+                for v in (4, 4.5, 5)])
+    bulk = [bulk_result("down", 5, 1000, 0.09)]
+    bulk[0].result.duration_s = 10_000_000 * 8 / 130e6
+    series = figure5_throughput(tests, bulk)
+    labels = {(s.label, s.direction) for s in series}
+    assert ("starlink-speedtest", "down") in labels
+    assert ("starlink-h3", "down") in labels
+    text = render_figure5(series)
+    assert "starlink-speedtest" in text
+
+    session1 = BulkSample(t=0, direction="down", session=1,
+                          result=bulk[0].result)
+    comparison = session_comparison(bulk + [session1])
+    assert 1 in comparison["down"] and 2 in comparison["down"]
+
+
+def test_figure5_empty_rejected():
+    with pytest.raises(AnalysisError):
+        figure5_throughput([], [])
+
+
+def test_figure6_and_speedup():
+    visits = []
+    for network, onload in (("starlink", 2.1), ("satcom", 10.9),
+                            ("wired", 1.2)):
+        for i in range(30):
+            visits.append(VisitSample(
+                t=0, network=network, url=f"https://s{i}/",
+                onload_s=onload + 0.01 * i,
+                speed_index_s=0.8 * onload,
+                n_connections=15, connection_setup_s=[0.167]))
+    stats = figure6_browsing(visits)
+    assert stats["starlink"].visits == 30
+    assert stats["satcom"].onload.median > 10
+    speedup = speedup_vs_satcom(stats)
+    assert 0.7 <= speedup <= 0.85
+    assert "starlink" in render_figure6(stats)
+
+
+def test_figure6_empty_rejected():
+    with pytest.raises(AnalysisError):
+        figure6_browsing([])
+
+
+def test_table1_render_contains_rows():
+    from repro.core.datasets import CampaignDatasets
+
+    data = CampaignDatasets(pings=synthetic_pings())
+    text = render_table1(data.table1_rows())
+    assert "Latency" in text
+    assert "QUIC messages" in text

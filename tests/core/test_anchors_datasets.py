@@ -1,0 +1,91 @@
+"""Tests for the anchor set and the dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.anchors import (
+    ANCHORS,
+    anchor_by_name,
+    european_anchors,
+)
+from repro.core.datasets import (
+    CampaignDatasets,
+    PingDataset,
+    SpeedtestSample,
+    VisitSample,
+)
+from repro.leo.geometry import GeoPoint
+
+
+def test_eleven_anchors_with_paper_regions():
+    assert len(ANCHORS) == 11
+    regions = [a.region for a in ANCHORS]
+    assert regions.count("BE") == 4
+    assert regions.count("NL") == 2
+    assert regions.count("DE") == 2
+    assert regions.count("US-E") == 1
+    assert regions.count("US-W") == 1
+    assert regions.count("SG") == 1
+
+
+def test_anchor_lookup():
+    assert anchor_by_name("singapore").region == "SG"
+    with pytest.raises(KeyError):
+        anchor_by_name("mars")
+
+
+def test_european_set():
+    assert len(european_anchors()) == 8
+
+
+def test_remote_rtt_scales_with_distance():
+    frankfurt = GeoPoint(50.11, 8.68)
+    nearby = anchor_by_name("nuremberg-1").remote_rtt_from(frankfurt)
+    far = anchor_by_name("fremont").remote_rtt_from(frankfurt)
+    farther = anchor_by_name("singapore").remote_rtt_from(frankfurt)
+    assert nearby < far < farther
+    assert nearby < 0.01           # a few ms
+    assert 0.10 <= far <= 0.20     # transatlantic+transcontinental
+    assert 0.18 <= farther <= 0.30
+
+
+def _tiny_pings() -> PingDataset:
+    ds = PingDataset()
+    t = np.arange(10.0)
+    ds.series["be-brussels"] = (t, np.full(10, 0.05))
+    rtts = np.full(10, 0.045)
+    rtts[3] = np.nan
+    ds.series["nuremberg-1"] = (t, rtts)
+    ds.series["singapore"] = (t, np.full(10, 0.27))
+    return ds
+
+
+def test_ping_dataset_accessors():
+    ds = _tiny_pings()
+    assert ds.total_samples == 30
+    assert ds.rtts("nuremberg-1").size == 9
+    assert ds.loss_ratio("nuremberg-1") == pytest.approx(0.1)
+    assert ds.loss_ratio("be-brussels") == 0.0
+    assert ds.anchors()[0] == "be-brussels"  # canonical order
+
+
+def test_ping_dataset_european_pool_excludes_asia():
+    ds = _tiny_pings()
+    times, rtts = ds.european()
+    assert times.size == 19           # 10 BE + 9 DE, no SG
+    assert np.all(rtts < 0.1)
+    assert np.all(np.diff(times) >= 0)
+
+
+def test_table1_rows():
+    data = CampaignDatasets(
+        pings=_tiny_pings(),
+        speedtests=[SpeedtestSample(0, "starlink", "down", 180.0),
+                    SpeedtestSample(0, "satcom", "down", 80.0)],
+        visits=[VisitSample(0, "starlink", "https://a/", 2.0, 1.7, 15)])
+    rows = data.table1_rows()
+    by_measure = {r["measure"]: r for r in rows}
+    assert by_measure["Latency"]["samples"] == 30
+    assert by_measure["Latency"]["target"] == "3 Anchors"
+    assert "satcom" in by_measure["Throughput"]["network"]
+    assert by_measure["Web Browsing"]["target"] == "1 Websites"

@@ -1,0 +1,116 @@
+"""End-to-end tests for the campaign orchestrator and ERRANT fitting.
+
+These use the tiny ``quick_config`` so the whole file stays within a
+couple of minutes of wall clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    quick_config,
+)
+from repro.core.datasets import CampaignDatasets
+from repro.errant import fit_profile, fit_profiles, to_json, \
+    to_netem_commands
+from repro.errors import AnalysisError
+from repro.units import minutes
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign(quick_config(seed=11))
+
+
+@pytest.fixture(scope="module")
+def pings(campaign):
+    return campaign.run_pings()
+
+
+def test_ping_campaign_covers_all_anchors(campaign, pings):
+    assert len(pings.series) == 11
+    assert pings.total_samples > 1000
+    for name in pings.anchors():
+        rtts = pings.rtts(name)
+        assert rtts.size > 0
+        assert np.all(rtts > 0.01)
+        assert np.all(rtts < 1.0)
+
+
+def test_ping_campaign_has_losses(campaign):
+    config = CampaignConfig(seed=1, ping_days=2.0,
+                            ping_interval_s=minutes(30),
+                            ping_loss_prob=0.5)
+    lossy = Campaign(config).run_pings()
+    ratios = [lossy.loss_ratio(a) for a in lossy.anchors()]
+    assert 0.3 <= np.mean(ratios) <= 0.7
+
+
+def test_ping_campaign_deterministic():
+    a = Campaign(quick_config(seed=5)).run_pings()
+    b = Campaign(quick_config(seed=5)).run_pings()
+    ta, va = a.series["be-brussels"]
+    tb, vb = b.series["be-brussels"]
+    assert np.array_equal(ta, tb)
+    assert np.allclose(va, vb, equal_nan=True)
+
+
+def test_web_campaign_produces_three_networks(campaign):
+    visits = campaign.run_web()
+    networks = {v.network for v in visits}
+    assert networks == {"starlink", "satcom", "wired"}
+    assert all(v.onload_s > 0 for v in visits)
+    assert all(v.speed_index_s <= v.onload_s for v in visits)
+
+
+def test_messages_campaign(campaign):
+    samples = campaign.run_messages()
+    directions = {s.direction for s in samples}
+    assert directions == {"down", "up"}
+    for sample in samples:
+        assert sample.result.messages_completed > 0
+
+
+# -- errant ----------------------------------------------------------------
+
+def test_fit_profile_from_raw_samples():
+    rtts = np.full(100, 0.050)
+    down = np.array([170.0, 180.0, 190.0])
+    up = np.array([16.0, 17.0])
+    profile = fit_profile("starlink", rtts, down, up,
+                          loss_ratio=0.004)
+    assert profile.delay_ms == pytest.approx(25.0)
+    assert profile.rate_down_mbps == 180.0
+    assert profile.rate_up_mbps == pytest.approx(16.5)
+    assert profile.loss_pct == pytest.approx(0.4)
+
+
+def test_fit_profile_needs_samples():
+    with pytest.raises(AnalysisError):
+        fit_profile("x", np.array([]), np.array([1.0]),
+                    np.array([1.0]), 0.0)
+
+
+def test_fit_profiles_from_campaign_data(pings):
+    from repro.core.datasets import SpeedtestSample
+
+    data = CampaignDatasets(pings=pings, speedtests=[
+        SpeedtestSample(0, "starlink", "down", 175.0),
+        SpeedtestSample(0, "starlink", "up", 17.0),
+        SpeedtestSample(0, "satcom", "down", 82.0),
+        SpeedtestSample(0, "satcom", "up", 4.5),
+    ])
+    profiles = fit_profiles(data, message_loss_ratio=0.004)
+    assert set(profiles) == {"starlink", "satcom"}
+    assert 15 <= profiles["starlink"].delay_ms <= 35
+    assert profiles["satcom"].delay_ms > 250
+
+    dump = to_json(profiles)
+    assert '"starlink"' in dump and '"rate_down_mbps": 175.0' in dump
+
+    commands = to_netem_commands(profiles["starlink"], "eth1")
+    assert len(commands) == 4
+    assert all(cmd.startswith("tc qdisc") for cmd in commands)
+    assert any("loss 0.40%" in cmd for cmd in commands)

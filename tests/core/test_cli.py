@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_fig1_artefact(capsys):
+    assert main(["fig1", "--ping-days", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "singapore" in out
+
+
+def test_fig2_artefact(capsys):
+    assert main(["fig2", "--ping-days", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "Mood" in out
+
+
+def test_fig6_artefact(capsys):
+    assert main(["fig6", "--sites", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "starlink" in out
+    assert "satcom" in out
+
+
+def test_middlebox_artefact(capsys):
+    assert main(["middlebox"]) == 0
+    out = capsys.readouterr().out
+    assert "100.64.0.1" in out
+
+
+def test_unknown_artefact_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

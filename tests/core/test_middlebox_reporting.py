@@ -1,0 +1,45 @@
+"""Tests for the Sec. 3.5 study runner and text reporting."""
+
+import pytest
+
+from repro.core.middlebox import run_middlebox_study
+from repro.core.reporting import render_middlebox
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_middlebox_study(seed=5)
+
+
+def test_starlink_findings_match_paper(reports):
+    starlink = reports["starlink"]
+    assert starlink.traceroute_hops[:2] == ["192.168.1.1",
+                                            "100.64.0.1"]
+    assert starlink.nat_addresses == ["192.168.1.1", "100.64.0.1"]
+    assert starlink.nat_levels == 2
+    assert not starlink.pep_detected
+    assert starlink.checksum_only_mutation
+    assert not starlink.traffic_discrimination
+
+
+def test_satcom_has_pep(reports):
+    satcom = reports["satcom"]
+    assert satcom.pep_detected
+    assert not satcom.traffic_discrimination
+    assert satcom.traceroute_hops[0] == "192.168.100.1"
+
+
+def test_wehe_pairs_recorded(reports):
+    for report in reports.values():
+        assert len(report.wehe) == 2
+        for pair in report.wehe:
+            assert pair.original.packets_sent == \
+                pair.randomized.packets_sent
+
+
+def test_render_middlebox(reports):
+    text = render_middlebox(reports)
+    assert "starlink" in text
+    assert "100.64.0.1" in text
+    assert "PEP detected: False" in text
+    assert "PEP detected: True" in text

@@ -1,0 +1,63 @@
+"""Edge-case tests for the text renderers."""
+
+import numpy as np
+
+from repro.core.loss_events import LossCell
+from repro.core.reporting import (
+    render_figure2,
+    render_figure4,
+    render_table2,
+)
+from repro.core.rtt import Fig2Series
+
+
+def test_render_table2_with_missing_cells():
+    cells = {("h3", "down"): LossCell("h3", "down", packets=100,
+                                      lost=2)}
+    text = render_table2(cells)
+    assert "2.00%" in text
+    assert "-" in text    # absent cells render as dashes
+
+
+def test_render_figure4_without_loss_events():
+    cells = {("messages", "down"): LossCell("messages", "down",
+                                            packets=100, lost=0)}
+    text = render_figure4(cells)
+    assert "no loss events" in text
+
+
+def test_render_figure4_with_outages():
+    cell = LossCell("h3", "down", packets=1000, lost=10,
+                    burst_lengths=[1, 2, 3, 120],
+                    event_durations_s=[0.0001, 0.001, 0.1, 1.6])
+    text = render_figure4({("h3", "down"): cell})
+    assert ">1s events=1" in text
+    assert cell.outage_count() == 1
+
+
+def test_render_figure2_subsamples_rows():
+    bins = [{"t": i * 21600.0, "count": 10, "min": 40.0, "p25": 45.0,
+             "p50": 50.0, "p75": 55.0, "p95": 60.0}
+            for i in range(600)]
+    series = Fig2Series(bins=bins, hour_of_day_pvalue=0.5,
+                        hourly_median_range_ms=1.2,
+                        median_before_step_ms=50.0,
+                        median_after_step_ms=47.0)
+    text = render_figure2(series, max_rows=20)
+    # Down-sampled but framed.
+    assert text.count("\n") < 45
+    assert "improvement 3.0 ms" in text
+    assert "flat" in text
+
+
+def test_loss_cell_nan_durations_when_empty():
+    cell = LossCell("h3", "up", packets=10, lost=0)
+    percentiles = cell.duration_percentiles_ms()
+    assert all(np.isnan(v) for v in percentiles.values())
+    assert np.isnan(cell.single_packet_fraction())
+    assert cell.loss_ratio == 0.0
+
+
+def test_loss_cell_zero_packets():
+    cell = LossCell("h3", "up", packets=0, lost=0)
+    assert cell.loss_ratio == 0.0

@@ -1,0 +1,31 @@
+"""Tests for the Fig. 2 series fields added for flatness reporting."""
+
+import numpy as np
+
+from repro.core.datasets import PingDataset
+from repro.core.rtt import figure2_timeseries
+from repro.units import days
+
+
+def _flat_pings(hour_bump_ms: float = 0.0) -> PingDataset:
+    rng = np.random.default_rng(3)
+    ds = PingDataset()
+    times = np.arange(0, days(30), 900.0)
+    hours = (times % 86400) // 3600
+    rtts = 0.050 + rng.normal(0, 0.004, size=times.size)
+    rtts = rtts + (hours == 12) * hour_bump_ms / 1e3
+    ds.series["be-brussels"] = (times, rtts)
+    return ds
+
+
+def test_hourly_range_small_when_flat():
+    series = figure2_timeseries(_flat_pings(), step_t=days(10))
+    assert series.hourly_median_range_ms < 3.0
+    assert series.hour_of_day_pvalue > 0.01
+
+
+def test_hourly_range_detects_real_diurnal_bump():
+    series = figure2_timeseries(_flat_pings(hour_bump_ms=12.0),
+                                step_t=days(10))
+    assert series.hourly_median_range_ms > 8.0
+    assert series.hour_of_day_pvalue < 0.01

@@ -1,0 +1,58 @@
+"""Focused tests for the throughput analysis (Fig. 5 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bulk import BulkTransferResult
+from repro.core.datasets import BulkSample, SpeedtestSample
+from repro.core.throughput import figure5_throughput, session_comparison
+
+
+def _bulk(direction, session, mbps_value):
+    payload = 10_000_000
+    result = BulkTransferResult(
+        direction=direction, payload_bytes=payload, completed=True,
+        duration_s=payload * 8 / (mbps_value * 1e6),
+        handshake_rtt_s=0.05)
+    return BulkSample(t=0.0, direction=direction, session=session,
+                      result=result)
+
+
+def test_incomplete_transfers_excluded():
+    broken = BulkTransferResult(direction="down",
+                                payload_bytes=10_000_000,
+                                completed=False, duration_s=None,
+                                handshake_rtt_s=None)
+    samples = [BulkSample(0.0, "down", 2, broken),
+               _bulk("down", 2, 130.0)]
+    tests = [SpeedtestSample(0, "starlink", "down", 180.0)]
+    series = figure5_throughput(tests, samples)
+    h3 = next(s for s in series if s.label == "starlink-h3")
+    assert h3.stats.count == 1
+    assert h3.stats.median == pytest.approx(130.0, rel=0.01)
+
+
+def test_session_filter():
+    samples = [_bulk("down", 1, 100.0), _bulk("down", 2, 150.0)]
+    tests = [SpeedtestSample(0, "starlink", "down", 180.0)]
+    series_s2 = figure5_throughput(tests, samples, h3_session=2)
+    h3 = next(s for s in series_s2 if s.label == "starlink-h3")
+    assert h3.stats.median == pytest.approx(150.0, rel=0.01)
+    series_s1 = figure5_throughput(tests, samples, h3_session=1)
+    h3 = next(s for s in series_s1 if s.label == "starlink-h3")
+    assert h3.stats.median == pytest.approx(100.0, rel=0.01)
+
+
+def test_session_comparison_medians():
+    samples = [_bulk("down", 1, 100.0), _bulk("down", 1, 110.0),
+               _bulk("down", 2, 150.0), _bulk("up", 2, 17.0)]
+    comparison = session_comparison(samples)
+    assert comparison["down"][1] == pytest.approx(105.0, rel=0.01)
+    assert comparison["down"][2] == pytest.approx(150.0, rel=0.01)
+    assert 1 not in comparison["up"]
+
+
+def test_goodput_property_roundtrip():
+    sample = _bulk("down", 2, 144.0)
+    assert sample.result.goodput_mbps == pytest.approx(144.0, rel=0.01)
+    assert sample.result.loss_ratio == 0.0

@@ -1,0 +1,134 @@
+"""Tests for the campaign timeline and the assembled Starlink access."""
+
+import random
+
+import pytest
+
+from repro.leo.access import StarlinkAccess, StarlinkPathModel
+from repro.leo.events import (
+    CAMPAIGN_START,
+    CampaignTimeline,
+    date_to_t,
+    t_to_date,
+)
+from repro.leo.geometry import GeoPoint
+from repro.netsim.packet import IcmpMessage, IcmpType
+from repro.units import days, ms, to_ms
+
+from datetime import datetime
+
+
+def test_date_round_trip():
+    when = datetime(2022, 2, 11, 12, 0)
+    assert t_to_date(date_to_t(when)) == when
+    assert date_to_t(CAMPAIGN_START) == 0.0
+
+
+def test_timeline_fleet_step_reduces_latency():
+    timeline = CampaignTimeline()
+    before = timeline.extra_latency(timeline.fleet_improvement_t - 10)
+    after = timeline.extra_latency(timeline.fleet_improvement_t + 10)
+    assert before > after
+
+
+def test_timeline_load_window_raises_latency():
+    timeline = CampaignTimeline()
+    inside = timeline.extra_latency(timeline.load_window_start_t + 10)
+    outside = timeline.extra_latency(timeline.load_window_start_t - 10)
+    assert inside > outside
+
+
+def test_timeline_capacity_step():
+    timeline = CampaignTimeline()
+    assert timeline.capacity_scale(timeline.capacity_step_t - 1) == 1.0
+    assert timeline.capacity_scale(timeline.capacity_step_t + 1) > 1.0
+
+
+def test_timeline_in_campaign():
+    timeline = CampaignTimeline()
+    assert timeline.in_campaign(days(10))
+    assert not timeline.in_campaign(-1.0)
+    assert not timeline.in_campaign(days(400))
+
+
+# -- path model ----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def model():
+    return StarlinkPathModel(seed=2)
+
+
+def test_idle_rtt_in_starlink_band(model):
+    rng = random.Random(1)
+    samples = [to_ms(model.idle_rtt(t * 311.0, rng))
+               for t in range(400)]
+    samples.sort()
+    median = samples[len(samples) // 2]
+    assert 30 <= median <= 55
+    assert samples[0] >= 15
+    assert samples[int(0.95 * len(samples))] <= 80
+
+
+def test_jitter_is_frame_correlated(model):
+    """Two packets in the same 15 ms frame share the jitter draw."""
+    rng = random.Random(1)
+    a = model.jitter(rng, "down", t=1000.000)
+    b = model.jitter(rng, "down", t=1000.001)
+    c = model.jitter(rng, "down", t=1000.100)  # a later frame
+    dither = model.params.jitter_dither_s
+    assert abs(a - b) <= dither
+    assert abs(a - c) > 1e-9
+
+
+def test_base_one_way_includes_timeline(model):
+    timeline = model.timeline
+    before = model.base_one_way(timeline.fleet_improvement_t - 60)
+    after = model.base_one_way(timeline.fleet_improvement_t + 60)
+    # The step is half the RTT gain per direction, modulo geometry.
+    assert before - after == pytest.approx(
+        timeline.fleet_improvement_gain_s / 2, abs=ms(3))
+
+
+def test_pop_is_one_of_the_two_paper_exits(model):
+    pops = {model.pop_name(t * 900.0) for t in range(100)}
+    assert pops <= {"pop-frankfurt", "pop-amsterdam", "pop-london"}
+    assert {"pop-frankfurt", "pop-amsterdam"} & pops
+
+
+# -- assembled access -----------------------------------------------------
+
+def test_access_topology_addresses():
+    access = StarlinkAccess(seed=1)
+    assert access.client.address == "192.168.1.10"
+    assert access.net.node("dish").address == "192.168.1.1"
+    assert access.net.node("cgnat").address == "100.64.0.1"
+
+
+def test_access_ping_round_trip():
+    access = StarlinkAccess(seed=1)
+    access.add_remote_host("anchor", "203.0.113.9",
+                           GeoPoint(50.85, 4.35))
+    access.finalize()
+    client = access.client
+    reply_times = []
+    client.bind_icmp(7, lambda pkt: reply_times.append(access.sim.now))
+    message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=7, seq=0)
+    client.send_icmp(IcmpType.ECHO_REQUEST, "203.0.113.9", message)
+    access.run(5.0)
+    assert len(reply_times) == 1
+    rtt = reply_times[0] - access.epoch_t
+    # One Starlink RTT plus the Belgian anchor legs.
+    assert 0.02 <= rtt <= 0.15
+
+
+def test_access_epoch_sets_clock():
+    access = StarlinkAccess(seed=1, epoch_t=days(30))
+    assert access.sim.now == days(30)
+
+
+def test_capacity_step_applied_to_downlink():
+    timeline = StarlinkAccess(seed=1).timeline
+    late = StarlinkAccess(seed=1, epoch_t=timeline.capacity_step_t
+                          + days(1))
+    early = StarlinkAccess(seed=1, epoch_t=days(10))
+    assert late.channel.downlink.scale > early.channel.downlink.scale

@@ -1,0 +1,48 @@
+"""Shape tests for the medium-loss process (Fig. 4 mechanics)."""
+
+import numpy as np
+
+from repro.netsim.loss import TimedGilbertElliottLoss
+from repro.rng import make_rng
+
+
+def _bursts(outcomes):
+    bursts, current = [], 0
+    for lost in outcomes:
+        if lost:
+            current += 1
+        elif current:
+            bursts.append(current)
+            current = 0
+    if current:
+        bursts.append(current)
+    return bursts
+
+
+def test_burst_length_scales_with_packet_rate():
+    """The same fade costs a fast flow many more packets than a slow
+    one -- the time-based channel is what makes H3 and message
+    transfers see different burst-length distributions (paper
+    Sec. 3.2)."""
+
+    def run(packets_per_second: float, seed: int):
+        model = TimedGilbertElliottLoss(
+            mean_good_s=2.0, mean_bad_s=0.04,
+            rng=make_rng(("shape", seed)))
+        n = int(120 * packets_per_second)
+        outcomes = [model.is_lost(i / packets_per_second)
+                    for i in range(n)]
+        return _bursts(outcomes)
+
+    slow_bursts = []
+    fast_bursts = []
+    for seed in range(5):
+        slow_bursts += run(280.0, seed)        # ~3 Mbit/s messages
+        fast_bursts += run(12_000.0, seed)     # ~130 Mbit/s bulk
+    assert slow_bursts and fast_bursts
+    assert np.mean(fast_bursts) > 5 * np.mean(slow_bursts)
+
+
+def test_fraction_of_time_bad_matches_formula():
+    model = TimedGilbertElliottLoss(mean_good_s=6.5, mean_bad_s=0.025)
+    assert abs(model.fraction_bad() - 0.025 / 6.525) < 1e-9

@@ -1,0 +1,112 @@
+"""Tests for spherical geometry helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.leo.geometry import (
+    GeoPoint,
+    ecef,
+    elevation_angle,
+    fiber_path_delay,
+    great_circle_distance,
+    propagation_delay,
+    slant_range,
+)
+from repro.units import EARTH_RADIUS, SPEED_OF_LIGHT, km
+
+
+def test_ecef_on_equator_prime_meridian():
+    pos = ecef(0.0, 0.0)
+    assert pos == pytest.approx([EARTH_RADIUS, 0.0, 0.0])
+
+
+def test_ecef_north_pole():
+    pos = ecef(90.0, 0.0)
+    assert pos[2] == pytest.approx(EARTH_RADIUS)
+    assert abs(pos[0]) < 1.0
+
+
+def test_ecef_altitude_adds_radially():
+    ground = ecef(45.0, 10.0)
+    high = ecef(45.0, 10.0, alt_m=km(550))
+    assert np.linalg.norm(high) == pytest.approx(
+        EARTH_RADIUS + km(550))
+    assert np.linalg.norm(high - ground) == pytest.approx(km(550))
+
+
+def test_slant_range_zenith():
+    ground = ecef(50.0, 4.0)
+    sat = ecef(50.0, 4.0, alt_m=km(550))
+    assert slant_range(ground, sat) == pytest.approx(km(550))
+
+
+def test_slant_range_vectorised():
+    ground = ecef(50.0, 4.0)
+    sats = np.array([ecef(50.0, 4.0, km(550)),
+                     ecef(51.0, 5.0, km(550))])
+    ranges = slant_range(ground, sats)
+    assert ranges.shape == (2,)
+    assert ranges[0] == pytest.approx(km(550))
+    assert ranges[1] > ranges[0]
+
+
+def test_elevation_at_zenith_is_90():
+    ground = ecef(50.0, 4.0)
+    sat = ecef(50.0, 4.0, km(550))
+    assert elevation_angle(ground, sat) == pytest.approx(90.0)
+
+
+def test_elevation_below_horizon_negative():
+    ground = ecef(50.0, 4.0)
+    antipode_sat = ecef(-50.0, -176.0, km(550))
+    assert elevation_angle(ground, antipode_sat) < 0
+
+
+def test_elevation_vectorised_matches_scalar():
+    ground = ecef(50.0, 4.0)
+    sats = np.array([ecef(52.0, 8.0, km(550)),
+                     ecef(40.0, -20.0, km(550))])
+    vector = elevation_angle(ground, sats)
+    for i in range(2):
+        assert vector[i] == pytest.approx(
+            elevation_angle(ground, sats[i]))
+
+
+def test_great_circle_known_distance():
+    brussels = GeoPoint(50.85, 4.35)
+    paris = GeoPoint(48.86, 2.35)
+    distance = great_circle_distance(brussels, paris)
+    assert distance == pytest.approx(264_000, rel=0.05)
+
+
+def test_great_circle_zero_for_same_point():
+    p = GeoPoint(10.0, 20.0)
+    assert great_circle_distance(p, p) == pytest.approx(0.0)
+
+
+def test_propagation_delay():
+    assert propagation_delay(SPEED_OF_LIGHT) == pytest.approx(1.0)
+
+
+def test_fiber_delay_slower_than_vacuum_and_stretched():
+    a, b = GeoPoint(50.0, 4.0), GeoPoint(52.0, 13.0)
+    straight = great_circle_distance(a, b) / SPEED_OF_LIGHT
+    assert fiber_path_delay(a, b) > 2.0 * straight
+
+
+@given(lat=st.floats(-90, 90), lon=st.floats(-180, 180))
+def test_property_ecef_magnitude_is_radius(lat, lon):
+    assert np.linalg.norm(ecef(lat, lon)) == pytest.approx(
+        EARTH_RADIUS, rel=1e-12)
+
+
+@given(lat1=st.floats(-89, 89), lon1=st.floats(-179, 179),
+       lat2=st.floats(-89, 89), lon2=st.floats(-179, 179))
+def test_property_great_circle_symmetric_and_bounded(lat1, lon1,
+                                                     lat2, lon2):
+    a, b = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2)
+    d_ab = great_circle_distance(a, b)
+    d_ba = great_circle_distance(b, a)
+    assert d_ab == pytest.approx(d_ba, abs=1.0)
+    assert 0 <= d_ab <= np.pi * EARTH_RADIUS + 1.0

@@ -1,0 +1,45 @@
+"""Tests for the ground-segment site database."""
+
+from repro.leo.geometry import great_circle_distance
+from repro.leo.ground import (
+    LOUVAIN_LA_NEUVE,
+    STARLINK_GATEWAYS,
+    STARLINK_POPS,
+    default_terminal,
+)
+from repro.units import km
+
+
+def test_every_gateway_maps_to_a_known_pop():
+    for gateway in STARLINK_GATEWAYS:
+        assert gateway.pop in STARLINK_POPS
+
+
+def test_paper_exit_pops_present():
+    # The paper observed one exit in the Netherlands and one in
+    # Germany (Frankfurt serves the German exit in our model).
+    assert "pop-amsterdam" in STARLINK_POPS
+    assert "pop-frankfurt" in STARLINK_POPS
+
+
+def test_gateways_within_bent_pipe_reach_of_belgium():
+    """A 550 km satellite covers ~a 1000 km ground radius; every
+    gateway a Belgian terminal may be served through must be
+    reachable by a satellite that also sees the dish."""
+    for gateway in STARLINK_GATEWAYS:
+        distance = great_circle_distance(LOUVAIN_LA_NEUVE,
+                                         gateway.location)
+        assert distance < km(1200), gateway.name
+
+
+def test_default_terminal_is_the_papers_vantage_point():
+    terminal = default_terminal()
+    assert terminal.location == LOUVAIN_LA_NEUVE
+    assert 50 < terminal.location.lat_deg < 51
+
+
+def test_ecef_helpers():
+    for gateway in STARLINK_GATEWAYS:
+        pos = gateway.ecef()
+        assert pos.shape == (3,)
+    assert default_terminal().ecef().shape == (3,)

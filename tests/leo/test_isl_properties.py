@@ -1,0 +1,44 @@
+"""Additional properties of the ISL path model."""
+
+import pytest
+
+from repro.leo.geometry import GeoPoint
+from repro.leo.isl import (
+    SATELLITE_PROCESSING_S,
+    IslPath,
+    IslRouter,
+    bent_pipe_vs_isl,
+)
+from repro.units import SPEED_OF_LIGHT
+
+
+def test_isl_path_delay_decomposition():
+    path = IslPath(satellite_hops=(1, 2, 3), distance_m=3_000_000.0)
+    expected = 3_000_000.0 / SPEED_OF_LIGHT + 3 * SATELLITE_PROCESSING_S
+    assert path.one_way_delay == pytest.approx(expected)
+    assert path.rtt == pytest.approx(2 * expected)
+    assert path.hop_count == 3
+
+
+def test_comparison_dict_fields():
+    router = IslRouter()
+    result = bent_pipe_vs_isl(GeoPoint(50.67, 4.61),
+                              GeoPoint(52.37, 4.90),
+                              bent_pipe_rtt_s=0.047, router=router)
+    assert set(result) == {"bent_pipe_rtt_s", "isl_rtt_s",
+                           "improvement_s", "speedup"}
+    assert result["bent_pipe_rtt_s"] == pytest.approx(0.047)
+    assert result["improvement_s"] == pytest.approx(
+        0.047 - result["isl_rtt_s"])
+
+
+def test_sky_path_lower_bound_is_geodesic():
+    """No route can beat straight-line light travel."""
+    router = IslRouter()
+    from repro.leo.geometry import great_circle_distance
+
+    src, dst = GeoPoint(50.67, 4.61), GeoPoint(1.35, 103.82)
+    path = router.path(src, dst, t=0.0)
+    geodesic = great_circle_distance(src, dst)
+    assert path.distance_m > geodesic
+    assert path.rtt > 2 * geodesic / SPEED_OF_LIGHT

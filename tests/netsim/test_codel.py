@@ -1,0 +1,63 @@
+"""Tests for the CoDel AQM queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim import Network
+from repro.netsim.queues import CoDelQueue, DropTailQueue
+from repro.transport.tcp import TcpServer, tcp_connect
+from repro.units import mb, mbps, ms
+
+
+def test_codel_validation():
+    with pytest.raises(ConfigurationError):
+        CoDelQueue(target_s=0.0)
+    with pytest.raises(ConfigurationError):
+        CoDelQueue(interval_s=-1.0)
+
+
+def test_codel_without_clock_degrades_to_droptail():
+    queue = CoDelQueue(capacity_packets=5)
+    from repro.netsim.packet import Packet, Protocol
+
+    p = Packet(src="a", dst="b", protocol=Protocol.UDP, size=100)
+    assert queue.push(p)
+    assert queue.pop() is p
+    assert queue.aqm_drops == 0
+
+
+def _loaded_rtt(queue_factory, until=20.0):
+    net = Network()
+    net.add_host("client", "10.0.0.1")
+    net.add_host("server", "10.0.1.1")
+    net.connect("client", "server", rate_ab=mbps(20), rate_ba=mbps(20),
+                delay=ms(20), queue_ab=queue_factory(),
+                queue_ba=queue_factory())
+    net.finalize()
+    rtts = []
+
+    def on_conn(conn):
+        pass
+
+    TcpServer(net.host("server"), 5001, on_connection=on_conn)
+    client = tcp_connect(net.host("client"), "10.0.1.1", 5001)
+    client.on_established = lambda: client.send(mb(60))
+    net.sim.run(until=until)
+    return [s for _, s in client.stats.rtt_samples[len(
+        client.stats.rtt_samples) // 2:]]
+
+
+def test_codel_bounds_standing_queue_delay():
+    """The bufferbloat ablation: CoDel keeps loaded RTT near target
+    while a deep drop-tail buffer lets it balloon."""
+    deep = lambda: DropTailQueue(capacity_bytes=1_500_000)
+    codel = lambda: CoDelQueue(capacity_bytes=1_500_000,
+                               target_s=0.015, interval_s=0.1)
+    droptail_rtts = _loaded_rtt(deep)
+    codel_rtts = _loaded_rtt(codel)
+    assert droptail_rtts and codel_rtts
+    droptail_med = sorted(droptail_rtts)[len(droptail_rtts) // 2]
+    codel_med = sorted(codel_rtts)[len(codel_rtts) // 2]
+    # Deep FIFO: ~40 ms base + up to 600 ms of queue. CoDel: tens ms.
+    assert codel_med < 0.5 * droptail_med
+    assert codel_med < 0.12

@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+
+
+def test_clock_starts_at_start_time():
+    sim = Simulator(start_time=42.0)
+    assert sim.now == 42.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_at_in_the_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.at(9.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, True)
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_processed == 0
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, True)
+    sim.run(until=2.5)
+    assert sim.now == 2.5
+    assert fired == []
+    sim.run(until=10.0)
+    assert fired == [True]
+    assert sim.now == 10.0
+
+
+def test_run_until_with_no_events_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(1.0, second)
+
+    def second():
+        seen.append(sim.now)
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    count = []
+
+    def tick():
+        count.append(1)
+        sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run(max_events=10)
+    assert len(count) == 10
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_property_events_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fire_times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fire_times.append(sim.now))
+    sim.run()
+    assert fire_times == sorted(fire_times)
+    assert len(fire_times) == len(delays)
+    assert sim.events_processed == len(delays)

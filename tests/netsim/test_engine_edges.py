@@ -1,0 +1,71 @@
+"""Edge-case tests for the simulator engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, inner)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+    assert sim.pending_events == 0
+
+
+def test_cancelled_events_drain_lazily():
+    sim = Simulator()
+    events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+    for event in events[:5]:
+        event.cancel()
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_run_until_idle_completes():
+    sim = Simulator()
+    ticks = []
+
+    def tick(n):
+        ticks.append(n)
+        if n < 20:
+            sim.schedule(0.1, tick, n + 1)
+
+    sim.schedule(0.0, tick, 0)
+    sim.run_until_idle()
+    assert len(ticks) == 21
+
+
+def test_event_repr_shows_state():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)
+
+
+def test_zero_delay_events_run_in_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.0, order.append, 1)
+    sim.schedule(0.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2]
+    assert sim.now == 0.0

@@ -1,0 +1,161 @@
+"""Tests for links (serialisation, delay, queueing) and queues."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Pipe
+from repro.netsim.loss import BernoulliLoss
+from repro.netsim.packet import Packet, Protocol
+from repro.netsim.queues import DropTailQueue
+
+
+class SinkNode:
+    """Minimal receive target recording arrival times."""
+
+    def __init__(self):
+        self.arrivals = []
+
+    def receive(self, packet, pipe):
+        self.arrivals.append((packet.uid, packet))
+
+    def __repr__(self):
+        return "<Sink>"
+
+
+def make_packet(size=1500):
+    return Packet(src="10.0.0.1", dst="10.0.0.2",
+                  protocol=Protocol.UDP, size=size)
+
+
+def test_infinite_rate_pipe_delivers_after_delay():
+    sim = Simulator()
+    sink = SinkNode()
+    pipe = Pipe(sim, sink, rate=None, delay=0.05)
+    times = []
+    pipe.on_deliver = lambda t, p: times.append(t)
+    pipe.send(make_packet())
+    sim.run()
+    assert times == [pytest.approx(0.05)]
+    assert len(sink.arrivals) == 1
+
+
+def test_serialization_delay_matches_rate():
+    sim = Simulator()
+    sink = SinkNode()
+    # 1500 B at 1 Mbit/s = 12 ms serialisation; no propagation.
+    pipe = Pipe(sim, sink, rate=1e6, delay=0.0)
+    times = []
+    pipe.on_deliver = lambda t, p: times.append(t)
+    pipe.send(make_packet(1500))
+    sim.run()
+    assert times == [pytest.approx(0.012)]
+
+
+def test_back_to_back_packets_queue_behind_each_other():
+    sim = Simulator()
+    sink = SinkNode()
+    pipe = Pipe(sim, sink, rate=1e6, delay=0.0)
+    times = []
+    pipe.on_deliver = lambda t, p: times.append(t)
+    for _ in range(3):
+        pipe.send(make_packet(1500))
+    sim.run()
+    assert times == [pytest.approx(0.012),
+                     pytest.approx(0.024),
+                     pytest.approx(0.036)]
+
+
+def test_queue_overflow_drops_tail():
+    sim = Simulator()
+    sink = SinkNode()
+    queue = DropTailQueue(capacity_packets=2)
+    pipe = Pipe(sim, sink, rate=1e6, delay=0.0, queue=queue)
+    for _ in range(5):  # 1 in flight + 2 queued + 2 dropped
+        pipe.send(make_packet())
+    sim.run()
+    assert len(sink.arrivals) == 3
+    assert queue.drops == 2
+
+
+def test_queue_capacity_bytes():
+    queue = DropTailQueue(capacity_bytes=3000)
+    p1, p2, p3 = make_packet(1500), make_packet(1500), make_packet(1500)
+    assert queue.push(p1) and queue.push(p2)
+    assert not queue.push(p3)
+    assert queue.bytes_queued == 3000
+    assert queue.pop() is p1
+    assert queue.bytes_queued == 1500
+
+
+def test_queue_rejects_bad_capacity():
+    with pytest.raises(ConfigurationError):
+        DropTailQueue(capacity_bytes=0)
+    with pytest.raises(ConfigurationError):
+        DropTailQueue(capacity_packets=-1)
+
+
+def test_pipe_rejects_bad_rate():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        Pipe(sim, SinkNode(), rate=0.0)
+
+
+def test_medium_loss_drops_packets():
+    sim = Simulator()
+    sink = SinkNode()
+    pipe = Pipe(sim, sink, rate=None, delay=0.0,
+                loss=BernoulliLoss(1.0))
+    losses = []
+    pipe.on_loss = lambda t, p, cause: losses.append(cause)
+    pipe.send(make_packet())
+    sim.run()
+    assert not sink.arrivals
+    assert losses == ["medium"]
+    assert pipe.lost_medium == 1
+
+
+def test_time_varying_delay_callable():
+    sim = Simulator()
+    sink = SinkNode()
+    pipe = Pipe(sim, sink, rate=None,
+                delay=lambda now: 0.010 if now < 1.0 else 0.020)
+    times = []
+    pipe.on_deliver = lambda t, p: times.append(t)
+    pipe.send(make_packet())
+    sim.schedule(2.0, pipe.send, make_packet())
+    sim.run()
+    assert times[0] == pytest.approx(0.010)
+    assert times[1] == pytest.approx(2.020)
+
+
+def test_set_rate_mid_flight_applies_to_next_packet():
+    sim = Simulator()
+    sink = SinkNode()
+    pipe = Pipe(sim, sink, rate=1e6, delay=0.0)
+    times = []
+    pipe.on_deliver = lambda t, p: times.append(t)
+    pipe.send(make_packet(1500))
+    sim.schedule(0.012, pipe.set_rate, 2e6)
+    sim.schedule(0.013, pipe.send, make_packet(1500))
+    sim.run()
+    assert times[0] == pytest.approx(0.012)
+    assert times[1] == pytest.approx(0.019)  # 6 ms at 2 Mbit/s
+
+
+@given(sizes=st.lists(st.integers(min_value=40, max_value=9000),
+                      min_size=1, max_size=30),
+       rate=st.floats(min_value=1e4, max_value=1e9))
+def test_property_fifo_order_and_total_time(sizes, rate):
+    """Packets leave in order; completion matches the sum of tx times."""
+    sim = Simulator()
+    sink = SinkNode()
+    pipe = Pipe(sim, sink, rate=rate, delay=0.0)
+    for size in sizes:
+        pipe.send(make_packet(size))
+    sim.run()
+    uids = [uid for uid, _ in sink.arrivals]
+    assert uids == sorted(uids)
+    expected = sum(s * 8.0 / rate for s in sizes)
+    assert sim.now == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,267 @@
+"""Tests for hosts, routers, NAT, shapers and route installation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.netsim.node import DEFAULT_ROUTE
+from repro.netsim.packet import (
+    IcmpMessage,
+    IcmpType,
+    Packet,
+    Protocol,
+)
+from repro.netsim.topology import Network
+
+
+def line_network():
+    """client -- r1 -- r2 -- server, 1 ms per hop."""
+    net = Network()
+    net.add_host("client", "10.1.0.1")
+    net.add_router("r1", "10.1.0.254")
+    net.add_router("r2", "10.2.0.254")
+    net.add_host("server", "10.2.0.1")
+    net.connect("client", "r1", delay=0.001)
+    net.connect("r1", "r2", delay=0.001)
+    net.connect("r2", "server", delay=0.001)
+    net.finalize()
+    return net
+
+
+def test_routes_installed_end_to_end():
+    net = line_network()
+    client = net.host("client")
+    assert client.routes["10.2.0.1"] == "r1"
+    assert net.node("r1").routes["10.2.0.1"] == "r2"
+
+
+def test_udp_delivery_across_routers():
+    net = line_network()
+    received = []
+    net.host("server").bind(Protocol.UDP, 5000, received.append)
+    packet = Packet(src="10.1.0.1", dst="10.2.0.1", protocol=Protocol.UDP,
+                    size=200, src_port=1234, dst_port=5000)
+    net.host("client").send(packet)
+    net.run()
+    assert len(received) == 1
+    assert received[0].ttl == 62  # two router hops
+
+
+def test_unbound_port_drops_silently():
+    net = line_network()
+    packet = Packet(src="10.1.0.1", dst="10.2.0.1", protocol=Protocol.UDP,
+                    size=200, dst_port=9)
+    net.host("client").send(packet)
+    net.run()  # no exception
+
+
+def test_icmp_echo_reply_from_host():
+    net = line_network()
+    replies = []
+    client = net.host("client")
+    client.bind_icmp(77, replies.append)
+    message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=77, seq=1,
+                          timestamp=net.sim.now)
+    client.send_icmp(IcmpType.ECHO_REQUEST, "10.2.0.1", message)
+    net.run()
+    assert len(replies) == 1
+    reply = replies[0].payload
+    assert reply.icmp_type is IcmpType.ECHO_REPLY
+    assert reply.seq == 1
+    # RTT = 6 hops at 1 ms
+    assert net.sim.now == pytest.approx(0.006)
+
+
+def test_routers_reply_to_ping():
+    net = line_network()
+    replies = []
+    client = net.host("client")
+    client.bind_icmp(5, replies.append)
+    message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=5, seq=0)
+    client.send_icmp(IcmpType.ECHO_REQUEST, "10.1.0.254", message)
+    net.run()
+    assert len(replies) == 1
+    assert replies[0].src == "10.1.0.254"
+
+
+def test_ttl_expiry_generates_time_exceeded():
+    net = line_network()
+    errors = []
+    client = net.host("client")
+    client.bind_icmp(4321, errors.append)
+    packet = Packet(src="10.1.0.1", dst="10.2.0.1", protocol=Protocol.UDP,
+                    size=60, src_port=4321, dst_port=33434, ttl=1,
+                    headers={"probe_ident": 4321})
+    client.send(packet)
+    net.run()
+    assert len(errors) == 1
+    message = errors[0].payload
+    assert message.icmp_type is IcmpType.TIME_EXCEEDED
+    assert message.origin == "10.1.0.254"
+    assert message.quoted_headers["dst"] == "10.2.0.1"
+
+
+def test_loopback_delivery():
+    net = line_network()
+    received = []
+    client = net.host("client")
+    client.bind(Protocol.UDP, 8000, received.append)
+    packet = Packet(src="10.1.0.1", dst="10.1.0.1", protocol=Protocol.UDP,
+                    size=100, dst_port=8000)
+    client.send(packet)
+    net.run()
+    assert len(received) == 1
+
+
+def test_no_route_raises():
+    net = Network()
+    net.add_host("lonely", "10.9.0.1")
+    with pytest.raises(RoutingError):
+        net.host("lonely").send(
+            Packet(src="10.9.0.1", dst="10.0.0.9",
+                   protocol=Protocol.UDP, size=100))
+
+
+def test_duplicate_node_name_rejected():
+    net = Network()
+    net.add_host("a")
+    with pytest.raises(ConfigurationError):
+        net.add_host("a")
+
+
+def test_default_route_fallback():
+    net = line_network()
+    client = net.host("client")
+    client.routes.clear()
+    client.routes[DEFAULT_ROUTE] = "r1"
+    received = []
+    net.host("server").bind(Protocol.UDP, 5000, received.append)
+    client.send(Packet(src="10.1.0.1", dst="10.2.0.1",
+                       protocol=Protocol.UDP, size=100, dst_port=5000))
+    net.run()
+    assert len(received) == 1
+
+
+# -- NAT ---------------------------------------------------------------
+
+def nat_network():
+    """client -- dishrouter(NAT) -- cgnat(NAT) -- core -- server.
+
+    Mirrors the paper's finding: 192.168.1.1 then 100.64.0.1.
+    """
+    net = Network()
+    net.add_host("client", "192.168.1.10")
+    net.add_nat("dish", "192.168.1.1", inside_neighbor="client")
+    net.add_nat("cgnat", "100.64.0.1", inside_neighbor="dish")
+    net.add_router("core", "62.0.0.254")
+    net.add_host("server", "62.0.0.1")
+    net.connect("client", "dish", delay=0.001)
+    net.connect("dish", "cgnat", delay=0.001)
+    net.connect("cgnat", "core", delay=0.001)
+    net.connect("core", "server", delay=0.001)
+    net.finalize()
+    # The NATs hide the client: the outside only routes to NAT addrs.
+    return net
+
+
+def test_nat_rewrites_source_and_checksum():
+    net = nat_network()
+    received = []
+    net.host("server").bind(Protocol.UDP, 5000, received.append)
+    packet = Packet(src="192.168.1.10", dst="62.0.0.1",
+                    protocol=Protocol.UDP, size=100,
+                    src_port=40000, dst_port=5000)
+    original_checksum = packet.headers["checksum"]
+    net.host("client").send(packet)
+    net.run()
+    assert len(received) == 1
+    seen = received[0]
+    assert seen.src == "100.64.0.1"  # outermost NAT address
+    assert seen.src_port != 40000
+    assert seen.headers["checksum"] != original_checksum
+
+
+def test_nat_return_path_reaches_client():
+    net = nat_network()
+    client_received = []
+    net.host("client").bind(Protocol.UDP, 40000, client_received.append)
+
+    def reply(request):
+        response = Packet(src="62.0.0.1", dst=request.src,
+                          protocol=Protocol.UDP, size=100,
+                          src_port=5000, dst_port=request.src_port)
+        net.host("server").send(response)
+
+    net.host("server").bind(Protocol.UDP, 5000, reply)
+    net.host("client").send(
+        Packet(src="192.168.1.10", dst="62.0.0.1", protocol=Protocol.UDP,
+               size=100, src_port=40000, dst_port=5000))
+    net.run()
+    assert len(client_received) == 1
+
+
+def test_ping_through_double_nat():
+    net = nat_network()
+    replies = []
+    client = net.host("client")
+    client.bind_icmp(99, replies.append)
+    message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=99, seq=3)
+    client.send_icmp(IcmpType.ECHO_REQUEST, "62.0.0.1", message)
+    net.run()
+    assert len(replies) == 1
+    assert replies[0].payload.ident == 99
+    assert replies[0].payload.seq == 3
+
+
+def test_traceroute_hops_through_nat_show_nat_addresses():
+    net = nat_network()
+    client = net.host("client")
+    hops = {}
+
+    def on_error(packet):
+        hops[packet.payload.origin] = packet.payload
+
+    client.bind_icmp(31337, on_error)
+    for ttl in (1, 2, 3):
+        client.send(Packet(
+            src="192.168.1.10", dst="62.0.0.1", protocol=Protocol.UDP,
+            size=60, src_port=31337, dst_port=33434, ttl=ttl,
+            headers={"probe_ident": 31337}))
+    net.run()
+    assert "192.168.1.1" in hops
+    assert "100.64.0.1" in hops
+    assert "62.0.0.254" in hops
+
+
+# -- shaper ------------------------------------------------------------
+
+def test_shaper_polices_classified_traffic_only():
+    net = Network()
+    net.add_host("client", "10.1.0.1")
+    net.add_shaper("td", "10.1.0.254",
+                   classifier=lambda p: p.headers.get("service"),
+                   class_rates={"video": 8_000.0},  # 1 kB/s
+                   burst_bytes=2_400)
+    net.add_host("server", "10.2.0.1")
+    net.connect("client", "td", delay=0.0)
+    net.connect("td", "server", delay=0.0)
+    net.finalize()
+    received = []
+    net.host("server").bind(Protocol.UDP, 443, received.append)
+
+    def blast(service):
+        for _ in range(50):
+            net.host("client").send(Packet(
+                src="10.1.0.1", dst="10.2.0.1", protocol=Protocol.UDP,
+                size=1200, dst_port=443,
+                headers={"service": service} if service else {}))
+
+    blast("video")
+    net.run()
+    policed = len(received)
+    received.clear()
+    blast(None)
+    net.run()
+    unpoliced = len(received)
+    assert policed < unpoliced
+    assert unpoliced == 50
+    assert net.node("td").policed_drops > 0

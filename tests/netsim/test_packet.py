@@ -1,0 +1,59 @@
+"""Tests for packet construction and header bookkeeping."""
+
+import pytest
+
+from repro.netsim.packet import IcmpMessage, IcmpType, Packet, Protocol
+
+
+def test_packet_requires_positive_size():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", protocol=Protocol.UDP, size=0)
+
+
+def test_packet_gets_checksum_header():
+    packet = Packet(src="10.0.0.1", dst="10.0.0.2",
+                    protocol=Protocol.TCP, size=100,
+                    src_port=1, dst_port=2)
+    assert "checksum" in packet.headers
+
+
+def test_checksum_changes_with_addressing():
+    a = Packet(src="10.0.0.1", dst="10.0.0.2", protocol=Protocol.TCP,
+               size=100, src_port=1, dst_port=2)
+    b = Packet(src="10.0.0.9", dst="10.0.0.2", protocol=Protocol.TCP,
+               size=100, src_port=1, dst_port=2)
+    assert a.headers["checksum"] != b.headers["checksum"]
+
+
+def test_refresh_checksum_after_rewrite():
+    packet = Packet(src="10.0.0.1", dst="10.0.0.2",
+                    protocol=Protocol.UDP, size=100)
+    before = packet.headers["checksum"]
+    packet.src = "99.0.0.1"
+    packet.refresh_checksum()
+    assert packet.headers["checksum"] != before
+
+
+def test_uids_are_unique():
+    uids = {Packet(src="a", dst="b", protocol=Protocol.UDP,
+                   size=10).uid for _ in range(100)}
+    assert len(uids) == 100
+
+
+def test_copy_headers_is_snapshot():
+    packet = Packet(src="a", dst="b", protocol=Protocol.UDP, size=10)
+    snap = packet.copy_headers()
+    packet.headers["extra"] = 1
+    assert "extra" not in snap
+
+
+def test_reply_to():
+    packet = Packet(src="a", dst="b", protocol=Protocol.UDP, size=10,
+                    src_port=42, dst_port=80)
+    assert packet.reply_to() == ("a", 42)
+
+
+def test_icmp_message_defaults():
+    message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=5, seq=2)
+    assert message.quoted_headers is None
+    assert message.origin == ""

@@ -1,0 +1,85 @@
+"""Cross-cutting netsim behaviours: FIFO guarantee, rate callables,
+unreachable handling."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.netsim.packet import IcmpMessage, IcmpType, Packet, Protocol
+from repro.rng import make_rng
+from repro.units import mbps, ms
+
+
+def test_fifo_preserved_under_random_delay():
+    """Random per-packet delay components must never reorder."""
+    net = Network()
+    net.add_host("a", "10.0.0.1")
+    net.add_host("b", "10.0.0.2")
+    rng = make_rng("fifo-test")
+    net.connect("a", "b", rate_ab=mbps(100),
+                delay=lambda now: rng.uniform(0.001, 0.050))
+    net.finalize()
+    order = []
+    net.host("b").bind(Protocol.UDP, 9,
+                       lambda pkt: order.append(pkt.uid))
+    uids = []
+    for _ in range(60):
+        packet = Packet(src="10.0.0.1", dst="10.0.0.2",
+                        protocol=Protocol.UDP, size=500, dst_port=9)
+        uids.append(packet.uid)
+        net.host("a").send(packet)
+    net.run()
+    assert order == uids
+
+
+def test_callable_rate_changes_serialisation():
+    net = Network()
+    net.add_host("a", "10.0.0.1")
+    net.add_host("b", "10.0.0.2")
+    # 1 Mbit/s before t=1, 10 Mbit/s after.
+    net.connect("a", "b",
+                rate_ab=lambda now: mbps(1) if now < 1.0 else mbps(10))
+    net.finalize()
+    times = []
+    net.host("b").bind(Protocol.UDP, 9,
+                       lambda pkt: times.append(net.sim.now))
+    host = net.host("a")
+    host.send(Packet(src="10.0.0.1", dst="10.0.0.2",
+                     protocol=Protocol.UDP, size=1250, dst_port=9))
+    net.sim.at(2.0, host.send, Packet(
+        src="10.0.0.1", dst="10.0.0.2", protocol=Protocol.UDP,
+        size=1250, dst_port=9))
+    net.run()
+    assert times[0] == pytest.approx(0.010)        # 10 ms at 1 Mbit/s
+    assert times[1] == pytest.approx(2.001)        # 1 ms at 10 Mbit/s
+
+
+def test_unbound_udp_triggers_port_unreachable():
+    net = Network()
+    net.add_host("a", "10.0.0.1")
+    net.add_host("b", "10.0.0.2")
+    net.connect("a", "b", delay=ms(1))
+    net.finalize()
+    errors = []
+    net.host("a").bind_icmp(4242, errors.append)
+    net.host("a").send(Packet(
+        src="10.0.0.1", dst="10.0.0.2", protocol=Protocol.UDP,
+        size=60, src_port=4242, dst_port=33999))
+    net.run()
+    assert len(errors) == 1
+    assert errors[0].payload.icmp_type is IcmpType.DEST_UNREACHABLE
+
+
+def test_bound_udp_does_not_trigger_unreachable():
+    net = Network()
+    net.add_host("a", "10.0.0.1")
+    net.add_host("b", "10.0.0.2")
+    net.connect("a", "b", delay=ms(1))
+    net.finalize()
+    errors = []
+    net.host("a").bind_icmp(4242, errors.append)
+    net.host("b").bind(Protocol.UDP, 33999, lambda pkt: None)
+    net.host("a").send(Packet(
+        src="10.0.0.1", dst="10.0.0.2", protocol=Protocol.UDP,
+        size=60, src_port=4242, dst_port=33999))
+    net.run()
+    assert errors == []

@@ -1,0 +1,58 @@
+"""Tests for packet capture (PipeTracer)."""
+
+from repro.netsim import Network
+from repro.netsim.loss import BernoulliLoss
+from repro.netsim.packet import Packet, Protocol
+from repro.netsim.trace import PipeTracer
+from repro.units import mbps, ms
+
+
+def build():
+    net = Network()
+    net.add_host("a", "10.0.0.1")
+    net.add_host("b", "10.0.0.2")
+    link = net.connect("a", "b", rate_ab=mbps(10), rate_ba=mbps(10),
+                       delay=ms(5))
+    net.finalize()
+    return net, link
+
+
+def send(net, n, size=500):
+    for _ in range(n):
+        net.host("a").send(Packet(
+            src="10.0.0.1", dst="10.0.0.2", protocol=Protocol.UDP,
+            size=size, dst_port=9))
+    net.run()
+
+
+def test_tracer_records_tx_and_rx():
+    net, link = build()
+    tracer = PipeTracer(link.pipe_ab)
+    send(net, 3)
+    assert len(tracer.events("tx")) == 3
+    assert len(tracer.events("rx")) == 3
+    assert tracer.loss_count() == 0
+    rx = tracer.events("rx")[0]
+    tx = tracer.events("tx")[0]
+    assert rx.time - tx.time >= 0.005
+    assert rx.uid == tx.uid
+    assert rx.protocol == "udp"
+
+
+def test_tracer_records_medium_losses():
+    net, link = build()
+    link.pipe_ab.loss = BernoulliLoss(1.0)
+    tracer = PipeTracer(link.pipe_ab)
+    send(net, 2)
+    assert tracer.loss_count() == 2
+    assert tracer.events("loss")[0].info == "medium"
+    assert not tracer.events("rx")
+
+
+def test_tracer_close_stops_capture():
+    net, link = build()
+    tracer = PipeTracer(link.pipe_ab)
+    send(net, 1)
+    tracer.close()
+    send(net, 5)
+    assert len(tracer.events("tx")) == 1

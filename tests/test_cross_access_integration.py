@@ -1,0 +1,65 @@
+"""Cross-technology integration checks (packet level).
+
+These pin the paper's headline comparisons at the transport level,
+independent of the flow-level browsing model: connection setup is an
+order of magnitude slower on GEO, and the same QUIC client code runs
+unchanged over all three accesses.
+"""
+
+import pytest
+
+from repro.apps.bulk import run_bulk_transfer
+from repro.core.campaign import CAMPUS_SERVER
+from repro.geo.satcom import GeoSatComAccess
+from repro.leo.access import StarlinkAccess
+from repro.transport.tcp import TcpServer, tcp_connect
+from repro.units import mb, to_ms
+from repro.wired.access import WiredAccess
+
+
+def _tcp_handshake_ms(access) -> float:
+    server = access.add_remote_host("srv", "62.4.0.99", CAMPUS_SERVER)
+    access.finalize()
+    TcpServer(server, 8080)
+    client = tcp_connect(access.client, "62.4.0.99", 8080)
+    access.run(10.0)
+    assert client.established
+    return to_ms(client.stats.handshake_rtt)
+
+
+def test_tcp_handshake_ordering_across_accesses():
+    wired = _tcp_handshake_ms(WiredAccess(seed=1))
+    starlink = _tcp_handshake_ms(StarlinkAccess(seed=1))
+    satcom = _tcp_handshake_ms(GeoSatComAccess(seed=1))
+    assert wired < starlink < satcom
+    # Paper scale: tens of ms on Starlink, ~600 ms on GEO.
+    assert 20 <= starlink <= 110
+    assert satcom >= 500
+    assert wired <= 20
+
+
+@pytest.mark.parametrize("access_cls,seed", [
+    (StarlinkAccess, 11), (WiredAccess, 11),
+])
+def test_quic_bulk_runs_on_every_access(access_cls, seed):
+    access = access_cls(seed=seed)
+    server = access.add_remote_host("srv", "62.4.0.99", CAMPUS_SERVER)
+    access.finalize()
+    result = run_bulk_transfer(access.client, server, "down",
+                               payload_bytes=mb(3))
+    assert result.completed
+    assert result.goodput_mbps > 5
+
+
+def test_quic_bulk_on_geo_is_pep_immune():
+    """QUIC crosses the PEP untouched (it is UDP): the transfer works
+    end to end and the PEP proxies zero QUIC flows."""
+    access = GeoSatComAccess(seed=11)
+    server = access.add_remote_host("srv", "62.4.0.99", CAMPUS_SERVER)
+    access.finalize()
+    result = run_bulk_transfer(access.client, server, "down",
+                               payload_bytes=mb(2), timeout_s=180.0)
+    assert result.completed
+    pep = access.net.nodes["pep"]
+    assert not pep.flows          # no split QUIC connections
+    assert result.handshake_rtt_s > 0.5   # full GEO RTT, no shortcut

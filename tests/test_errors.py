@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CampaignError,
+    ConfigurationError,
+    ConnectionClosedError,
+    FlowControlError,
+    HandshakeTimeoutError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TransportError,
+)
+
+
+@pytest.mark.parametrize("exc", [
+    SimulationError, ConfigurationError, RoutingError, TransportError,
+    CampaignError, AnalysisError,
+])
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+@pytest.mark.parametrize("exc", [
+    ConnectionClosedError, FlowControlError, HandshakeTimeoutError,
+])
+def test_transport_sub_errors(exc):
+    assert issubclass(exc, TransportError)
+
+
+def test_catching_library_errors_does_not_mask_bugs():
+    with pytest.raises(TypeError):
+        try:
+            raise TypeError("a programming error")
+        except ReproError:  # pragma: no cover - must not trigger
+            pytest.fail("ReproError must not catch TypeError")

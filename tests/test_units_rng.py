@@ -1,0 +1,70 @@
+"""Tests for unit helpers and deterministic RNG derivation."""
+
+import pytest
+
+from repro.rng import make_rng, stable_seed
+from repro.units import (
+    days,
+    gbps,
+    hours,
+    kb,
+    kbps,
+    kib,
+    mb,
+    mbps,
+    mib,
+    minutes,
+    ms,
+    to_mbps,
+    to_ms,
+    to_us,
+    transmission_time,
+    us,
+)
+
+
+def test_time_units():
+    assert ms(1500) == 1.5
+    assert us(2000) == pytest.approx(0.002)
+    assert minutes(2) == 120.0
+    assert hours(1) == 3600.0
+    assert days(2) == 172_800.0
+    assert to_ms(0.25) == 250.0
+    assert to_us(0.001) == pytest.approx(1000.0)
+
+
+def test_rate_units():
+    assert kbps(8) == 8000.0
+    assert mbps(100) == 1e8
+    assert gbps(1) == 1e9
+    assert to_mbps(5e7) == 50.0
+
+
+def test_size_units():
+    assert kib(1) == 1024
+    assert mib(2) == 2 * 1024 * 1024
+    assert kb(3) == 3000
+    assert mb(1.5) == 1_500_000
+
+
+def test_transmission_time():
+    assert transmission_time(1250, 1e6) == pytest.approx(0.01)
+    with pytest.raises(ValueError):
+        transmission_time(100, 0.0)
+
+
+def test_stable_seed_deterministic():
+    assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+    assert stable_seed("a") != stable_seed("b")
+    assert stable_seed(1, 2) != stable_seed(12)
+    assert stable_seed((1, "x")) == stable_seed((1, "x"))
+
+
+def test_make_rng_streams_independent():
+    a, b = make_rng("s1"), make_rng("s2")
+    assert [a.random() for _ in range(5)] != \
+        [b.random() for _ in range(5)]
+
+
+def test_make_rng_reproducible():
+    assert make_rng("k", 7).random() == make_rng("k", 7).random()

@@ -1,0 +1,150 @@
+"""Tests for the congestion controllers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transport.cc import (
+    CubicController,
+    NewRenoController,
+    make_controller,
+)
+
+MSS = 1400
+LOW_RTT = 0.001   # fast path: never triggers HyStart
+
+
+def test_factory():
+    assert make_controller("cubic", MSS).name == "cubic"
+    assert make_controller("newreno", MSS).name == "newreno"
+    with pytest.raises(ConfigurationError):
+        make_controller("bbr", MSS)
+    with pytest.raises(ConfigurationError):
+        make_controller("cubic", 0)
+
+
+def test_initial_window_default_and_custom():
+    assert CubicController(MSS).cwnd == 10 * MSS
+    assert CubicController(MSS, initial_window=123_456).cwnd == 123_456
+
+
+@pytest.mark.parametrize("cls", [CubicController, NewRenoController])
+def test_slow_start_doubles_per_window(cls):
+    cc = cls(MSS)
+    start = cc.cwnd
+    # Ack a full window at a constant tiny RTT (no delay rise).
+    for _ in range(10):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    assert cc.cwnd == pytest.approx(start + 10 * MSS)
+    assert cc.in_slow_start
+
+
+@pytest.mark.parametrize("cls", [CubicController, NewRenoController])
+def test_congestion_event_shrinks_window(cls):
+    cc = cls(MSS)
+    for _ in range(100):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    before = cc.cwnd
+    cc.on_congestion_event(now=1.0)
+    assert cc.cwnd < before
+    assert cc.cwnd >= 2 * MSS
+    assert cc.congestion_events == 1
+
+
+def test_cubic_beta_is_point_seven():
+    cc = CubicController(MSS, hystart=False)
+    for _ in range(200):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    before = cc.cwnd
+    cc.on_congestion_event(now=1.0)
+    assert cc.cwnd == pytest.approx(0.7 * before)
+
+
+def test_newreno_halves():
+    cc = NewRenoController(MSS)
+    for _ in range(200):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    before = cc.cwnd
+    cc.on_congestion_event(now=1.0)
+    assert cc.cwnd == pytest.approx(before / 2.0)
+
+
+@pytest.mark.parametrize("cls", [CubicController, NewRenoController])
+def test_timeout_collapses_to_one_segment(cls):
+    cc = cls(MSS)
+    for _ in range(50):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    cc.on_timeout(now=2.0)
+    assert cc.cwnd == MSS
+
+
+def test_cubic_grows_after_loss():
+    cc = CubicController(MSS, hystart=False)
+    for _ in range(300):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    cc.on_congestion_event(now=1.0)
+    after_loss = cc.cwnd
+    t = 1.05
+    for _ in range(3000):
+        cc.on_ack(MSS, now=t, rtt=0.05)
+        t += 0.002
+    assert cc.cwnd > after_loss
+
+
+def test_cubic_reconverges_toward_wmax():
+    """Cubic plateaus near the pre-loss window."""
+    cc = CubicController(MSS, hystart=False)
+    for _ in range(300):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    w_max = cc.cwnd
+    cc.on_congestion_event(now=1.0)
+    t = 1.05
+    for _ in range(20000):
+        cc.on_ack(MSS, now=t, rtt=0.05)
+        t += 0.001
+    assert cc.cwnd > 0.8 * w_max
+
+
+def test_hystart_exits_on_sustained_delay_rise():
+    cc = CubicController(MSS)
+    t = 0.0
+    # Establish a low min RTT.
+    for _ in range(30):
+        cc.on_ack(MSS, now=t, rtt=0.040)
+        t += 0.005
+    assert cc.in_slow_start
+    # Sustained +40 ms rise: queue build-up.
+    for _ in range(200):
+        cc.on_ack(MSS, now=t, rtt=0.080)
+        t += 0.005
+        if not cc.in_slow_start:
+            break
+    assert not cc.in_slow_start
+
+
+def test_hystart_ignores_single_jitter_spike():
+    cc = CubicController(MSS)
+    t = 0.0
+    for _ in range(30):
+        cc.on_ack(MSS, now=t, rtt=0.040)
+        t += 0.005
+    # One spike, then back to normal, repeatedly: no exit.
+    for cycle in range(20):
+        cc.on_ack(MSS, now=t, rtt=0.075)
+        t += 0.005
+        for _ in range(10):
+            cc.on_ack(MSS, now=t, rtt=0.041)
+            t += 0.005
+    assert cc.in_slow_start
+
+
+def test_recovery_window_suppresses_repeat_decreases():
+    cc = CubicController(MSS, hystart=False)
+    for _ in range(100):
+        cc.on_ack(MSS, now=0.01, rtt=LOW_RTT)
+    cc.on_congestion_event(now=1.0)
+    after_first = cc.cwnd
+    cc.set_recovery(until=2.0)
+    cc.on_congestion_event(now=1.5)   # same loss burst
+    assert cc.cwnd == after_first
+    cc.on_congestion_event(now=2.5)   # new epoch
+    assert cc.cwnd < after_first

@@ -1,0 +1,58 @@
+"""Handshake robustness under adverse conditions."""
+
+from repro.netsim import Network
+from repro.netsim.loss import OutageSchedule
+from repro.transport.quic import H3Client, H3Server
+from repro.transport.tcp import TcpServer, tcp_connect
+from repro.units import mbps, ms
+
+
+def outage_net(outage_end: float):
+    """Link fully down until ``outage_end``."""
+    net = Network()
+    net.add_host("client", "10.0.0.1")
+    net.add_host("server", "10.0.1.1")
+    loss = OutageSchedule([(0.0, outage_end)])
+    net.connect("client", "server", rate_ab=mbps(50), rate_ba=mbps(50),
+                delay=ms(10), loss_ab=loss)
+    net.finalize()
+    return net
+
+
+def test_tcp_syn_retries_through_outage():
+    net = outage_net(2.5)
+    client = tcp_connect(net.host("client"), "10.0.1.1", 5001)
+    TcpServer(net.host("server"), 5001)
+    net.sim.run(until=10.0)
+    assert client.established
+    # SYN retried roughly once per second during the outage.
+    assert client.stats.handshake_rtt > 2.0
+
+
+def test_quic_hello_retries_through_outage():
+    net = outage_net(2.5)
+    H3Server(net.host("server"), 443, resource_bytes=10_000)
+    client = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = client.get(10_000)
+    net.sim.run(until=30.0)
+    assert result.complete
+    assert client.connection.established
+
+
+def test_quic_data_survives_mid_transfer_outage():
+    net = Network()
+    net.add_host("client", "10.0.0.1")
+    net.add_host("server", "10.0.1.1")
+    loss = OutageSchedule([(0.5, 1.2)])   # 1.2 s blackout mid-flow
+    net.connect("client", "server", rate_ab=mbps(50), rate_ba=mbps(50),
+                delay=ms(10), loss_ab=loss, loss_ba=OutageSchedule(
+                    [(0.5, 1.2)]))
+    net.finalize()
+    H3Server(net.host("server"), 443, resource_bytes=5_000_000)
+    client = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = client.get(5_000_000)
+    net.sim.run(until=60.0)
+    assert result.complete
+    # The blackout shows up as a long receiver-side loss event.
+    gaps = client.connection.received_pns.gap_runs()
+    assert gaps

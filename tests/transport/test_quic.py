@@ -1,0 +1,184 @@
+"""Integration tests for the QUIC stack over the simulator."""
+
+import pytest
+
+from repro.netsim import Network
+from repro.netsim.loss import BernoulliLoss
+from repro.netsim.queues import DropTailQueue
+from repro.transport.quic import (
+    H3Client,
+    H3Server,
+    QuicConfig,
+    QuicServer,
+    open_connection,
+)
+from repro.units import mb, mbps, ms
+
+
+def make_net(rate=mbps(100), delay=ms(10), qbytes=None, loss=None):
+    net = Network()
+    net.add_host("client", "10.0.0.1")
+    net.add_host("server", "10.0.1.1")
+    queue_a = DropTailQueue(capacity_bytes=qbytes) if qbytes else None
+    queue_b = DropTailQueue(capacity_bytes=qbytes) if qbytes else None
+    net.connect("client", "server", rate_ab=rate, rate_ba=rate,
+                delay=delay, queue_ab=queue_a, queue_ba=queue_b,
+                loss_ab=loss, loss_ba=loss)
+    net.finalize()
+    return net
+
+
+def test_handshake_takes_one_rtt():
+    net = make_net(delay=ms(30))
+    srv = H3Server(net.host("server"), 443, resource_bytes=1000)
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(1000)
+    net.sim.run(until=5.0)
+    assert result.complete
+    assert cli.connection.stats.handshake_rtt == pytest.approx(
+        0.06, rel=0.05)
+
+
+def test_download_delivers_and_completes():
+    net = make_net()
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(5))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(mb(5))
+    net.sim.run(until=30.0)
+    assert result.complete
+    assert result.goodput_bps() > 0.6 * mbps(100)
+
+
+def test_upload_completes_with_server_response():
+    net = make_net()
+    srv = H3Server(net.host("server"), 443)
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.post(mb(2))
+    net.sim.run(until=30.0)
+    assert result.complete
+    assert srv.requests_served == 1
+
+
+def test_lossless_link_means_no_missing_pns():
+    net = make_net()
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(2))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(mb(2))
+    net.sim.run(until=30.0)
+    assert result.complete
+    assert cli.connection.receiver_lost_pns() == []
+    assert cli.connection.receiver_loss_ratio() == 0.0
+
+
+def test_receiver_sees_exact_losses_under_random_loss():
+    """The paper's method: missing packet numbers == lost packets."""
+    net = make_net(rate=mbps(30), loss=BernoulliLoss(0.02))
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(2))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(mb(2))
+    net.sim.run(until=120.0)
+    assert result.complete         # all data recovered...
+    missing = cli.connection.receiver_lost_pns()
+    assert missing                 # ...yet losses remain visible
+    ratio = cli.connection.receiver_loss_ratio()
+    assert 0.005 <= ratio <= 0.06
+
+
+def test_retransmission_uses_new_packet_numbers():
+    net = make_net(rate=mbps(30), loss=BernoulliLoss(0.02))
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(1))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(mb(1))
+    net.sim.run(until=60.0)
+    assert result.complete
+    server_conn = next(iter(srv.connections.values()))
+    # Sender counted losses; packets sent exceed the data packets a
+    # lossless run would need.
+    assert server_conn.stats.lost_pns
+    gaps = cli.connection.received_pns.gap_runs()
+    assert len(gaps) >= 1
+
+
+def test_recovers_from_queue_overflow():
+    net = make_net(rate=mbps(50), delay=ms(20), qbytes=80_000)
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(4))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(mb(4))
+    net.sim.run(until=60.0)
+    assert result.complete
+
+
+def test_flow_control_window_autotunes():
+    net = make_net(rate=mbps(400), delay=ms(20))
+    config = QuicConfig(initial_max_data=mb(10))
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(30),
+                   config=config)
+    cli = H3Client(net.host("client"), "10.0.1.1", 443, config=config)
+    result = cli.get(mb(30))
+    net.sim.run(until=30.0)
+    assert result.complete
+    assert cli.connection.local_max_data > mb(10)
+
+
+def test_flow_control_blocks_without_autotune():
+    net = make_net(rate=mbps(400), delay=ms(20))
+    config = QuicConfig(initial_max_data=mb(1), autotune=False)
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(5),
+                   config=config)
+    cli = H3Client(net.host("client"), "10.0.1.1", 443, config=config)
+    result = cli.get(mb(5))
+    net.sim.run(until=10.0)
+    # Sender respects max_data: at most 1 MB of stream data arrives.
+    assert not result.complete
+    assert cli.connection.data_received <= mb(1)
+
+
+def test_many_small_streams_all_complete():
+    """The messages workload shape: stream per message."""
+    net = make_net(delay=ms(15))
+    completions = []
+
+    def on_server_conn(conn):
+        conn.on_stream_complete = (
+            lambda sid, nbytes, now: completions.append((sid, nbytes)))
+
+    server = QuicServer(net.host("server"), 4433,
+                        on_connection=on_server_conn)
+    client = open_connection(net.host("client"), "10.0.1.1", 4433)
+    client.connect()
+    net.sim.run(until=1.0)
+    sizes = [5000, 12000, 25000, 800]
+    for size in sizes:
+        sid = client.open_stream()
+        client.stream_write(sid, size, fin=True)
+    net.sim.run(until=10.0)
+    assert sorted(n for _, n in completions) == sorted(sizes)
+
+
+def test_per_packet_rtt_samples_match_path():
+    net = make_net(delay=ms(40))
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(1))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(mb(1))
+    net.sim.run(until=20.0)
+    assert result.complete
+    server_conn = next(iter(srv.connections.values()))
+    samples = [rtt for _, rtt in server_conn.stats.acked_packet_rtts]
+    assert samples
+    # Base path RTT is 80 ms; samples sit above it but below 3x.
+    assert min(samples) >= 0.08 - 1e-9
+    assert max(samples) < 0.24
+
+
+def test_stats_counters_consistent():
+    net = make_net()
+    srv = H3Server(net.host("server"), 443, resource_bytes=mb(1))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    result = cli.get(mb(1))
+    net.sim.run(until=20.0)
+    assert result.complete
+    server_conn = next(iter(srv.connections.values()))
+    stats = server_conn.stats
+    assert stats.packets_sent >= stats.ack_eliciting_sent
+    assert stats.acked_packets <= stats.ack_eliciting_sent
+    assert stats.bytes_sent > mb(1)

@@ -1,0 +1,153 @@
+"""Tests for the interval bookkeeping (RangeSet)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.rangeset import RangeSet
+
+
+def test_empty_rangeset():
+    rs = RangeSet()
+    assert not rs
+    assert len(rs) == 0
+    assert rs.max_value is None
+    assert rs.min_value is None
+    assert rs.total == 0
+    assert rs.first_missing(0) == 0
+
+
+def test_single_value_add():
+    rs = RangeSet()
+    rs.add(5)
+    assert rs.contains(5)
+    assert not rs.contains(4)
+    assert not rs.contains(6)
+    assert rs.total == 1
+    assert rs.max_value == 5
+    assert rs.min_value == 5
+
+
+def test_adjacent_ranges_coalesce():
+    rs = RangeSet()
+    rs.add(0, 5)
+    rs.add(5, 10)
+    assert len(rs) == 1
+    assert list(rs) == [(0, 10)]
+
+
+def test_overlapping_ranges_coalesce():
+    rs = RangeSet()
+    rs.add(0, 6)
+    rs.add(4, 10)
+    assert list(rs) == [(0, 10)]
+
+
+def test_disjoint_ranges_stay_separate():
+    rs = RangeSet()
+    rs.add(0, 3)
+    rs.add(7, 9)
+    assert list(rs) == [(0, 3), (7, 9)]
+    assert rs.total == 5
+
+
+def test_bridge_range_merges_neighbours():
+    rs = RangeSet()
+    rs.add(0, 3)
+    rs.add(7, 9)
+    rs.add(3, 7)
+    assert list(rs) == [(0, 9)]
+
+
+def test_empty_range_rejected():
+    rs = RangeSet()
+    with pytest.raises(ValueError):
+        rs.add(5, 5)
+    with pytest.raises(ValueError):
+        rs.add(5, 3)
+
+
+def test_first_missing_tracks_cumulative_point():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(12, 15)
+    assert rs.first_missing(0) == 10
+    rs.add(10, 12)
+    assert rs.first_missing(0) == 15
+
+
+def test_first_missing_with_floor():
+    rs = RangeSet()
+    rs.add(5, 10)
+    assert rs.first_missing(0) == 0
+    assert rs.first_missing(5) == 10
+    assert rs.first_missing(7) == 10
+    assert rs.first_missing(11) == 11
+
+
+def test_missing_below_max():
+    rs = RangeSet()
+    for pn in (0, 1, 2, 5, 6, 9):
+        rs.add(pn)
+    assert rs.missing_below_max() == [3, 4, 7, 8]
+
+
+def test_gap_runs():
+    rs = RangeSet()
+    rs.add(0, 3)
+    rs.add(5, 8)
+    rs.add(20, 21)
+    assert rs.gap_runs() == [(3, 2), (8, 12)]
+
+
+def test_ranges_descending_with_limit():
+    rs = RangeSet()
+    rs.add(0, 2)
+    rs.add(4, 6)
+    rs.add(8, 10)
+    assert rs.ranges_descending() == [(8, 10), (4, 6), (0, 2)]
+    assert rs.ranges_descending(limit=2) == [(8, 10), (4, 6)]
+
+
+def test_duplicate_adds_are_idempotent():
+    rs = RangeSet()
+    rs.add(3, 8)
+    rs.add(3, 8)
+    rs.add(4, 7)
+    assert list(rs) == [(3, 8)]
+    assert rs.total == 5
+
+
+@given(st.lists(st.integers(min_value=0, max_value=300),
+                min_size=1, max_size=200))
+def test_property_matches_python_set(values):
+    """RangeSet behaves exactly like a set of integers."""
+    rs = RangeSet()
+    reference = set()
+    for value in values:
+        rs.add(value)
+        reference.add(value)
+    assert rs.total == len(reference)
+    assert rs.max_value == max(reference)
+    assert rs.min_value == min(reference)
+    for probe in range(0, 301):
+        assert rs.contains(probe) == (probe in reference)
+    expected_missing = [x for x in range(min(reference), max(reference))
+                        if x not in reference]
+    assert rs.missing_below_max() == expected_missing
+    # Ranges are sorted, disjoint and non-adjacent.
+    pairs = list(rs)
+    for (s1, e1), (s2, _) in zip(pairs, pairs[1:]):
+        assert e1 < s2
+
+
+@given(st.lists(st.tuples(st.integers(0, 500), st.integers(1, 30)),
+                min_size=1, max_size=60))
+def test_property_range_adds_match_set(ranges):
+    rs = RangeSet()
+    reference = set()
+    for start, length in ranges:
+        rs.add(start, start + length)
+        reference.update(range(start, start + length))
+    assert rs.total == len(reference)
+    assert rs.first_missing(0) == next(
+        x for x in range(600) if x not in reference)

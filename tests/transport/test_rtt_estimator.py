@@ -1,0 +1,82 @@
+"""Tests for RFC 6298/9002 RTT estimation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.rtt import RttEstimator
+
+
+def test_initial_state():
+    est = RttEstimator()
+    assert est.srtt is None
+    assert est.smoothed == RttEstimator.INITIAL_RTT
+    assert est.samples == 0
+
+
+def test_first_sample_initialises():
+    est = RttEstimator()
+    est.update(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+    assert est.min_rtt == pytest.approx(0.1)
+
+
+def test_ewma_smoothing():
+    est = RttEstimator()
+    est.update(0.1)
+    est.update(0.2)
+    assert est.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+
+def test_min_rtt_tracks_smallest():
+    est = RttEstimator()
+    for sample in (0.2, 0.15, 0.3, 0.12, 0.5):
+        est.update(sample)
+    assert est.min_rtt == pytest.approx(0.12)
+
+
+def test_ack_delay_subtracted_when_safe():
+    est = RttEstimator()
+    est.update(0.1)               # min_rtt = 0.1
+    adjusted = est.update(0.15, ack_delay=0.02)
+    assert adjusted == pytest.approx(0.13)
+
+
+def test_ack_delay_not_below_min():
+    est = RttEstimator()
+    est.update(0.1)
+    adjusted = est.update(0.105, ack_delay=0.02)
+    # 0.105 - 0.02 < min_rtt, so the raw sample is used.
+    assert adjusted == pytest.approx(0.105)
+
+
+def test_negative_sample_rejected():
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.update(-0.01)
+
+
+def test_rto_clamped():
+    est = RttEstimator()
+    est.update(0.001)
+    assert est.rto(min_rto=0.2) == 0.2
+    est2 = RttEstimator()
+    est2.update(100.0)
+    assert est2.rto(max_rto=60.0) == 60.0
+
+
+def test_pto_exceeds_srtt():
+    est = RttEstimator()
+    est.update(0.05)
+    assert est.pto() > est.smoothed
+
+
+@given(st.lists(st.floats(min_value=1e-4, max_value=10.0),
+                min_size=1, max_size=100))
+def test_property_srtt_within_sample_range(samples):
+    est = RttEstimator()
+    for sample in samples:
+        est.update(sample)
+    assert min(samples) <= est.smoothed <= max(samples)
+    assert est.min_rtt == pytest.approx(min(samples))
+    assert est.samples == len(samples)

@@ -1,0 +1,148 @@
+"""Tests for socket plumbing and HTTP/3 semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TransportError
+from repro.netsim import Network
+from repro.netsim.packet import Protocol
+from repro.transport.base import DatagramSocket, SharedSocket
+from repro.transport.quic import H3Client, H3Server
+from repro.transport.quic.connection import QuicConnection
+from repro.transport.quic.h3 import (
+    REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
+    TransferResult,
+)
+from repro.units import mb, mbps, ms
+
+
+def two_hosts():
+    net = Network()
+    net.add_host("a", "10.0.0.1")
+    net.add_host("b", "10.0.0.2")
+    net.connect("a", "b", rate_ab=mbps(100), rate_ba=mbps(100),
+                delay=ms(5))
+    net.finalize()
+    return net
+
+
+def test_datagram_socket_allocates_unique_ports():
+    net = two_hosts()
+    s1 = DatagramSocket(net.host("a"))
+    s2 = DatagramSocket(net.host("a"))
+    assert s1.port != s2.port
+
+
+def test_datagram_socket_double_bind_rejected():
+    net = two_hosts()
+    DatagramSocket(net.host("a"), port=5000)
+    with pytest.raises(ConfigurationError):
+        DatagramSocket(net.host("a"), port=5000)
+
+
+def test_datagram_socket_close_releases_port():
+    net = two_hosts()
+    sock = DatagramSocket(net.host("a"), port=5000)
+    sock.close()
+    sock.close()  # idempotent
+    DatagramSocket(net.host("a"), port=5000)  # rebindable
+
+
+def test_datagram_roundtrip():
+    net = two_hosts()
+    rx = DatagramSocket(net.host("b"), port=7000)
+    got = []
+    rx.on_receive = got.append
+    tx = DatagramSocket(net.host("a"))
+    tx.sendto("10.0.0.2", 7000, 200, payload="hi")
+    net.run()
+    assert len(got) == 1
+    assert got[0].payload == "hi"
+    assert got[0].src_port == tx.port
+
+
+def test_shared_socket_close_keeps_listener():
+    net = two_hosts()
+    listener = DatagramSocket(net.host("b"), port=7000)
+    facade = SharedSocket(listener)
+    facade.close()       # no-op
+    assert facade.port == 7000
+    got = []
+    listener.on_receive = got.append
+    facade.sendto("10.0.0.2", 7000, 100)  # loops back via host b
+    net.run()
+    assert got  # binding still alive
+
+
+# -- H3 ------------------------------------------------------------------
+
+def test_h3_responder_callable():
+    net = two_hosts()
+    sizes = {}
+
+    def responder(stream_id, request_bytes):
+        sizes[stream_id] = request_bytes
+        return 50_000
+
+    H3Server(net.host("b"), 443, responder=responder)
+    client = H3Client(net.host("a"), "10.0.0.2", 443)
+    result = client.get(50_000)
+    net.sim.run(until=10.0)
+    assert result.complete
+    assert sizes  # responder consulted
+    assert list(sizes.values())[0] == REQUEST_HEADER_BYTES
+
+
+def test_h3_multiple_requests_one_connection():
+    net = two_hosts()
+    H3Server(net.host("b"), 443, resource_bytes=20_000)
+    client = H3Client(net.host("a"), "10.0.0.2", 443)
+    results = [client.get(20_000) for _ in range(3)]
+    net.sim.run(until=10.0)
+    assert all(r.complete for r in results)
+    # One connection, one handshake.
+    assert client.connection.stats.handshake_rtt is not None
+
+
+def test_transfer_result_guards():
+    result = TransferResult(request_bytes=100, response_bytes=0,
+                            start_time=0.0)
+    assert not result.complete
+    with pytest.raises(ValueError):
+        _ = result.duration
+
+
+def test_upload_response_header_size():
+    net = two_hosts()
+    server = H3Server(net.host("b"), 443)
+    client = H3Client(net.host("a"), "10.0.0.2", 443)
+    result = client.post(10_000)
+    net.sim.run(until=10.0)
+    assert result.complete
+    server_conn = next(iter(server.connections.values()))
+    # The server's only send is the response header block.
+    assert server_conn.data_sent == RESPONSE_HEADER_BYTES
+
+
+def test_quic_connection_role_validation():
+    net = two_hosts()
+    sock = DatagramSocket(net.host("a"))
+    with pytest.raises(TransportError):
+        QuicConnection(net.sim, sock, "10.0.0.2", 443,
+                       role="middlebox")
+
+
+def test_stream_write_validation():
+    net = two_hosts()
+    sock = DatagramSocket(net.host("a"))
+    conn = QuicConnection(net.sim, sock, "10.0.0.2", 443,
+                          role="client")
+    sid = conn.open_stream()
+    with pytest.raises(TransportError):
+        conn.stream_write(sid, -5)
+    conn.stream_write(sid, 10, fin=True)
+    with pytest.raises(TransportError):
+        conn.stream_write(sid, 10)   # after FIN
+    conn.close()
+    with pytest.raises(TransportError):
+        conn.stream_write(sid, 10)   # after close

@@ -1,0 +1,47 @@
+"""Tests for the wired campus baseline."""
+
+import random
+
+import pytest
+
+from repro.apps.bulk import run_bulk_transfer
+from repro.apps.ping import ping
+from repro.leo.geometry import GeoPoint
+from repro.units import mb, to_ms
+from repro.wired.access import WiredAccess, WiredPathModel
+
+BRUSSELS = GeoPoint(50.85, 4.35)
+
+
+def test_wired_idle_rtt_few_ms():
+    model = WiredPathModel(seed=1)
+    rng = random.Random(2)
+    samples = [to_ms(model.idle_rtt(i * 13.0, rng, remote_rtt_s=0.004))
+               for i in range(200)]
+    samples.sort()
+    assert 4 <= samples[len(samples) // 2] <= 12
+    assert samples[-1] < 25
+
+
+def test_wired_has_no_pep():
+    assert not WiredAccess(seed=1).has_pep
+
+
+def test_wired_ping_round_trip():
+    access = WiredAccess(seed=1)
+    access.add_remote_host("srv", "62.4.0.10", BRUSSELS)
+    access.finalize()
+    result = ping(access.client, "62.4.0.10", count=3)
+    assert result.received == 3
+    assert to_ms(result.min_rtt) < 15
+
+
+def test_wired_bulk_is_fast_and_lossless():
+    access = WiredAccess(seed=2)
+    server = access.add_remote_host("srv", "62.4.0.10", BRUSSELS)
+    access.finalize()
+    result = run_bulk_transfer(access.client, server, "down",
+                               payload_bytes=mb(10))
+    assert result.completed
+    assert result.goodput_mbps > 200
+    assert result.loss_ratio == 0.0
