@@ -16,6 +16,15 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """An invariant checker caught the simulation breaking a rule.
+
+    Raised by :mod:`repro.testing.invariants` the moment a watched
+    component violates clock monotonicity, FIFO delivery, packet
+    conservation or a queue bound.
+    """
+
+
 class ConfigurationError(ReproError):
     """A component was built with invalid or contradictory parameters."""
 

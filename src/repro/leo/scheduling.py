@@ -74,6 +74,8 @@ class SatelliteScheduler:
         self._ut_ecef = terminal.ecef()
         self._gw_ecef = np.array([gw.ecef() for gw in self.gateways])
         self._cache: dict[int, PathSnapshot] = {}
+        #: Injected satellite outages: (sat_index, start_slot, end_slot).
+        self._outages: list[tuple[int, int, int]] = []
 
     def slot_of(self, t: float) -> int:
         """Scheduler slot index containing time ``t``."""
@@ -90,6 +92,26 @@ class SatelliteScheduler:
             self._cache[slot] = cached
         return cached
 
+    def add_outage(self, sat_index: int, start_slot: int,
+                   end_slot: int) -> None:
+        """Take ``sat_index`` out of service for ``[start_slot, end_slot)``.
+
+        Fault-injection hook (:mod:`repro.testing.faults`): an out
+        satellite is skipped during candidate selection, forcing a
+        handover at the outage boundary exactly as a failed bird
+        would. Cached snapshots inside the window are recomputed.
+        """
+        if end_slot <= start_slot:
+            raise ConfigurationError(
+                f"outage window is empty: [{start_slot}, {end_slot})")
+        self._outages.append((sat_index, start_slot, end_slot))
+        for slot in range(start_slot, end_slot):
+            self._cache.pop(slot, None)
+
+    def _is_out(self, sat_index: int, slot: int) -> bool:
+        return any(sat == sat_index and start <= slot < end
+                   for sat, start, end in self._outages)
+
     def _compute_slot(self, slot: int) -> PathSnapshot:
         t = slot * SLOT_DURATION
         indices, elevations, ranges = self.constellation.visible_from(
@@ -101,6 +123,8 @@ class SatelliteScheduler:
         positions = self.constellation.positions(t)
         candidates = []
         for idx, elev, rng_m in zip(indices, elevations, ranges):
+            if self._outages and self._is_out(int(idx), slot):
+                continue
             gw_choice = self._best_gateway(positions[idx])
             if gw_choice is None:
                 continue

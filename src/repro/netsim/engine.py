@@ -127,7 +127,10 @@ class Simulator:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and event.time > until:
-                    self._now = until
+                    # Clamp, never rewind: run(until=past) must leave
+                    # the clock monotonic.
+                    if until > self._now:
+                        self._now = until
                     return
                 heapq.heappop(self._heap)
                 self._now = event.time
@@ -140,10 +143,18 @@ class Simulator:
             self._running = False
 
     def run_until_idle(self, max_events: int = 50_000_000) -> None:
-        """Drain the event heap completely (bounded by ``max_events``)."""
+        """Drain the event heap completely (bounded by ``max_events``).
+
+        ``max_events`` bounds *this call*, not the simulator's
+        lifetime total, so earlier :meth:`run` calls cannot make the
+        non-convergence backstop fire spuriously (or mask it).
+        """
+        before = self._events_processed
         self.run(max_events=max_events)
-        if self._heap and all(not e.cancelled for e in self._heap[:1]):
-            # The bound is a runaway-loop backstop, not a normal exit.
-            if self._events_processed >= max_events:
-                raise SimulationError(
-                    f"simulation did not converge in {max_events} events")
+        if any(not e.cancelled for e in self._heap):
+            # The bound is a runaway-loop backstop, not a normal exit:
+            # pending work can only remain if this call hit the bound.
+            executed = self._events_processed - before
+            raise SimulationError(
+                f"simulation did not converge in {executed} events "
+                f"(bound {max_events})")

@@ -1,0 +1,58 @@
+"""Deterministic-simulation test harness for the netsim core.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.testing.invariants` -- pluggable invariant checkers
+  (clock monotonicity, per-pipe FIFO delivery, packet conservation,
+  queue-bound respect) that any test or benchmark can enable with one
+  ``with check_invariants(...):`` line, plus a process-global mode the
+  pytest suite switches on via ``REPRO_INVARIANTS=1``.
+* :mod:`repro.testing.faults` -- a :class:`FaultPlan` API that
+  deterministically injects link flaps, satellite outages at 15 s
+  reallocation boundaries, queue-overflow storms and event-cancellation
+  races, so robustness is exercised on purpose rather than by luck.
+* :mod:`repro.testing.scenarios` -- seeded property-based scenario
+  generators (random topologies + workloads) with trace-digest replay
+  comparison and simple shrinking, proving bit-identical replay.
+
+:mod:`repro.testing.digest` holds the canonical trace/dataset
+fingerprints the replay checks compare.
+"""
+
+from repro.errors import InvariantViolation
+from repro.testing.digest import digest_dataset, digest_records, digest_value
+from repro.testing.faults import FaultPlan
+from repro.testing.invariants import (
+    InvariantChecker,
+    check_invariants,
+    global_checking,
+    install_global_checks,
+    uninstall_global_checks,
+)
+from repro.testing.scenarios import (
+    Scenario,
+    build_network,
+    random_scenario,
+    replay_digests,
+    run_and_digest,
+    shrink,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Scenario",
+    "build_network",
+    "check_invariants",
+    "digest_dataset",
+    "digest_records",
+    "digest_value",
+    "global_checking",
+    "install_global_checks",
+    "random_scenario",
+    "replay_digests",
+    "run_and_digest",
+    "shrink",
+    "uninstall_global_checks",
+]

@@ -1,0 +1,449 @@
+"""Invariant checkers for the discrete-event core.
+
+The checkers hook individual *instances* of :class:`Simulator`,
+:class:`Pipe` and the queue classes by shadowing the relevant methods
+with checking wrappers (instance attributes win over class
+attributes), so nothing in the production code paths changes unless a
+checker is attached. Four families of invariants are enforced:
+
+* **clock monotonicity** -- events fire at exactly their scheduled
+  time and the simulated clock never moves backwards;
+* **per-pipe FIFO delivery** -- packets leave a pipe in the order they
+  were transmitted, with non-decreasing delivery times;
+* **packet conservation** -- every packet handed to a pipe is
+  delivered, dropped (queue or medium), still queued, serialising, or
+  in flight; none is duplicated or silently vanishes;
+* **queue bounds** -- a queue never exceeds its byte/packet capacity
+  and its byte accounting always matches its contents.
+
+Use :func:`check_invariants` to watch specific objects::
+
+    with check_invariants(access.net):
+        run_speedtest(...)
+
+or :func:`global_checking` / ``REPRO_INVARIANTS=1`` (see
+``tests/conftest.py``) to transparently watch every simulator, pipe
+and queue constructed while the context is active.
+
+Violations raise :class:`repro.errors.InvariantViolation` at the
+moment the rule breaks, so the failing event is at the top of the
+traceback.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import InvariantViolation
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Pipe
+from repro.netsim.queues import DropTailQueue
+
+#: Queues longer than this are byte-audited every N ops, not every op
+#: (the audit is O(len); deep buffers would turn checking quadratic).
+_FULL_AUDIT_MAX_LEN = 64
+_SAMPLED_AUDIT_PERIOD = 16
+
+_WATCH_MARK = "_repro_invariants_watched"
+
+
+@dataclass
+class _SimState:
+    last_fire_time: float = float("-inf")
+    events_checked: int = 0
+
+
+@dataclass
+class _PipeState:
+    in_flight: deque = field(default_factory=deque)
+    serialising: int = 0
+    cleared: int = 0
+    delivered: int = 0
+    last_rx_time: float = float("-inf")
+
+
+@dataclass
+class _QueueState:
+    ops: int = 0
+
+
+class InvariantChecker:
+    """Attaches checking wrappers to simulators, pipes and queues.
+
+    Create one, :meth:`watch` the objects of interest (a
+    :class:`Simulator`, :class:`Pipe`, ``Link``, ``DropTailQueue``,
+    ``Network`` or any access object exposing ``.net``), run the
+    experiment, then :meth:`verify` and :meth:`detach`. The
+    :func:`check_invariants` context manager does all of that.
+    """
+
+    def __init__(self):
+        self._restores: list[tuple[object, str]] = []
+        self._sims: list[tuple[Simulator, _SimState]] = []
+        self._pipes: list[tuple[Pipe, _PipeState]] = []
+        self._queues: list[tuple[DropTailQueue, _QueueState]] = []
+        #: Cleared on detach; wrappers captured by already-scheduled
+        #: events keep firing afterwards and must become pass-throughs.
+        self._active = True
+
+    # -- attachment dispatch ---------------------------------------------
+
+    def watch(self, obj) -> "InvariantChecker":
+        """Attach checks to ``obj`` (dispatching on its type)."""
+        if getattr(obj, _WATCH_MARK, None) is self:
+            return self
+        if isinstance(obj, Simulator):
+            self._watch_sim(obj)
+        elif isinstance(obj, Pipe):
+            self._watch_pipe(obj)
+        elif isinstance(obj, DropTailQueue):
+            self._watch_queue(obj)
+        elif hasattr(obj, "pipe_ab") and hasattr(obj, "pipe_ba"):
+            self.watch(obj.pipe_ab)
+            self.watch(obj.pipe_ba)
+        elif hasattr(obj, "sim") and hasattr(obj, "links"):
+            self._watch_network(obj)
+        elif hasattr(obj, "net"):
+            # Access objects (StarlinkAccess, GeoSatComAccess, ...).
+            self.watch(obj.net)
+        else:
+            raise TypeError(f"cannot attach invariant checks to {obj!r}")
+        return self
+
+    def _mark(self, obj) -> None:
+        setattr(obj, _WATCH_MARK, self)
+        self._restores.append((obj, _WATCH_MARK))
+
+    def _shadow(self, obj, name: str, wrapper) -> None:
+        """Install ``wrapper`` as an instance attribute shadowing
+        ``obj``'s class method ``name`` (recorded for detach)."""
+        setattr(obj, name, wrapper)
+        self._restores.append((obj, name))
+
+    # -- simulator checks ------------------------------------------------
+
+    def _watch_sim(self, sim: Simulator) -> None:
+        self._mark(sim)
+        state = _SimState()
+        self._sims.append((sim, state))
+        orig_at = sim.at  # bound class method
+
+        def checked_at(time, fn, *args):
+            def checked_fn(*fn_args):
+                if not self._active:
+                    return fn(*fn_args)
+                if sim.now != time:
+                    raise InvariantViolation(
+                        f"event scheduled for t={time!r} fired at "
+                        f"t={sim.now!r}")
+                if sim.now < state.last_fire_time:
+                    raise InvariantViolation(
+                        f"clock moved backwards: event at t={sim.now!r} "
+                        f"after one at t={state.last_fire_time!r}")
+                state.last_fire_time = sim.now
+                state.events_checked += 1
+                return fn(*fn_args)
+
+            return orig_at(time, checked_fn, *args)
+
+        self._shadow(sim, "at", checked_at)
+
+    # -- network ----------------------------------------------------------
+
+    def _watch_network(self, net) -> None:
+        self._mark(net)
+        self.watch(net.sim)
+        for link in net.links:
+            self.watch(link)
+        orig_connect = net.connect
+
+        def checked_connect(*args, **kwargs):
+            link = orig_connect(*args, **kwargs)
+            self.watch(link)
+            return link
+
+        self._shadow(net, "connect", checked_connect)
+
+    # -- pipe checks -------------------------------------------------------
+
+    def _watch_pipe(self, pipe: Pipe) -> None:
+        self._mark(pipe)
+        state = _PipeState()
+        self._pipes.append((pipe, state))
+        self.watch(pipe.queue)
+        self._watch_pipe_queue_clear(pipe, state)
+
+        orig_send = pipe.send
+        orig_start = pipe._start_transmission
+        orig_finish = pipe._finish_transmission
+        orig_launch = pipe._launch
+        orig_deliver = pipe._deliver
+
+        def conservation_check() -> None:
+            if not self._active:
+                return
+            accounted = (state.delivered + pipe.lost_medium
+                         + pipe.queue.drops + len(pipe.queue)
+                         + state.serialising + len(state.in_flight)
+                         + state.cleared)
+            if pipe.sent != accounted:
+                raise InvariantViolation(
+                    f"packet conservation broken on pipe {pipe.name!r}: "
+                    f"sent={pipe.sent} but delivered={state.delivered} "
+                    f"medium-lost={pipe.lost_medium} "
+                    f"queue-dropped={pipe.queue.drops} "
+                    f"queued={len(pipe.queue)} "
+                    f"serialising={state.serialising} "
+                    f"in-flight={len(state.in_flight)} "
+                    f"cleared={state.cleared} "
+                    f"(total {accounted})")
+
+        def checked_send(packet):
+            result = orig_send(packet)
+            conservation_check()
+            return result
+
+        def checked_start(packet):
+            if self._active:
+                state.serialising += 1
+            result = orig_start(packet)
+            conservation_check()
+            return result
+
+        def checked_finish(packet):
+            if self._active:
+                state.serialising -= 1
+            result = orig_finish(packet)
+            conservation_check()
+            return result
+
+        def checked_launch(packet):
+            lost_before = pipe.lost_medium
+            result = orig_launch(packet)
+            if self._active and pipe.lost_medium == lost_before:
+                state.in_flight.append(packet)
+            conservation_check()
+            return result
+
+        def checked_deliver(packet):
+            if not self._active:
+                return orig_deliver(packet)
+            if not state.in_flight:
+                raise InvariantViolation(
+                    f"pipe {pipe.name!r} delivered {packet!r} which was "
+                    "never transmitted")
+            expected = state.in_flight.popleft()
+            if expected is not packet:
+                raise InvariantViolation(
+                    f"FIFO order broken on pipe {pipe.name!r}: delivered "
+                    f"{packet!r} before {expected!r}")
+            now = pipe.sim.now
+            if now < state.last_rx_time:
+                raise InvariantViolation(
+                    f"delivery time moved backwards on pipe {pipe.name!r}: "
+                    f"{now!r} after {state.last_rx_time!r}")
+            state.last_rx_time = now
+            state.delivered += 1
+            result = orig_deliver(packet)
+            conservation_check()
+            return result
+
+        self._shadow(pipe, "send", checked_send)
+        self._shadow(pipe, "_start_transmission", checked_start)
+        self._shadow(pipe, "_finish_transmission", checked_finish)
+        self._shadow(pipe, "_launch", checked_launch)
+        self._shadow(pipe, "_deliver", checked_deliver)
+        pipe._conservation_check = conservation_check
+        self._restores.append((pipe, "_conservation_check"))
+
+    def _watch_pipe_queue_clear(self, pipe: Pipe, state: _PipeState) -> None:
+        """Account packets discarded by ``queue.clear()`` (teardown)."""
+        queue = pipe.queue
+        orig_clear = queue.clear
+
+        def checked_clear():
+            if self._active:
+                state.cleared += len(queue)
+            return orig_clear()
+
+        self._shadow(queue, "clear", checked_clear)
+
+    # -- queue checks -------------------------------------------------------
+
+    def _watch_queue(self, queue: DropTailQueue) -> None:
+        if getattr(queue, _WATCH_MARK, None) is self:
+            return
+        self._mark(queue)
+        state = _QueueState()
+        self._queues.append((queue, state))
+        orig_push = type(queue).push.__get__(queue)
+        orig_pop = type(queue).pop.__get__(queue)
+
+        def audit() -> None:
+            if not self._active:
+                return
+            state.ops += 1
+            self._audit_queue(queue, state)
+
+        def checked_push(packet):
+            accepted = orig_push(packet)
+            audit()
+            return accepted
+
+        def checked_pop():
+            packet = orig_pop()
+            audit()
+            return packet
+
+        self._shadow(queue, "push", checked_push)
+        self._shadow(queue, "pop", checked_pop)
+
+    def _audit_queue(self, queue: DropTailQueue,
+                     state: _QueueState, force: bool = False) -> None:
+        n = len(queue._queue)
+        if (queue.capacity_packets is not None
+                and n > queue.capacity_packets):
+            raise InvariantViolation(
+                f"queue over packet capacity: {n} > "
+                f"{queue.capacity_packets}")
+        if (queue.capacity_bytes is not None
+                and queue._bytes > queue.capacity_bytes):
+            raise InvariantViolation(
+                f"queue over byte capacity: {queue._bytes} > "
+                f"{queue.capacity_bytes}")
+        if queue._bytes < 0:
+            raise InvariantViolation(
+                f"queue byte count went negative: {queue._bytes}")
+        if (not force and n > _FULL_AUDIT_MAX_LEN
+                and state.ops % _SAMPLED_AUDIT_PERIOD):
+            return
+        actual = sum(p.size for p in queue._queue)
+        if queue._bytes != actual:
+            raise InvariantViolation(
+                f"queue byte accounting drifted: tracked {queue._bytes}, "
+                f"contents sum to {actual}")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def verify(self) -> None:
+        """Run the end-state checks (conservation, queue audits)."""
+        for pipe, state in self._pipes:
+            check = getattr(pipe, "_conservation_check", None)
+            if check is not None:
+                check()
+        for queue, state in self._queues:
+            self._audit_queue(queue, state, force=True)
+
+    def detach(self) -> None:
+        """Remove every wrapper, restoring the original methods."""
+        self._active = False
+        for obj, name in reversed(self._restores):
+            try:
+                delattr(obj, name)
+            except AttributeError:
+                pass
+        self._restores.clear()
+
+    @property
+    def watched_counts(self) -> dict[str, int]:
+        """How many objects of each kind are being checked."""
+        return {"sims": len(self._sims), "pipes": len(self._pipes),
+                "queues": len(self._queues)}
+
+
+@contextlib.contextmanager
+def check_invariants(*objects):
+    """Watch ``objects`` for the duration of the block, then verify.
+
+    Yields the :class:`InvariantChecker` so tests can watch more
+    objects mid-flight (e.g. links created after the block starts).
+    """
+    checker = InvariantChecker()
+    for obj in objects:
+        checker.watch(obj)
+    try:
+        yield checker
+        checker.verify()
+    finally:
+        checker.detach()
+
+
+# -- process-global mode ---------------------------------------------------
+
+_GLOBAL: InvariantChecker | None = None
+_GLOBAL_DEPTH = 0
+_PATCHED_INITS: list[tuple[type, object]] = []
+
+
+def install_global_checks() -> InvariantChecker:
+    """Auto-watch every Simulator/Pipe/queue built from now on.
+
+    Patches the constructors so each new instance attaches itself to a
+    shared checker. Call :func:`uninstall_global_checks` (or use
+    :func:`global_checking`) to undo. Installs nest: a
+    :func:`global_checking` block inside an already-installed mode
+    (e.g. the suite-wide ``REPRO_INVARIANTS=1`` fixture) joins the
+    existing checker, and only the outermost uninstall tears down.
+    """
+    global _GLOBAL, _GLOBAL_DEPTH
+    _GLOBAL_DEPTH += 1
+    if _GLOBAL is not None:
+        return _GLOBAL
+    checker = InvariantChecker()
+    _GLOBAL = checker
+
+    def patch_init(cls):
+        orig_init = cls.__init__
+
+        def watching_init(self, *args, **kwargs):
+            orig_init(self, *args, **kwargs)
+            checker.watch(self)
+
+        cls.__init__ = watching_init
+        _PATCHED_INITS.append((cls, orig_init))
+
+    patch_init(Simulator)
+    patch_init(Pipe)
+    patch_init(DropTailQueue)
+    return checker
+
+
+def uninstall_global_checks(verify: bool = True) -> None:
+    """Undo one :func:`install_global_checks`; verify end-state first.
+
+    Only the outermost uninstall removes the constructor patches and
+    detaches the shared checker; inner ones just verify.
+    """
+    global _GLOBAL, _GLOBAL_DEPTH
+    if _GLOBAL is None:
+        return
+    checker = _GLOBAL
+    _GLOBAL_DEPTH -= 1
+    if _GLOBAL_DEPTH > 0:
+        if verify:
+            checker.verify()
+        return
+    try:
+        for cls, orig_init in _PATCHED_INITS:
+            cls.__init__ = orig_init
+        _PATCHED_INITS.clear()
+        if verify:
+            checker.verify()
+    finally:
+        checker.detach()
+        _GLOBAL = None
+
+
+@contextlib.contextmanager
+def global_checking():
+    """Process-global invariant checking for the duration of the block."""
+    checker = install_global_checks()
+    try:
+        yield checker
+    except BaseException:
+        uninstall_global_checks(verify=False)
+        raise
+    else:
+        uninstall_global_checks(verify=True)

@@ -1,0 +1,180 @@
+"""Property-based scenario generation for replay checking.
+
+Lightweight seeded generators (no third-party dependency) that build a
+random topology plus a random packet workload, run it to completion,
+and fingerprint the full packet trace. Running the same
+:class:`Scenario` twice must produce bit-identical digests -- that is
+the determinism property the paper's measurement pipeline (and every
+figure-level benchmark) silently relies on.
+
+On a failure, :func:`shrink` walks the scenario down (fewer packets,
+links, nodes) while the failure reproduces, so the reported
+counterexample is close to minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.netsim.loss import BernoulliLoss
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet, Protocol
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+from repro.netsim.trace import PipeTracer
+from repro.rng import make_rng
+from repro.testing.digest import digest_records
+
+#: Discard port for workload packets (never bound -> no replies).
+_SINK_PORT = 9
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully seeded topology + workload recipe.
+
+    Every structural and stochastic choice downstream derives from
+    these fields through :func:`repro.rng.make_rng`, so the scenario
+    *is* the experiment: equal scenarios replay bit-identically.
+    """
+
+    seed: int
+    n_hosts: int = 3
+    n_routers: int = 2
+    n_extra_links: int = 1
+    n_packets: int = 30
+    horizon_s: float = 5.0
+
+    def __post_init__(self):
+        if self.n_hosts < 2:
+            raise ValueError("a scenario needs at least two hosts")
+
+
+def random_scenario(seed: int, max_hosts: int = 6, max_routers: int = 4,
+                    max_extra_links: int = 4,
+                    max_packets: int = 60) -> Scenario:
+    """Draw a random scenario, itself deterministic in ``seed``."""
+    rng = make_rng(("scenario-shape", seed))
+    return Scenario(
+        seed=seed,
+        n_hosts=2 + rng.randrange(max(1, max_hosts - 1)),
+        n_routers=rng.randrange(max_routers + 1),
+        n_extra_links=rng.randrange(max_extra_links + 1),
+        n_packets=1 + rng.randrange(max_packets),
+        horizon_s=1.0 + rng.random() * 9.0)
+
+
+def build_network(sc: Scenario) -> tuple[Network, dict[str, PipeTracer]]:
+    """Build the scenario's topology with a tracer on every pipe."""
+    rng = make_rng(("scenario-topology", sc.seed, sc.n_hosts,
+                    sc.n_routers, sc.n_extra_links))
+    net = Network()
+    names = [f"h{i}" for i in range(sc.n_hosts)]
+    for name in names:
+        net.add_host(name)
+    for i in range(sc.n_routers):
+        name = f"r{i}"
+        net.add_router(name)
+        names.append(name)
+
+    def connect(a: str, b: str) -> None:
+        rate = rng.choice([None, 1e6, 5e6, 2e7, 1e8])
+        cap = rng.choice([None, 4, 16, 64])
+        loss_p = rng.choice([0.0, 0.0, 0.0, 0.02, 0.1])
+        net.connect(
+            a, b, rate_ab=rate, rate_ba=rate,
+            delay=rng.uniform(0.0005, 0.05),
+            queue_ab=DropTailQueue(capacity_packets=cap),
+            queue_ba=DropTailQueue(capacity_packets=cap),
+            loss_ab=BernoulliLoss(
+                loss_p, rng=make_rng((sc.seed, "loss", a, b))),
+            loss_ba=BernoulliLoss(
+                loss_p, rng=make_rng((sc.seed, "loss", b, a))))
+
+    # Random spanning tree first (keeps every node reachable), then a
+    # few extra links for alternative paths.
+    for i in range(1, len(names)):
+        connect(names[i], names[rng.randrange(i)])
+    edges = {frozenset((link.a.name, link.b.name)) for link in net.links}
+    for _ in range(sc.n_extra_links):
+        a, b = rng.sample(names, 2)
+        if frozenset((a, b)) in edges:
+            continue
+        edges.add(frozenset((a, b)))
+        connect(a, b)
+    net.finalize()
+    tracers = {}
+    for link in net.links:
+        for pipe in (link.pipe_ab, link.pipe_ba):
+            tracers[pipe.name] = PipeTracer(pipe)
+    return net, tracers
+
+
+def arm_workload(net: Network, sc: Scenario) -> None:
+    """Schedule the scenario's random packet workload on ``net``."""
+    rng = make_rng(("scenario-workload", sc.seed, sc.n_packets))
+    hosts = [n for n in net.nodes.values() if isinstance(n, Host)]
+    for _ in range(sc.n_packets):
+        src = rng.choice(hosts)
+        dst = rng.choice([h for h in hosts if h is not src])
+        t = rng.random() * sc.horizon_s
+        size = 64 + rng.randrange(1400)
+        packet = Packet(src=src.address, dst=dst.address,
+                        protocol=Protocol.TCP, size=size,
+                        src_port=40000, dst_port=_SINK_PORT,
+                        created_at=t)
+        net.sim.at(t, src.send, packet)
+
+
+def run_and_digest(sc: Scenario, max_events: int = 1_000_000) -> str:
+    """Build, run to idle, and fingerprint one scenario execution."""
+    net, tracers = build_network(sc)
+    arm_workload(net, sc)
+    net.sim.run_until_idle(max_events=max_events)
+    return digest_records(
+        {name: tracer.records for name, tracer in tracers.items()})
+
+
+def replay_digests(sc: Scenario, runs: int = 2) -> list[str]:
+    """Digests of ``runs`` independent executions of ``sc``."""
+    return [run_and_digest(sc) for _ in range(runs)]
+
+
+def replay_is_deterministic(sc: Scenario) -> bool:
+    """Whether two fresh runs of ``sc`` produce identical traces."""
+    first, second = replay_digests(sc)
+    return first == second
+
+
+def shrink(sc: Scenario, fails) -> Scenario:
+    """Smallest scenario (greedily) for which ``fails`` still holds.
+
+    ``fails(candidate) -> bool`` must return True while the failure
+    reproduces. Shrinking lowers one dimension at a time (packets
+    first, then links, routers, hosts, horizon) and restarts after
+    every successful reduction, so the result is a local minimum.
+    """
+    current = sc
+    improved = True
+    while improved:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            if fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def _shrink_candidates(sc: Scenario):
+    if sc.n_packets > 1:
+        yield replace(sc, n_packets=max(1, sc.n_packets // 2))
+        yield replace(sc, n_packets=sc.n_packets - 1)
+    if sc.n_extra_links > 0:
+        yield replace(sc, n_extra_links=sc.n_extra_links - 1)
+    if sc.n_routers > 0:
+        yield replace(sc, n_routers=sc.n_routers - 1)
+    if sc.n_hosts > 2:
+        yield replace(sc, n_hosts=sc.n_hosts - 1)
+    if sc.horizon_s > 1.0:
+        yield replace(sc, horizon_s=max(1.0, sc.horizon_s / 2))

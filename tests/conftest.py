@@ -1,0 +1,75 @@
+"""Suite-wide fixtures: opt-in (or global) invariant checking.
+
+Two ways to run tests under the :mod:`repro.testing.invariants`
+checkers:
+
+* **per test** -- request the ``invariants`` fixture and watch the
+  objects you build::
+
+      def test_transfer(invariants):
+          access = StarlinkAccess(seed=1)
+          invariants(access)
+          ...
+
+* **whole suite** -- set ``REPRO_INVARIANTS=1`` (CI does this): an
+  autouse fixture transparently watches every simulator, pipe and
+  queue constructed during each test and verifies packet conservation
+  and queue consistency at test end. The suite must stay green under
+  this mode; that is the acceptance bar for engine refactors.
+
+Tests that *deliberately* corrupt simulator state (the mutation smoke
+tests) mark themselves ``@pytest.mark.no_global_invariants`` so the
+suite-wide checker does not re-report the planted bug at teardown.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testing.invariants import (
+    InvariantChecker,
+    global_checking,
+)
+
+GLOBAL_INVARIANTS = os.environ.get("REPRO_INVARIANTS", "") not in ("", "0")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_global_invariants: skip suite-wide invariant checking for "
+        "tests that plant deliberate invariant violations")
+
+
+@pytest.fixture(autouse=True)
+def _suite_invariants(request):
+    """Global checking for every test when REPRO_INVARIANTS=1."""
+    if (not GLOBAL_INVARIANTS
+            or request.node.get_closest_marker("no_global_invariants")):
+        yield None
+        return
+    with global_checking() as checker:
+        yield checker
+
+
+@pytest.fixture
+def invariants():
+    """Factory fixture: watch objects explicitly inside one test.
+
+    Returns a callable ``watch(*objects) -> InvariantChecker``;
+    verification and detachment happen automatically at teardown.
+    """
+    checker = InvariantChecker()
+
+    def watch(*objects) -> InvariantChecker:
+        for obj in objects:
+            checker.watch(obj)
+        return checker
+
+    try:
+        yield watch
+        checker.verify()
+    finally:
+        checker.detach()

@@ -1,0 +1,136 @@
+"""Property-based tests for the Simulator itself.
+
+Covers the determinism mechanisms every other layer leans on:
+tie-breaking by insertion order, cancelled-event skipping, clock
+monotonicity across arbitrary ``run(until=...)`` sequences, rejection
+of past-scheduling, and the per-call semantics of the
+``run_until_idle`` non-convergence backstop.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+# A small value pool forces plenty of exact timestamp collisions.
+tie_times = st.sampled_from([0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 7.0])
+
+
+@given(st.lists(tie_times, min_size=1, max_size=40))
+def test_property_ties_break_by_insertion_order(delays):
+    sim = Simulator()
+    fired = []
+    for i, delay in enumerate(delays):
+        sim.schedule(delay, fired.append, (delay, i))
+    sim.run()
+    assert fired == sorted(fired)  # time-major, insertion-minor
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(times, min_size=1, max_size=40), st.data())
+def test_property_cancelled_events_are_skipped(delays, data):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(d, fired.append, i)
+              for i, d in enumerate(delays)]
+    to_cancel = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(events) - 1)))
+    for i in to_cancel:
+        events[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(events))) - to_cancel
+    assert sim.events_processed == len(events) - len(to_cancel)
+
+
+@given(st.lists(times, min_size=1, max_size=20),
+       st.lists(times, min_size=1, max_size=20))
+def test_property_run_until_clock_is_monotonic(delays, untils):
+    """Arbitrary (even decreasing) until sequences never rewind time."""
+    sim = Simulator()
+    for delay in delays:
+        sim.schedule(delay, lambda: None)
+    observed = [sim.now]
+    for until in untils:
+        sim.run(until=until)
+        observed.append(sim.now)
+    assert observed == sorted(observed)
+    assert sim.now >= max(u for u in untils)
+
+
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+       st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+def test_property_past_scheduling_rejected(start, offset):
+    sim = Simulator(start_time=start)
+    with pytest.raises(SimulationError):
+        sim.at(start - offset, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-offset, lambda: None)
+    # the rejected calls must leave no residue
+    assert sim.pending_events == 0
+
+
+@given(st.lists(times, min_size=1, max_size=30))
+def test_property_run_until_idle_drains_exactly(delays):
+    sim = Simulator()
+    for delay in delays:
+        sim.schedule(delay, lambda: None)
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+    assert sim.events_processed == len(delays)
+
+
+# -- run_until_idle regression tests (per-call bound semantics) -----------
+
+
+def test_run_until_idle_bound_is_per_call_after_earlier_runs():
+    """Events from earlier run() calls must not count against the
+    backstop bound of a later run_until_idle() call."""
+    sim = Simulator()
+    for i in range(30):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 30
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    # 30 already processed >= bound 10, but only 5 remain: no raise.
+    sim.run_until_idle(max_events=10)
+    assert sim.pending_events == 0
+
+
+def test_run_until_idle_raises_on_true_divergence():
+    sim = Simulator()
+
+    def tick():
+        sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    with pytest.raises(SimulationError, match="did not converge"):
+        sim.run_until_idle(max_events=25)
+
+
+def test_run_until_idle_divergence_not_masked_by_cancelled_head():
+    """A cancelled event sitting at the heap head must not hide a
+    diverging chain behind it (the seed bug inspected heap[0] only)."""
+    sim = Simulator()
+
+    def tick():
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    # Cancelled event timed to be at the heap head when the bound
+    # trips: ticks run at t=1..5, stopping with the head at t=5.5.
+    sim.at(5.5, lambda: None).cancel()
+    with pytest.raises(SimulationError, match="did not converge"):
+        sim.run_until_idle(max_events=5)
+
+
+def test_run_until_idle_tolerates_only_cancelled_leftovers():
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(float(i), lambda: None)
+    leftover = sim.schedule(50.0, lambda: None)
+    leftover.cancel()
+    sim.run_until_idle(max_events=3)
+    assert sim.events_processed == 3

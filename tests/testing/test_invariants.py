@@ -1,0 +1,240 @@
+"""Invariant-checker tests, including the mutation smoke tests.
+
+The mutation tests are the proof that the checkers actually bite:
+each one plants a seeded bug (corrupted byte accounting, a packet
+leak, an out-of-order delivery, a time-warped event) and asserts the
+matching invariant raises. The same scenarios with the bug removed
+run green.
+"""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Pipe
+from repro.netsim.packet import Packet, Protocol
+from repro.netsim.queues import CoDelQueue, DropTailQueue
+from repro.netsim.topology import Network
+from repro.testing.invariants import (
+    InvariantChecker,
+    check_invariants,
+    global_checking,
+)
+
+
+class Sink:
+    """Minimal pipe destination."""
+
+    def __init__(self, name="sink", address="10.9.9.9"):
+        self.name = name
+        self.address = address
+        self.received = []
+
+    def receive(self, packet, pipe):
+        self.received.append(packet)
+
+    def attach(self, neighbor_name, pipe):
+        pass
+
+
+def packet(size=1000, dst="10.9.9.9"):
+    return Packet(src="10.0.0.1", dst=dst, protocol=Protocol.UDP,
+                  size=size)
+
+
+def make_pipe(sim, rate=80_000.0, queue=None, delay=0.01):
+    sink = Sink()
+    pipe = Pipe(sim, sink, rate=rate, delay=delay,
+                queue=queue if queue is not None else DropTailQueue(),
+                name="test-pipe")
+    return pipe, sink
+
+
+# -- happy paths ----------------------------------------------------------
+
+
+def test_clean_run_passes_and_detaches():
+    sim = Simulator()
+    pipe, sink = make_pipe(sim)
+    with check_invariants(sim, pipe) as checker:
+        for _ in range(5):
+            pipe.send(packet())
+        sim.run()
+        assert checker.watched_counts == {
+            "sims": 1, "pipes": 1, "queues": 1}
+    assert len(sink.received) == 5
+    # wrappers removed: the instance attributes are gone again
+    assert "send" not in vars(pipe)
+    assert "at" not in vars(sim)
+    assert "push" not in vars(pipe.queue)
+
+
+def test_network_watch_covers_links_added_later():
+    net = Network()
+    net.add_host("a")
+    net.add_router("r")
+    net.connect("a", "r", rate_ab=1e6, rate_ba=1e6, delay=0.001)
+    with check_invariants(net) as checker:
+        net.add_host("c")
+        net.connect("r", "c", rate_ab=1e6, rate_ba=1e6, delay=0.001)
+        net.finalize()
+        a, c = net.host("a"), net.host("c")
+        for _ in range(4):
+            a.send(Packet(src=a.address, dst=c.address,
+                          protocol=Protocol.TCP, size=500, dst_port=9))
+        net.sim.run_until_idle()
+        assert checker.watched_counts["pipes"] == 4
+    assert net.host("c").packets_received == 4
+
+
+def test_codel_queue_runs_clean_under_checking():
+    sim = Simulator()
+    pipe, sink = make_pipe(
+        sim, rate=400_000.0,
+        queue=CoDelQueue(capacity_bytes=20_000, target_s=0.001,
+                         interval_s=0.01))
+    with check_invariants(sim, pipe):
+        for i in range(60):
+            sim.at(0.001 * i, pipe.send, packet())
+        sim.run()
+    conserved = (len(sink.received) + pipe.lost_medium
+                 + pipe.queue.drops + len(pipe.queue))
+    assert conserved == pipe.sent
+
+
+def test_queue_drops_are_accounted_not_flagged():
+    sim = Simulator()
+    pipe, sink = make_pipe(
+        sim, rate=8_000.0, queue=DropTailQueue(capacity_packets=2))
+    with check_invariants(sim, pipe):
+        for _ in range(10):
+            pipe.send(packet())
+        sim.run()
+    assert pipe.queue.drops == 7  # 1 serialising + 2 queued survive
+    assert len(sink.received) == 3
+
+
+def test_global_checking_restores_constructors():
+    orig_sim_init = Simulator.__init__
+    orig_pipe_init = Pipe.__init__
+    with global_checking() as checker:
+        sim = Simulator()
+        pipe, sink = make_pipe(sim)
+        pipe.send(packet())
+        sim.run()
+        assert checker.watched_counts["sims"] == 1
+        assert checker.watched_counts["pipes"] == 1
+    assert Simulator.__init__ is orig_sim_init
+    assert Pipe.__init__ is orig_pipe_init
+    assert len(sink.received) == 1
+
+
+def test_invariants_fixture_factory(invariants):
+    sim = Simulator()
+    pipe, sink = make_pipe(sim)
+    invariants(sim, pipe)
+    pipe.send(packet())
+    sim.run()
+    assert len(sink.received) == 1
+
+
+# -- mutation smoke tests: the checkers must fire on seeded bugs ----------
+#
+# Marked no_global_invariants: each test leaves deliberately corrupted
+# state behind, which the REPRO_INVARIANTS=1 suite-wide checker would
+# (correctly) re-report at teardown.
+
+mutation = pytest.mark.no_global_invariants
+
+
+class ByteDriftQueue(DropTailQueue):
+    """Seeded bug: byte accounting leaks one byte per accepted push."""
+
+    def push(self, p):
+        accepted = super().push(p)
+        if accepted:
+            self._bytes -= 1
+        return accepted
+
+
+class LeakyQueue(DropTailQueue):
+    """Seeded bug: silently discards a second packet on every pop."""
+
+    def pop(self):
+        head = DropTailQueue.pop(self)
+        if head is not None:
+            DropTailQueue.pop(self)  # vanishes uncounted
+        return head
+
+
+@mutation
+def test_mutation_byte_accounting_drift_is_caught():
+    sim = Simulator()
+    pipe, _ = make_pipe(sim, queue=ByteDriftQueue(capacity_bytes=100_000))
+    with pytest.raises(InvariantViolation, match="byte accounting"):
+        with check_invariants(sim, pipe):
+            for _ in range(3):
+                pipe.send(packet())
+            sim.run()
+
+
+@mutation
+def test_mutation_packet_leak_breaks_conservation():
+    sim = Simulator()
+    pipe, _ = make_pipe(sim, queue=LeakyQueue())
+    with pytest.raises(InvariantViolation, match="conservation"):
+        with check_invariants(sim, pipe):
+            for _ in range(6):
+                pipe.send(packet())
+            sim.run()
+
+
+def test_mutation_fixed_queue_runs_green():
+    """Same scenario as the leak test, bug removed: checker stays quiet."""
+    sim = Simulator()
+    pipe, sink = make_pipe(sim, queue=DropTailQueue())
+    with check_invariants(sim, pipe):
+        for _ in range(6):
+            pipe.send(packet())
+        sim.run()
+    assert len(sink.received) == 6
+
+
+@mutation
+def test_mutation_out_of_order_delivery_is_caught():
+    sim = Simulator()
+    pipe, _ = make_pipe(sim, rate=None, delay=0.5)
+    with pytest.raises(InvariantViolation, match="FIFO"):
+        with check_invariants(sim, pipe):
+            pipe.send(packet())
+            second = packet()
+            pipe.send(second)
+            # Deliver the second packet ahead of the first, as a
+            # broken jitter model that reorders frames would.
+            pipe._deliver(second)
+
+
+@mutation
+def test_mutation_time_warped_event_is_caught():
+    sim = Simulator()
+    with check_invariants(sim):
+        event = sim.at(5.0, lambda: None)
+        event.time = 3.0  # corrupt the heap entry
+        with pytest.raises(InvariantViolation, match="fired at"):
+            sim.run()
+
+
+@mutation
+def test_mutation_overstuffed_queue_is_caught():
+    sim = Simulator()
+    queue = DropTailQueue(capacity_packets=2)
+    pipe, _ = make_pipe(sim, rate=8_000.0, queue=queue)
+    with pytest.raises(InvariantViolation, match="capacity"):
+        with check_invariants(sim, pipe):
+            pipe.send(packet())  # serialising
+            pipe.send(packet())
+            pipe.send(packet())  # queue now at capacity 2
+            # A buggy enqueue path that bypasses the capacity check:
+            queue._queue.append(packet())
+            queue._bytes += 1000
+            queue.push(packet())

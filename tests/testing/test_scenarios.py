@@ -1,0 +1,101 @@
+"""Scenario-generator tests: bit-identical replay and shrinking."""
+
+import dataclasses
+
+import pytest
+
+from repro.testing.invariants import check_invariants
+from repro.testing.scenarios import (
+    Scenario,
+    arm_workload,
+    build_network,
+    random_scenario,
+    replay_digests,
+    run_and_digest,
+    shrink,
+)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_replay_is_bit_identical(seed):
+    """Same scenario, two fresh runs, identical trace digests."""
+    first, second = replay_digests(random_scenario(seed))
+    assert first == second
+
+
+def test_different_seeds_diverge():
+    digests = {run_and_digest(random_scenario(seed)) for seed in range(4)}
+    assert len(digests) == 4
+
+
+def test_scenario_shape_is_seed_deterministic():
+    assert random_scenario(7) == random_scenario(7)
+    assert random_scenario(7) != random_scenario(8)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_scenarios_hold_invariants(seed):
+    """Generated topologies + workloads run clean under checking."""
+    sc = random_scenario(seed)
+    net, tracers = build_network(sc)
+    with check_invariants(net):
+        arm_workload(net, sc)
+        net.sim.run_until_idle()
+    total_tx = sum(len(t.events("tx")) for t in tracers.values())
+    assert total_tx > 0
+
+
+def test_workload_reaches_destinations():
+    sc = Scenario(seed=5, n_hosts=3, n_routers=1, n_extra_links=0,
+                  n_packets=20)
+    net, tracers = build_network(sc)
+    arm_workload(net, sc)
+    net.sim.run_until_idle()
+    received = sum(n.packets_received for n in net.nodes.values())
+    assert received > 0
+
+
+def test_shrink_finds_minimal_counterexample():
+    start = Scenario(seed=1, n_hosts=6, n_routers=3, n_extra_links=3,
+                     n_packets=40, horizon_s=8.0)
+
+    # Stand-in failure: reproduces whenever there are >= 4 packets.
+    def fails(sc):
+        return sc.n_packets >= 4
+
+    small = shrink(start, fails)
+    assert small.n_packets == 4
+    assert small.n_hosts == 2
+    assert small.n_routers == 0
+    assert small.n_extra_links == 0
+    assert fails(small)
+
+
+def test_shrink_keeps_failing_scenario_when_stuck():
+    sc = Scenario(seed=1, n_hosts=2, n_routers=0, n_extra_links=0,
+                  n_packets=1, horizon_s=1.0)
+    assert shrink(sc, lambda s: True) == sc
+
+
+def test_shrink_on_replay_predicate_degenerates_to_original():
+    """The engine is deterministic, so the replay predicate never
+    fails and shrinking (vacuously) returns the scenario unchanged."""
+    sc = random_scenario(2)
+
+    def replay_fails(candidate):
+        first, second = replay_digests(candidate)
+        return first != second
+
+    assert not replay_fails(sc)
+    assert shrink(sc, replay_fails) == sc
+
+
+def test_scenario_rejects_degenerate_shapes():
+    with pytest.raises(ValueError):
+        Scenario(seed=0, n_hosts=1)
+
+
+def test_scenario_is_frozen():
+    sc = random_scenario(0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        sc.seed = 1
