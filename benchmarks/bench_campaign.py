@@ -1,0 +1,111 @@
+"""Campaign executor benchmark: serial vs. parallel wall clock.
+
+Runs the quick campaign once with ``workers=1`` and once with
+``--workers N`` (same seed), asserts the dataset digests are
+bit-identical, and writes ``BENCH_campaign.json`` with both wall
+clocks, the speedup, and a per-unit-kind timing breakdown. This file
+starts the perf trajectory for the execution substrate: every later
+scaling PR (sharding, batching, bigger epoch counts) should move
+these numbers and nothing else.
+
+Not a pytest module on purpose — run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py --workers 4
+
+``REPRO_BENCH_SMOKE=1`` trims the campaign further so CI smoke runs
+finish in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.core.campaign import Campaign, CampaignConfig, quick_config
+from repro.exec.runner import (
+    UnitTiming,
+    default_workers,
+    timing_breakdown,
+)
+from repro.testing.digest import digest_dataset
+from repro.units import minutes
+
+OUTPUT_PATH = pathlib.Path(__file__).parent / "output" \
+    / "BENCH_campaign.json"
+
+
+def bench_config(seed: int) -> CampaignConfig:
+    if os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"):
+        return CampaignConfig(
+            seed=seed,
+            ping_days=1.0, ping_interval_s=minutes(120),
+            speedtest_epochs=1, speedtest_measure_s=1.0,
+            speedtest_warmup_s=1.0, satcom_warmup_s=3.0,
+            bulk_per_direction=1, bulk_bytes=1_000_000,
+            messages_per_direction=1, messages_duration_s=2.0,
+            web_sites=6, web_visits_per_site=1)
+    return quick_config(seed=seed)
+
+
+def timed_run(config: CampaignConfig, workers: int
+              ) -> tuple[str, float, list[UnitTiming]]:
+    """One full campaign; returns (digest, wall_s, unit timings)."""
+    campaign = Campaign(config)
+    timings: list[UnitTiming] = []
+    began = time.perf_counter()
+    data = campaign.run_all(workers=workers, timings=timings)
+    wall_s = time.perf_counter() - began
+    return digest_dataset(data), wall_s, timings
+
+
+def run_bench(workers: int, seed: int) -> dict:
+    config = bench_config(seed)
+    serial_digest, serial_s, serial_timings = timed_run(config, 1)
+    parallel_digest, parallel_s, _ = timed_run(config, workers)
+    return {
+        "benchmark": "campaign-executor",
+        "seed": seed,
+        "workers": workers,
+        "cpu_count": default_workers(),
+        "units": len(serial_timings),
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "digest_match": serial_digest == parallel_digest,
+        "dataset_digest": serial_digest,
+        "unit_breakdown": [
+            {key: round(val, 4) if isinstance(val, float) else val
+             for key, val in row.items()}
+            for row in timing_breakdown(serial_timings)
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker count "
+                             "(default: min(4, cpus))")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=OUTPUT_PATH)
+    args = parser.parse_args(argv)
+    workers = args.workers or min(4, default_workers())
+
+    report = run_bench(workers, args.seed)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["digest_match"]:
+        print("FATAL: parallel dataset diverged from serial run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

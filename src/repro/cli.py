@@ -5,13 +5,16 @@ Usage::
     python -m repro table1
     python -m repro fig1 --ping-days 20
     python -m repro fig6 --sites 40
+    python -m repro all --workers 4 --timing
     python -m repro middlebox
     python -m repro errant
-    python -m repro all
 
 Artefact generation uses the quick campaign configuration by default;
 ``--full`` switches to the bench-scale configuration (slower, closer
-to the paper's sample counts).
+to the paper's sample counts). ``--workers N`` fans the campaign's
+work units out over N processes — the datasets are bit-identical to
+the serial run — and ``--timing`` prints a per-unit-kind wall-clock
+breakdown after the artefacts.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from repro.core.rtt import (
     figure3_loaded_rtt,
 )
 from repro.core.throughput import figure5_throughput
+from repro.exec.runner import UnitTiming, render_timings
 from repro.units import minutes
 
 ARTEFACTS = ("table1", "fig1", "fig2", "fig3", "table2", "fig4",
@@ -64,33 +68,39 @@ def _emit(text: str) -> None:
     print()
 
 
-def run_artefact(name: str, campaign: Campaign,
-                 cache: dict) -> None:
+def run_artefact(name: str, campaign: Campaign, cache: dict,
+                 workers: int = 1,
+                 timings: list[UnitTiming] | None = None) -> None:
     """Generate and print one artefact, reusing cached datasets."""
 
     def pings():
         if "pings" not in cache:
-            cache["pings"] = campaign.run_pings()
+            cache["pings"] = campaign.run_pings(workers=workers,
+                                               timings=timings)
         return cache["pings"]
 
     def bulk():
         if "bulk" not in cache:
-            cache["bulk"] = campaign.run_bulk()
+            cache["bulk"] = campaign.run_bulk(workers=workers,
+                                              timings=timings)
         return cache["bulk"]
 
     def messages():
         if "messages" not in cache:
-            cache["messages"] = campaign.run_messages()
+            cache["messages"] = campaign.run_messages(workers=workers,
+                                                      timings=timings)
         return cache["messages"]
 
     def speedtests():
         if "speedtests" not in cache:
-            cache["speedtests"] = campaign.run_speedtests()
+            cache["speedtests"] = campaign.run_speedtests(
+                workers=workers, timings=timings)
         return cache["speedtests"]
 
     def visits():
         if "visits" not in cache:
-            cache["visits"] = campaign.run_web()
+            cache["visits"] = campaign.run_web(workers=workers,
+                                               timings=timings)
         return cache["visits"]
 
     if name == "table1":
@@ -142,14 +152,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="override the ping-campaign length")
     parser.add_argument("--sites", type=int, default=None,
                         help="override the web-corpus size")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes (default 1; "
+                             "results are identical for any value)")
+    parser.add_argument("--timing", action="store_true",
+                        help="print a per-unit wall-clock breakdown")
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     campaign = Campaign(_build_config(args))
     cache: dict = {}
+    timings: list[UnitTiming] = []
     names = [a for a in ARTEFACTS if a != "all"] \
         if args.artefact == "all" else [args.artefact]
     for name in names:
-        run_artefact(name, campaign, cache)
+        run_artefact(name, campaign, cache, workers=args.workers,
+                     timings=timings)
+    if args.timing:
+        _emit(render_timings(timings))
     return 0
 
 

@@ -14,25 +14,19 @@ DESIGN.md: idle-link pings sample the analytic path model (identical
 by construction to the packet path), and the packet-level workloads
 (speed tests, H3, messages) run at a configurable number of epochs
 sampled across the campaign rather than at every half-hour slot.
+
+Execution model: every measurement is an independent, seeded work
+unit (:mod:`repro.exec.units`). The ``*_units`` methods build the
+ordered unit lists; the ``run_*`` methods execute them through
+:func:`repro.exec.execute_units` and merge payloads back in unit
+order, so ``workers=1`` (in-process, the degenerate case) and
+``workers=N`` produce bit-identical datasets.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.apps.bulk import run_bulk_transfer
-from repro.apps.messages import run_messages_workload
-from repro.apps.speedtest import run_speedtest
-from repro.apps.web.browser import BrowserEngine
-from repro.apps.web.corpus import build_corpus
-from repro.apps.web.profiles import (
-    satcom_profile,
-    starlink_profile,
-    wired_profile,
-)
 from repro.core.anchors import ANCHORS
 from repro.core.datasets import (
     BulkSample,
@@ -42,19 +36,36 @@ from repro.core.datasets import (
     SpeedtestSample,
     VisitSample,
 )
-from repro.geo.satcom import GeoSatComAccess
+from repro.exec.runner import UnitTiming, execute_units
+from repro.exec.units import (
+    CAMPUS_SERVER,
+    OOKLA_BRUSSELS,
+    BulkUnit,
+    MessagesUnit,
+    PingSeriesUnit,
+    SpeedtestUnit,
+    WebRoundUnit,
+    WorkUnit,
+)
 from repro.leo.access import StarlinkAccess, StarlinkPathModel
 from repro.leo.constellation import Constellation
 from repro.leo.events import CampaignTimeline, date_to_t
-from repro.leo.geometry import GeoPoint
 from repro.rng import make_rng
-from repro.units import days, mb, minutes
+from repro.units import mb, minutes
 
 from datetime import datetime
 
-#: Campus server (UCLouvain) and nearby Ookla server locations.
-CAMPUS_SERVER = GeoPoint(50.670, 4.615)
-OOKLA_BRUSSELS = GeoPoint(50.85, 4.35)
+__all__ = [
+    "CAMPUS_SERVER",
+    "OOKLA_BRUSSELS",
+    "Campaign",
+    "CampaignConfig",
+    "quick_config",
+    "SESSION2_END",
+    "SESSION2_START",
+    "THROUGHPUT_END",
+    "THROUGHPUT_START",
+]
 
 #: Throughput / web measurement window (paper: Dec 20 -> Apr 7).
 THROUGHPUT_START = date_to_t(datetime(2021, 12, 20))
@@ -105,34 +116,6 @@ class Campaign:
             constellation=self.constellation, timeline=self.timeline,
             seed=self.config.seed)
 
-    # -- ping (analytic fast path) ---------------------------------------
-
-    def run_pings(self) -> PingDataset:
-        """Five-month idle-latency series toward the 11 anchors."""
-        cfg = self.config
-        rng = make_rng((cfg.seed, "ping-campaign"))
-        dataset = PingDataset()
-        round_times = np.arange(0.0, days(cfg.ping_days),
-                                cfg.ping_interval_s)
-        model = self.path_model
-        for anchor in ANCHORS:
-            times = []
-            rtts = []
-            for t in round_times:
-                pop = model.pop_location(t)
-                remote = anchor.remote_rtt_from(pop)
-                for probe in range(cfg.pings_per_round):
-                    probe_t = t + probe * 1.0
-                    times.append(probe_t)
-                    if rng.random() < cfg.ping_loss_prob:
-                        rtts.append(math.nan)
-                    else:
-                        rtts.append(model.idle_rtt(probe_t, rng,
-                                                   remote_rtt_s=remote))
-            dataset.series[anchor.name] = (np.array(times),
-                                           np.array(rtts))
-        return dataset
-
     # -- epoch helpers -----------------------------------------------------
 
     def _epochs(self, n: int, start: float, end: float,
@@ -147,47 +130,28 @@ class Campaign:
                               timeline=self.timeline,
                               constellation=self.constellation)
 
-    # -- speed tests ---------------------------------------------------------
+    # -- work-unit decomposition -------------------------------------------
 
-    def run_speedtests(self) -> list[SpeedtestSample]:
-        """Ookla-like tests on Starlink and SatCom (Fig. 5a/5b)."""
+    def ping_units(self) -> list[PingSeriesUnit]:
+        """One unit per anchor: the full idle-latency series."""
+        return [PingSeriesUnit(self.config, anchor.name)
+                for anchor in ANCHORS]
+
+    def speedtest_units(self) -> list[SpeedtestUnit]:
+        """One unit per epoch x network x direction (Fig. 5a/5b)."""
         cfg = self.config
-        samples: list[SpeedtestSample] = []
         epochs = self._epochs(cfg.speedtest_epochs, THROUGHPUT_START,
                               THROUGHPUT_END, "speedtest")
-        for i, epoch in enumerate(epochs):
-            for network in ("starlink", "satcom"):
-                for direction in ("down", "up"):
-                    samples.append(self._one_speedtest(
-                        network, direction, epoch, run_seed=1000 + i))
-        return samples
+        return [SpeedtestUnit(cfg, network, direction, epoch,
+                              run_seed=1000 + i)
+                for i, epoch in enumerate(epochs)
+                for network in ("starlink", "satcom")
+                for direction in ("down", "up")]
 
-    def _one_speedtest(self, network: str, direction: str,
-                       epoch: float, run_seed: int) -> SpeedtestSample:
+    def bulk_units(self) -> list[BulkUnit]:
+        """One unit per session x epoch x direction."""
         cfg = self.config
-        if network == "starlink":
-            access = self._starlink_access(epoch, run_seed)
-            warmup = cfg.speedtest_warmup_s
-        else:
-            access = GeoSatComAccess(seed=run_seed, epoch_t=epoch)
-            warmup = cfg.satcom_warmup_s
-        server = access.add_remote_host("ookla", "62.4.0.10",
-                                        OOKLA_BRUSSELS)
-        access.finalize()
-        result = run_speedtest(
-            access.client, server, direction,
-            connections=cfg.speedtest_connections,
-            warmup_s=warmup, measure_s=cfg.speedtest_measure_s)
-        return SpeedtestSample(t=epoch, network=network,
-                               direction=direction,
-                               throughput_mbps=result.throughput_mbps)
-
-    # -- QUIC H3 bulk -----------------------------------------------------------
-
-    def run_bulk(self) -> list[BulkSample]:
-        """H3 transfers in both directions and both sessions."""
-        cfg = self.config
-        samples: list[BulkSample] = []
+        units = []
         windows = [(1, THROUGHPUT_START, THROUGHPUT_END),
                    (2, SESSION2_START, SESSION2_END)]
         for session, start, end in windows:
@@ -195,82 +159,110 @@ class Campaign:
                                   f"bulk-{session}")
             for i, epoch in enumerate(epochs):
                 for direction in ("down", "up"):
-                    access = self._starlink_access(
-                        epoch, run_seed=2000 + 100 * session + i)
-                    server = access.add_remote_host(
-                        "campus", "130.104.1.1", CAMPUS_SERVER)
-                    access.finalize()
-                    result = run_bulk_transfer(
-                        access.client, server, direction,
-                        payload_bytes=cfg.bulk_bytes)
-                    samples.append(BulkSample(
-                        t=epoch, direction=direction, session=session,
-                        result=result))
-        return samples
+                    units.append(BulkUnit(
+                        cfg, session, direction, epoch,
+                        run_seed=2000 + 100 * session + i))
+        return units
 
-    # -- QUIC messages ------------------------------------------------------------
-
-    def run_messages(self) -> list[MessagesSample]:
-        """Low-bitrate message runs in both directions."""
+    def messages_units(self) -> list[MessagesUnit]:
+        """One unit per epoch x direction."""
         cfg = self.config
-        samples: list[MessagesSample] = []
         epochs = self._epochs(cfg.messages_per_direction,
                               THROUGHPUT_START, SESSION2_END, "messages")
-        for i, epoch in enumerate(epochs):
-            for direction in ("down", "up"):
-                access = self._starlink_access(epoch,
-                                               run_seed=3000 + i)
-                server = access.add_remote_host(
-                    "campus", "130.104.1.1", CAMPUS_SERVER)
-                access.finalize()
-                result = run_messages_workload(
-                    access.client, server, direction,
-                    duration_s=cfg.messages_duration_s,
-                    seed=cfg.seed * 13 + i)
-                samples.append(MessagesSample(
-                    t=epoch, direction=direction, result=result))
-        return samples
+        return [MessagesUnit(cfg, direction, epoch,
+                             run_seed=3000 + i,
+                             workload_seed=cfg.seed * 13 + i)
+                for i, epoch in enumerate(epochs)
+                for direction in ("down", "up")]
 
-    # -- web browsing ---------------------------------------------------------------
-
-    def run_web(self) -> list[VisitSample]:
-        """Browser visits over Starlink, SatCom and wired (Fig. 6)."""
+    def web_units(self) -> list[WebRoundUnit]:
+        """One unit per network x visit round over the corpus."""
         cfg = self.config
-        corpus = build_corpus(cfg.web_sites, seed=cfg.seed)
         rng = make_rng((cfg.seed, "web-epochs"))
-        visits: list[VisitSample] = []
-        profiles = {
-            "starlink": starlink_profile,
-            "satcom": satcom_profile,
-            "wired": wired_profile,
-        }
-        for network, maker in profiles.items():
+        units = []
+        for network in ("starlink", "satcom", "wired"):
             for v in range(cfg.web_visits_per_site):
                 epoch = (THROUGHPUT_START
                          + rng.random() * (THROUGHPUT_END
                                            - THROUGHPUT_START))
-                profile = maker(epoch_t=epoch, seed=cfg.seed)
-                engine = BrowserEngine(profile, seed=cfg.seed + v)
-                for page in corpus:
-                    result = engine.visit(page, visit_id=v)
-                    visits.append(VisitSample(
-                        t=epoch, network=network, url=page.url,
-                        onload_s=result.onload_s,
-                        speed_index_s=result.speed_index_s,
-                        n_connections=result.n_connections,
-                        connection_setup_s=result.connection_setup_s))
-        return visits
+                units.append(WebRoundUnit(cfg, network, v, epoch))
+        return units
 
-    # -- everything --------------------------------------------------------------------
+    # -- execution ---------------------------------------------------------
 
-    def run_all(self) -> CampaignDatasets:
-        """Run every dataset of Table 1."""
+    def run_pings(self, workers: int = 1,
+                  timings: list[UnitTiming] | None = None
+                  ) -> PingDataset:
+        """Five-month idle-latency series toward the 11 anchors."""
+        return self._merge_pings(execute_units(self.ping_units(),
+                                               workers, timings))
+
+    def run_speedtests(self, workers: int = 1,
+                       timings: list[UnitTiming] | None = None
+                       ) -> list[SpeedtestSample]:
+        """Ookla-like tests on Starlink and SatCom (Fig. 5a/5b)."""
+        return execute_units(self.speedtest_units(), workers, timings)
+
+    def run_bulk(self, workers: int = 1,
+                 timings: list[UnitTiming] | None = None
+                 ) -> list[BulkSample]:
+        """H3 transfers in both directions and both sessions."""
+        return execute_units(self.bulk_units(), workers, timings)
+
+    def run_messages(self, workers: int = 1,
+                     timings: list[UnitTiming] | None = None
+                     ) -> list[MessagesSample]:
+        """Low-bitrate message runs in both directions."""
+        return execute_units(self.messages_units(), workers, timings)
+
+    def run_web(self, workers: int = 1,
+                timings: list[UnitTiming] | None = None
+                ) -> list[VisitSample]:
+        """Browser visits over Starlink, SatCom and wired (Fig. 6)."""
+        rounds = execute_units(self.web_units(), workers, timings)
+        return [visit for round_visits in rounds
+                for visit in round_visits]
+
+    @staticmethod
+    def _merge_pings(payloads) -> PingDataset:
+        dataset = PingDataset()
+        for name, times, rtts in payloads:
+            dataset.series[name] = (times, rtts)
+        return dataset
+
+    # -- everything --------------------------------------------------------
+
+    def run_all(self, workers: int = 1,
+                timings: list[UnitTiming] | None = None
+                ) -> CampaignDatasets:
+        """Run every dataset of Table 1.
+
+        All work units go through one executor pass, so with
+        ``workers=N`` the pool stays busy across dataset boundaries
+        (a long ping series overlaps with short web rounds instead of
+        serialising behind them).
+        """
+        groups: list[tuple[str, list[WorkUnit]]] = [
+            ("pings", self.ping_units()),
+            ("speedtests", self.speedtest_units()),
+            ("bulk", self.bulk_units()),
+            ("messages", self.messages_units()),
+            ("visits", self.web_units()),
+        ]
+        units = [unit for _, group in groups for unit in group]
+        payloads = execute_units(units, workers, timings)
         data = CampaignDatasets()
-        data.pings = self.run_pings()
-        data.speedtests = self.run_speedtests()
-        data.bulk = self.run_bulk()
-        data.messages = self.run_messages()
-        data.visits = self.run_web()
+        cursor = 0
+        for name, group in groups:
+            chunk = payloads[cursor:cursor + len(group)]
+            cursor += len(group)
+            if name == "pings":
+                data.pings = self._merge_pings(chunk)
+            elif name == "visits":
+                data.visits = [visit for round_visits in chunk
+                               for visit in round_visits]
+            else:
+                setattr(data, name, chunk)
         return data
 
 

@@ -31,10 +31,21 @@ class BoxplotStats:
 
 
 def boxplot_stats(samples) -> BoxplotStats:
-    """Compute the Fig.-1-style summary of a sample list."""
+    """Compute the Fig.-1-style summary of a sample list.
+
+    Non-finite samples are rejected: callers summarising lossy series
+    (e.g. :meth:`PingDataset.rtts`) drop NaN probes first, so a NaN
+    here is an upstream bug that would otherwise surface as NaN
+    percentiles in a rendered figure.
+    """
     values = np.asarray(list(samples), dtype=float)
     if values.size == 0:
         raise AnalysisError("cannot summarise an empty sample set")
+    if not np.isfinite(values).all():
+        bad = int((~np.isfinite(values)).sum())
+        raise AnalysisError(
+            f"samples contain {bad} non-finite value(s); "
+            "filter NaN/inf before summarising")
     p5, p25, p50, p75, p95 = np.percentile(values, [5, 25, 50, 75, 95])
     return BoxplotStats(
         count=int(values.size), minimum=float(values.min()),
@@ -61,10 +72,28 @@ class Ecdf:
                      / self.values.size)
 
     def quantile(self, q: float) -> float:
-        """Inverse CDF."""
+        """Inverse CDF: the smallest sample ``x`` with ``F(x) >= q``.
+
+        This is the ``inverted_cdf`` quantile, computed with the same
+        ``rank / size`` division :meth:`at` uses so the pair is an
+        exact inverse (``quantile(at(x)) == x`` for every sample
+        ``x``). Linear interpolation (the old behaviour) returned
+        values between samples and broke that round trip; routing
+        through ``np.percentile(..., q * 100)`` would break it too,
+        one rank off, whenever ``q * 100 / 100 * size`` rounds across
+        an integer.
+        """
         if not 0.0 <= q <= 1.0:
             raise AnalysisError(f"quantile must be in [0,1], got {q}")
-        return float(np.percentile(self.values, q * 100.0))
+        size = self.values.size
+        rank = min(max(int(np.ceil(q * size)) - 1, 0), size - 1)
+        # Fix up floating rounding of q * size: rank must be the
+        # smallest index whose at()-style fraction reaches q.
+        while (rank + 1) / size < q:
+            rank += 1
+        while rank > 0 and rank / size >= q:
+            rank -= 1
+        return float(self.values[rank])
 
     def curve(self, points: int = 200) -> list[tuple[float, float]]:
         """(x, F(x)) pairs for plotting/rendering."""
@@ -104,6 +133,11 @@ def time_binned_percentiles(times, values, bin_width: float,
     rows = []
     start = np.floor(times[0] / bin_width) * bin_width
     edges = np.arange(start, times[-1] + bin_width, bin_width)
+    if edges[-1] <= times[-1]:
+        # times[-1] sits exactly on a bin edge: without one more edge
+        # the final samples fall outside every half-open bin and are
+        # silently dropped.
+        edges = np.append(edges, edges[-1] + bin_width)
     indices = np.searchsorted(times, edges)
     for i in range(len(edges) - 1):
         chunk = values[indices[i]:indices[i + 1]]

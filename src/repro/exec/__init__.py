@@ -1,0 +1,41 @@
+"""Campaign execution substrate: work units and the parallel runner.
+
+``repro.exec`` decomposes the measurement campaign into independent,
+picklable work units (:mod:`repro.exec.units`) and executes them
+serially or on a process pool with a deterministic ordered merge
+(:mod:`repro.exec.runner`). Parallel output is bit-identical to the
+serial run for the same seed; ``tests/core/test_campaign_parallel.py``
+pins that with the trace-digest machinery.
+"""
+
+from repro.exec.runner import (
+    UnitTiming,
+    default_workers,
+    execute_units,
+    render_timings,
+    timing_breakdown,
+)
+from repro.exec.units import (
+    BulkUnit,
+    MessagesUnit,
+    PingSeriesUnit,
+    SpeedtestUnit,
+    WebRoundUnit,
+    WorkUnit,
+    context_for,
+)
+
+__all__ = [
+    "BulkUnit",
+    "MessagesUnit",
+    "PingSeriesUnit",
+    "SpeedtestUnit",
+    "UnitTiming",
+    "WebRoundUnit",
+    "WorkUnit",
+    "context_for",
+    "default_workers",
+    "execute_units",
+    "render_timings",
+    "timing_breakdown",
+]

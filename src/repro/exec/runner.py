@@ -1,0 +1,105 @@
+"""Work-unit executor: serial or process-parallel, identical output.
+
+The contract is strict: ``execute_units(units, workers=N)`` returns
+payloads in the order the units were given, bit-identical for every
+``N``. Serial execution (``workers=1``) is the degenerate case — it
+calls ``unit.run()`` in-process through the exact same code path a
+pool worker uses, so there is no separate serial implementation to
+drift. Parallel execution uses :class:`~concurrent.futures.\
+ProcessPoolExecutor` with ``chunksize=1`` and an ordered merge via
+``Executor.map``, which yields results in submission order no matter
+which worker finished first.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UnitTiming:
+    """Wall-clock record for one executed work unit."""
+
+    label: str
+    kind: str
+    elapsed_s: float
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (>= 1)."""
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        usable = os.cpu_count() or 1
+    return max(1, usable)
+
+
+def _run_one(unit) -> tuple[object, UnitTiming]:
+    began = time.perf_counter()
+    payload = unit.run()
+    elapsed = time.perf_counter() - began
+    return payload, UnitTiming(label=unit.label, kind=unit.kind,
+                               elapsed_s=elapsed)
+
+
+def execute_units(units: Sequence, workers: int = 1,
+                  timings: list[UnitTiming] | None = None) -> list:
+    """Run ``units`` and return their payloads in input order.
+
+    ``workers=1`` executes in-process; ``workers>1`` fans out over a
+    process pool. Per-unit wall clock (as seen by the process that
+    ran the unit) is appended to ``timings`` when given, also in
+    input order.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    units = list(units)
+    if not units:
+        return []
+    if workers == 1 or len(units) == 1:
+        outcomes = [_run_one(unit) for unit in units]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers,
+                                                 len(units))) as pool:
+            outcomes = list(pool.map(_run_one, units, chunksize=1))
+    if timings is not None:
+        timings.extend(timing for _, timing in outcomes)
+    return [payload for payload, _ in outcomes]
+
+
+def timing_breakdown(timings: Sequence[UnitTiming]) -> list[dict]:
+    """Aggregate per-kind rows: count, total/mean/max wall clock."""
+    by_kind: dict[str, list[float]] = {}
+    for timing in timings:
+        by_kind.setdefault(timing.kind, []).append(timing.elapsed_s)
+    rows = []
+    for kind in sorted(by_kind):
+        elapsed = by_kind[kind]
+        rows.append({
+            "kind": kind, "units": len(elapsed),
+            "total_s": sum(elapsed),
+            "mean_s": sum(elapsed) / len(elapsed),
+            "max_s": max(elapsed),
+        })
+    return rows
+
+
+def render_timings(timings: Sequence[UnitTiming]) -> str:
+    """Human-readable per-kind timing table for the CLI."""
+    lines = ["Unit timing (wall clock per executing process)",
+             f"{'kind':<12} {'units':>6} {'total':>9} "
+             f"{'mean':>9} {'max':>9}"]
+    for row in timing_breakdown(timings):
+        lines.append(
+            f"{row['kind']:<12} {row['units']:>6} "
+            f"{row['total_s']:>8.2f}s {row['mean_s']:>8.3f}s "
+            f"{row['max_s']:>8.3f}s")
+    total = sum(t.elapsed_s for t in timings)
+    lines.append(f"{'all':<12} {len(timings):>6} {total:>8.2f}s")
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""Self-contained campaign work units.
+
+The five-month campaign decomposes into independent measurement units
+(Table 1): one per anchor ping series, one per speedtest / bulk /
+messages epoch x direction, one per web network x visit round. Every
+unit carries its own :class:`~repro.core.campaign.CampaignConfig`
+plus an explicit seed tuple, so ``unit.run()`` produces the same
+bytes no matter which process executes it, in which order, or next to
+which other units.
+
+Shared model state (constellation geometry, campaign timeline, the
+analytic path model) is rebuilt once per process and memoised by
+campaign seed in :func:`context_for`. That sharing is safe because
+the model is order-independent by construction: scheduler snapshots
+are seeded per slot, and the fibre/jitter caches are pure memo tables
+whose values depend only on their key and the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.apps.bulk import run_bulk_transfer
+from repro.apps.messages import run_messages_workload
+from repro.apps.speedtest import run_speedtest
+from repro.apps.web.browser import BrowserEngine
+from repro.apps.web.corpus import build_corpus
+from repro.apps.web.profiles import (
+    satcom_profile,
+    starlink_profile,
+    wired_profile,
+)
+from repro.core.anchors import anchor_by_name
+from repro.core.datasets import (
+    BulkSample,
+    MessagesSample,
+    SpeedtestSample,
+    VisitSample,
+)
+from repro.geo.satcom import GeoSatComAccess
+from repro.leo.access import StarlinkAccess, StarlinkPathModel
+from repro.leo.constellation import Constellation
+from repro.leo.events import CampaignTimeline
+from repro.leo.geometry import GeoPoint
+from repro.rng import make_rng
+from repro.units import days
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.campaign import CampaignConfig
+
+#: Campus server (UCLouvain) and nearby Ookla server locations.
+CAMPUS_SERVER = GeoPoint(50.670, 4.615)
+OOKLA_BRUSSELS = GeoPoint(50.85, 4.35)
+
+_WEB_PROFILES = {
+    "starlink": starlink_profile,
+    "satcom": satcom_profile,
+    "wired": wired_profile,
+}
+
+
+@dataclass
+class WorkerContext:
+    """Per-process shared model state for one campaign seed."""
+
+    timeline: CampaignTimeline
+    constellation: Constellation
+    path_model: StarlinkPathModel
+
+
+_CONTEXTS: dict[int, WorkerContext] = {}
+
+
+def context_for(seed: int) -> WorkerContext:
+    """The process-local :class:`WorkerContext` for a campaign seed.
+
+    Built lazily and memoised, so a worker pays the constellation
+    setup once no matter how many units it executes.
+    """
+    ctx = _CONTEXTS.get(seed)
+    if ctx is None:
+        timeline = CampaignTimeline()
+        constellation = Constellation()
+        ctx = WorkerContext(
+            timeline=timeline, constellation=constellation,
+            path_model=StarlinkPathModel(constellation=constellation,
+                                         timeline=timeline, seed=seed))
+        _CONTEXTS[seed] = ctx
+    return ctx
+
+
+def _starlink_access(config: "CampaignConfig", epoch: float,
+                     run_seed: int) -> StarlinkAccess:
+    ctx = context_for(config.seed)
+    return StarlinkAccess(seed=run_seed, epoch_t=epoch,
+                          timeline=ctx.timeline,
+                          constellation=ctx.constellation)
+
+
+@dataclass(frozen=True)
+class PingSeriesUnit:
+    """The full five-month ping series toward one anchor.
+
+    Seed tuple: ``(config.seed, "ping-campaign", anchor_name)``.
+    """
+
+    config: "CampaignConfig"
+    anchor_name: str
+
+    kind = "ping"
+
+    @property
+    def label(self) -> str:
+        return f"ping:{self.anchor_name}"
+
+    def run(self) -> tuple[str, np.ndarray, np.ndarray]:
+        cfg = self.config
+        anchor = anchor_by_name(self.anchor_name)
+        rng = make_rng((cfg.seed, "ping-campaign", self.anchor_name))
+        model = context_for(cfg.seed).path_model
+        round_times = np.arange(0.0, days(cfg.ping_days),
+                                cfg.ping_interval_s)
+        times = []
+        rtts = []
+        for t in round_times:
+            pop = model.pop_location(t)
+            remote = anchor.remote_rtt_from(pop)
+            for probe in range(cfg.pings_per_round):
+                probe_t = t + probe * 1.0
+                times.append(probe_t)
+                if rng.random() < cfg.ping_loss_prob:
+                    rtts.append(math.nan)
+                else:
+                    rtts.append(model.idle_rtt(probe_t, rng,
+                                               remote_rtt_s=remote))
+        return self.anchor_name, np.array(times), np.array(rtts)
+
+
+@dataclass(frozen=True)
+class SpeedtestUnit:
+    """One Ookla-like test: a single network x direction x epoch."""
+
+    config: "CampaignConfig"
+    network: str           # "starlink" | "satcom"
+    direction: str         # "down" | "up"
+    epoch: float
+    run_seed: int
+
+    kind = "speedtest"
+
+    @property
+    def label(self) -> str:
+        return f"speedtest:{self.network}:{self.direction}:{self.run_seed}"
+
+    def run(self) -> SpeedtestSample:
+        cfg = self.config
+        if self.network == "starlink":
+            access = _starlink_access(cfg, self.epoch, self.run_seed)
+            warmup = cfg.speedtest_warmup_s
+        else:
+            access = GeoSatComAccess(seed=self.run_seed,
+                                     epoch_t=self.epoch)
+            warmup = cfg.satcom_warmup_s
+        server = access.add_remote_host("ookla", "62.4.0.10",
+                                        OOKLA_BRUSSELS)
+        access.finalize()
+        result = run_speedtest(
+            access.client, server, self.direction,
+            connections=cfg.speedtest_connections,
+            warmup_s=warmup, measure_s=cfg.speedtest_measure_s)
+        return SpeedtestSample(t=self.epoch, network=self.network,
+                               direction=self.direction,
+                               throughput_mbps=result.throughput_mbps)
+
+
+@dataclass(frozen=True)
+class BulkUnit:
+    """One H3 bulk transfer: a single session x direction x epoch."""
+
+    config: "CampaignConfig"
+    session: int
+    direction: str
+    epoch: float
+    run_seed: int
+
+    kind = "bulk"
+
+    @property
+    def label(self) -> str:
+        return f"bulk:s{self.session}:{self.direction}:{self.run_seed}"
+
+    def run(self) -> BulkSample:
+        cfg = self.config
+        access = _starlink_access(cfg, self.epoch, self.run_seed)
+        server = access.add_remote_host("campus", "130.104.1.1",
+                                        CAMPUS_SERVER)
+        access.finalize()
+        result = run_bulk_transfer(access.client, server, self.direction,
+                                   payload_bytes=cfg.bulk_bytes)
+        return BulkSample(t=self.epoch, direction=self.direction,
+                          session=self.session, result=result)
+
+
+@dataclass(frozen=True)
+class MessagesUnit:
+    """One low-bitrate message run: a single direction x epoch."""
+
+    config: "CampaignConfig"
+    direction: str
+    epoch: float
+    run_seed: int
+    workload_seed: int
+
+    kind = "messages"
+
+    @property
+    def label(self) -> str:
+        return f"messages:{self.direction}:{self.run_seed}"
+
+    def run(self) -> MessagesSample:
+        cfg = self.config
+        access = _starlink_access(cfg, self.epoch, self.run_seed)
+        server = access.add_remote_host("campus", "130.104.1.1",
+                                        CAMPUS_SERVER)
+        access.finalize()
+        result = run_messages_workload(
+            access.client, server, self.direction,
+            duration_s=cfg.messages_duration_s, seed=self.workload_seed)
+        return MessagesSample(t=self.epoch, direction=self.direction,
+                              result=result)
+
+
+@dataclass(frozen=True)
+class WebRoundUnit:
+    """One browsing round: every corpus page over one network, once.
+
+    The corpus is rebuilt inside the unit (it is deterministic for
+    ``config.seed``), so the unit ships only scalars across the
+    process boundary.
+    """
+
+    config: "CampaignConfig"
+    network: str
+    visit_id: int
+    epoch: float
+
+    kind = "web"
+
+    @property
+    def label(self) -> str:
+        return f"web:{self.network}:v{self.visit_id}"
+
+    def run(self) -> list[VisitSample]:
+        cfg = self.config
+        corpus = build_corpus(cfg.web_sites, seed=cfg.seed)
+        profile = _WEB_PROFILES[self.network](epoch_t=self.epoch,
+                                              seed=cfg.seed)
+        engine = BrowserEngine(profile, seed=cfg.seed + self.visit_id)
+        visits = []
+        for page in corpus:
+            result = engine.visit(page, visit_id=self.visit_id)
+            visits.append(VisitSample(
+                t=self.epoch, network=self.network, url=page.url,
+                onload_s=result.onload_s,
+                speed_index_s=result.speed_index_s,
+                n_connections=result.n_connections,
+                connection_setup_s=result.connection_setup_s))
+        return visits
+
+
+#: Everything the executor accepts.
+WorkUnit = (PingSeriesUnit | SpeedtestUnit | BulkUnit
+            | MessagesUnit | WebRoundUnit)

@@ -10,6 +10,7 @@ insertion order so runs are fully deterministic.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -79,12 +80,19 @@ class Simulator:
     def schedule(self, delay: float, fn: Callable[..., Any],
                  *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if not math.isfinite(delay):
+            # NaN compares False against everything, so without this
+            # check a NaN delay slips past both guards and corrupts
+            # the heap ordering silently.
+            raise SimulationError(f"delay must be finite, got {delay}")
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         return self.at(self._now + delay, fn, *args)
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}; clock already at {self._now}")

@@ -36,3 +36,17 @@ def test_middlebox_artefact(capsys):
 def test_unknown_artefact_rejected():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+def test_workers_and_timing_flags(capsys):
+    assert main(["fig1", "--ping-days", "1", "--workers", "2",
+                 "--timing"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "Unit timing" in out
+    assert "ping" in out
+
+
+def test_workers_flag_rejects_zero():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--workers", "0"])

@@ -30,12 +30,25 @@ def test_boxplot_stats_empty_rejected():
         boxplot_stats([])
 
 
+def test_boxplot_stats_rejects_non_finite():
+    with pytest.raises(AnalysisError, match="non-finite"):
+        boxplot_stats([1.0, float("nan"), 3.0])
+    with pytest.raises(AnalysisError, match="non-finite"):
+        boxplot_stats([1.0, float("inf")])
+    with pytest.raises(AnalysisError, match="non-finite"):
+        boxplot_stats([float("-inf"), 1.0])
+
+
 def test_ecdf_basic():
     ecdf = Ecdf([1, 2, 3, 4])
     assert ecdf.at(0.5) == 0.0
     assert ecdf.at(2) == 0.5
     assert ecdf.at(4) == 1.0
-    assert ecdf.quantile(0.5) == pytest.approx(2.5)
+    # Inverse of the step function: smallest x with F(x) >= q.
+    assert ecdf.quantile(0.5) == 2.0
+    assert ecdf.quantile(0.51) == 3.0
+    assert ecdf.quantile(0.0) == 1.0
+    assert ecdf.quantile(1.0) == 4.0
 
 
 def test_ecdf_curve_monotonic():
@@ -83,6 +96,25 @@ def test_time_binned_percentiles():
     assert rows[-1]["t"] == 75.0
 
 
+def test_time_binned_edge_aligned_final_sample_kept():
+    # Regression: when the last sample falls exactly on a bin edge,
+    # the final edge used to equal times[-1] and the trailing samples
+    # were silently dropped from every Fig.-2-style series.
+    times = np.arange(0.0, 101.0, 1.0)      # times[-1] == 100.0
+    values = np.ones_like(times)
+    rows = time_binned_percentiles(times, values, bin_width=25.0)
+    assert sum(row["count"] for row in rows) == times.size
+    assert rows[-1]["t"] == 100.0
+    assert rows[-1]["count"] == 1
+
+
+def test_time_binned_single_edge_aligned_sample():
+    rows = time_binned_percentiles([50.0], [7.0], bin_width=25.0)
+    assert len(rows) == 1
+    assert rows[0]["count"] == 1
+    assert rows[0]["p50"] == 7.0
+
+
 def test_time_binned_alignment_error():
     with pytest.raises(AnalysisError):
         time_binned_percentiles([1, 2], [1], bin_width=10)
@@ -112,3 +144,16 @@ def test_property_ecdf_bounds(samples):
     assert ecdf.at(min(samples) - 1) == 0.0
     assert ecdf.at(max(samples)) == 1.0
     assert min(samples) <= ecdf.quantile(0.5) <= max(samples)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=100))
+def test_property_ecdf_quantile_inverts_at(samples):
+    # quantile must be the exact inverse of the empirical step
+    # function: for every sample x, quantile(at(x)) == x, and for
+    # every q, at(quantile(q)) >= q.
+    ecdf = Ecdf(samples)
+    for x in samples:
+        assert ecdf.quantile(ecdf.at(x)) == x
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert ecdf.at(ecdf.quantile(q)) >= q

@@ -6,6 +6,35 @@ from repro.errors import SimulationError
 from repro.netsim.engine import Simulator
 
 
+def test_schedule_rejects_non_finite_delay():
+    # Regression: nan < 0 and nan < now are both False, so a NaN
+    # delay used to slip past both guards and corrupt heap ordering.
+    sim = Simulator()
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(SimulationError):
+            sim.schedule(bad, lambda: None)
+    assert sim.pending_events == 0
+
+
+def test_at_rejects_non_finite_time():
+    sim = Simulator()
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(SimulationError):
+            sim.at(bad, lambda: None)
+    assert sim.pending_events == 0
+
+
+def test_nan_event_does_not_corrupt_ordering():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: fired.append("nan"))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+
+
 def test_run_is_not_reentrant():
     sim = Simulator()
     errors = []
