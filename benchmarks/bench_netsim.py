@@ -1,0 +1,283 @@
+"""Netsim core benchmark: events/sec per workload, digest-gated.
+
+Measures the raw speed of the discrete-event core (events per second)
+on four representative workloads -- a packet-level ping storm, an H3
+bulk transfer, an Ookla-style speedtest and the low-bitrate messages
+run -- and writes ``BENCH_netsim.json``. Correctness is gating, speed
+is informational: every workload is also executed with the fast-path
+layers toggled off (packet trains, heap compaction, the LEO per-slot
+delay cache) and the run fails if any result digest differs between
+the two, because the fast path's contract is *bit-identical* output.
+
+Two throughput numbers are reported per workload. ``events_per_sec``
+is events executed divided by wall clock for *this* run -- but the
+packet-train layer deliberately batches work into fewer events, which
+*lowers* that raw number while making the simulation finish sooner.
+``work_rate`` therefore normalises by the amount of simulated work:
+the reference (slow-path / baseline) event count for the identical
+scenario divided by this run's wall clock. ``work_rate`` is the
+apples-to-apples throughput metric; ``work_speedup`` is the matching
+wall-clock ratio (reference wall / fast wall) for the same simulated
+work.
+
+A baseline file (``--save-baseline`` writes one) pins the pre-change
+numbers and digests; later runs compare against it so a perf PR can
+state its speedup against the recorded reference rather than a
+re-measured one.
+
+Not a pytest module on purpose -- run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_netsim.py
+
+``REPRO_BENCH_SMOKE=1`` trims every workload so CI finishes in
+seconds. ``--profile DIR`` additionally dumps per-workload cProfile
+stats into ``DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import gc
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.apps.bulk import run_bulk_transfer
+from repro.apps.messages import run_messages_workload
+from repro.apps.ping import PingClient
+from repro.apps.speedtest import run_speedtest
+from repro.leo.access import StarlinkAccess, StarlinkPathModel
+from repro.leo.geometry import GeoPoint
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Pipe
+from repro.testing.digest import digest_value
+from repro.units import mb
+
+OUTPUT_PATH = pathlib.Path(__file__).parent / "output" / "BENCH_netsim.json"
+BASELINE_PATH = pathlib.Path(__file__).parent / "output" \
+    / "BENCH_netsim.baseline.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Campus server location used by all workloads (as in the campaign).
+_SERVER_LOCATION = GeoPoint(50.670, 4.615)
+
+
+def _access(seed: int) -> tuple[StarlinkAccess, object]:
+    access = StarlinkAccess(seed=seed, epoch_t=0.0)
+    server = access.add_remote_host("server", "130.104.1.1",
+                                    _SERVER_LOCATION)
+    access.finalize()
+    return access, server
+
+
+def workload_ping_storm(seed: int):
+    """Back-to-back packet-level ICMP echoes through the access."""
+    probes = 150 if SMOKE else 600
+    access, server = _access(seed)
+    client = access.client
+    pinger = PingClient(client, server.address)
+    for i in range(probes):
+        access.sim.schedule(0.025 * i, pinger.send_probe, i)
+    access.sim.run_until_idle()
+    r = pinger.result
+    return access.sim, (r.sent, r.received, tuple(r.rtts))
+
+
+def workload_bulk(seed: int):
+    """One H3 bulk download (the paper's QUIC workhorse)."""
+    payload = mb(1) if SMOKE else mb(4)
+    access, server = _access(seed)
+    result = run_bulk_transfer(access.client, server, "down",
+                               payload_bytes=payload)
+    return access.sim, result
+
+
+def workload_speedtest(seed: int):
+    """Parallel-TCP download speedtest (the campaign's hot unit)."""
+    warmup, measure = (0.5, 0.5) if SMOKE else (1.0, 2.0)
+    access, server = _access(seed)
+    result = run_speedtest(access.client, server, "down",
+                           warmup_s=warmup, measure_s=measure)
+    return access.sim, result
+
+
+def workload_messages(seed: int):
+    """25 msg/s QUIC messages upload."""
+    duration = 2.0 if SMOKE else 6.0
+    access, server = _access(seed)
+    result = run_messages_workload(access.client, server, "up",
+                                   duration_s=duration, seed=seed)
+    return access.sim, result
+
+
+WORKLOADS = {
+    "ping_storm": workload_ping_storm,
+    "bulk": workload_bulk,
+    "speedtest": workload_speedtest,
+    "messages": workload_messages,
+}
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Toggle every optional fast-path layer on or off, process-wide.
+
+    The attributes are set unconditionally so the benchmark also runs
+    against trees that predate a given layer (the toggle is then just
+    an unused attribute).
+    """
+    Pipe.trains_enabled = enabled
+    Simulator.compaction_enabled = enabled
+    StarlinkPathModel.base_cache_enabled = enabled
+
+
+def measure(name: str, seed: int,
+            profile_dir: pathlib.Path | None = None) -> dict:
+    """Run one workload once; return events/sec and result digest."""
+    fn = WORKLOADS[name]
+    profiler = None
+    if profile_dir is not None:
+        profiler = cProfile.Profile()
+        profiler.enable()
+    # Collect before timing: without this, garbage from earlier
+    # workloads in the same process is collected *inside* a later
+    # workload's timed region, inflating its wall clock by tens of
+    # percent depending on run order.
+    gc.collect()
+    began = time.perf_counter()
+    sim, result = fn(seed)
+    wall_s = time.perf_counter() - began
+    if profiler is not None:
+        profiler.disable()
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(profile_dir / f"{name}.pstats")
+    events = sim.events_processed
+    return {
+        "events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s) if wall_s > 0 else 0,
+        "peak_heap": getattr(sim, "peak_heap", None),
+        "compactions": getattr(sim, "compactions", None),
+        "digest": digest_value(result),
+    }
+
+
+def run_bench(seed: int, verify: bool,
+              profile_dir: pathlib.Path | None) -> dict:
+    report: dict = {
+        "benchmark": "netsim-fastpath",
+        "smoke": SMOKE,
+        "seed": seed,
+        "workloads": {},
+        "digests_ok": True,
+    }
+    for name in WORKLOADS:
+        set_fast_path(True)
+        fast = measure(name, seed, profile_dir)
+        entry = dict(fast)
+        if verify:
+            set_fast_path(False)
+            try:
+                slow = measure(name, seed)
+            finally:
+                set_fast_path(True)
+            entry["reference"] = slow
+            entry["digest_match"] = fast["digest"] == slow["digest"]
+            if slow["wall_s"] > 0 and fast["wall_s"] > 0:
+                entry["speedup_vs_reference"] = round(
+                    fast["events_per_sec"]
+                    / max(1, slow["events_per_sec"]), 3)
+                # Same simulated work, reference event count over the
+                # fast wall clock (see module docstring).
+                entry["work_rate_vs_reference"] = round(
+                    slow["events"] / fast["wall_s"])
+                entry["work_speedup_vs_reference"] = round(
+                    slow["wall_s"] / fast["wall_s"], 3)
+            if not entry["digest_match"]:
+                report["digests_ok"] = False
+        report["workloads"][name] = entry
+        print(f"{name:<12} {entry['events']:>9} events  "
+              f"{entry['wall_s']:>8.3f}s  "
+              f"{entry['events_per_sec']:>9} ev/s"
+              + ("" if not verify else
+                 f"  digest_match={entry['digest_match']}"),
+              file=sys.stderr)
+    return report
+
+
+def apply_baseline(report: dict, baseline_path: pathlib.Path) -> None:
+    """Merge a recorded pre-change baseline into the report."""
+    if not baseline_path.exists():
+        return
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("smoke") != report["smoke"] \
+            or baseline.get("seed") != report["seed"]:
+        report["baseline"] = {"note": "baseline config mismatch; "
+                                      "speedups not comparable"}
+        return
+    merged = {}
+    for name, entry in report["workloads"].items():
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        row = {
+            "baseline_events_per_sec": base["events_per_sec"],
+            "baseline_wall_s": base["wall_s"],
+            "speedup": round(entry["events_per_sec"]
+                             / max(1, base["events_per_sec"]), 3),
+        }
+        if entry["wall_s"] > 0:
+            # Work-normalised: the baseline run's event count for the
+            # identical scenario over this run's wall clock.
+            row["work_rate"] = round(base["events"] / entry["wall_s"])
+            row["work_speedup"] = round(
+                base["wall_s"] / entry["wall_s"], 3)
+        if "digest" in base:
+            row["digest_match_vs_baseline"] = \
+                entry["digest"] == base["digest"]
+            if not row["digest_match_vs_baseline"]:
+                report["digests_ok"] = False
+        merged[name] = row
+    report["baseline"] = merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=OUTPUT_PATH)
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=BASELINE_PATH,
+                        help="pre-change reference to compare against")
+    parser.add_argument("--save-baseline", action="store_true",
+                        help="record this run as the baseline file")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the slow-path equivalence rerun")
+    parser.add_argument("--profile", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="dump per-workload cProfile stats to DIR")
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.seed, verify=not args.no_verify,
+                       profile_dir=args.profile)
+    if args.save_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"baseline written to {args.baseline}", file=sys.stderr)
+    else:
+        apply_baseline(report, args.baseline)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["digests_ok"]:
+        print("FATAL: fast-path digest diverged from reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,9 @@ Artefact generation uses the quick campaign configuration by default;
 to the paper's sample counts). ``--workers N`` fans the campaign's
 work units out over N processes — the datasets are bit-identical to
 the serial run — and ``--timing`` prints a per-unit-kind wall-clock
-breakdown after the artefacts.
+breakdown after the artefacts. ``--profile DIR`` runs every work unit
+under ``cProfile`` and dumps one ``*.pstats`` file per unit into DIR
+(load with :mod:`pstats` to find hot spots).
 """
 
 from __future__ import annotations
@@ -70,37 +72,43 @@ def _emit(text: str) -> None:
 
 def run_artefact(name: str, campaign: Campaign, cache: dict,
                  workers: int = 1,
-                 timings: list[UnitTiming] | None = None) -> None:
+                 timings: list[UnitTiming] | None = None,
+                 profile_dir: str | None = None) -> None:
     """Generate and print one artefact, reusing cached datasets."""
 
     def pings():
         if "pings" not in cache:
             cache["pings"] = campaign.run_pings(workers=workers,
-                                               timings=timings)
+                                               timings=timings,
+                                               profile_dir=profile_dir)
         return cache["pings"]
 
     def bulk():
         if "bulk" not in cache:
             cache["bulk"] = campaign.run_bulk(workers=workers,
-                                              timings=timings)
+                                              timings=timings,
+                                              profile_dir=profile_dir)
         return cache["bulk"]
 
     def messages():
         if "messages" not in cache:
-            cache["messages"] = campaign.run_messages(workers=workers,
-                                                      timings=timings)
+            cache["messages"] = campaign.run_messages(
+                workers=workers, timings=timings,
+                profile_dir=profile_dir)
         return cache["messages"]
 
     def speedtests():
         if "speedtests" not in cache:
             cache["speedtests"] = campaign.run_speedtests(
-                workers=workers, timings=timings)
+                workers=workers, timings=timings,
+                profile_dir=profile_dir)
         return cache["speedtests"]
 
     def visits():
         if "visits" not in cache:
             cache["visits"] = campaign.run_web(workers=workers,
-                                               timings=timings)
+                                               timings=timings,
+                                               profile_dir=profile_dir)
         return cache["visits"]
 
     if name == "table1":
@@ -157,6 +165,9 @@ def main(argv: list[str] | None = None) -> int:
                              "results are identical for any value)")
     parser.add_argument("--timing", action="store_true",
                         help="print a per-unit wall-clock breakdown")
+    parser.add_argument("--profile", metavar="DIR", default=None,
+                        help="dump per-work-unit cProfile stats "
+                             "(*.pstats) into DIR")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -168,7 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.artefact == "all" else [args.artefact]
     for name in names:
         run_artefact(name, campaign, cache, workers=args.workers,
-                     timings=timings)
+                     timings=timings, profile_dir=args.profile)
     if args.timing:
         _emit(render_timings(timings))
     return 0

@@ -191,35 +191,45 @@ class Campaign:
     # -- execution ---------------------------------------------------------
 
     def run_pings(self, workers: int = 1,
-                  timings: list[UnitTiming] | None = None
+                  timings: list[UnitTiming] | None = None,
+                  profile_dir: str | None = None
                   ) -> PingDataset:
         """Five-month idle-latency series toward the 11 anchors."""
         return self._merge_pings(execute_units(self.ping_units(),
-                                               workers, timings))
+                                               workers, timings,
+                                               profile_dir))
 
     def run_speedtests(self, workers: int = 1,
-                       timings: list[UnitTiming] | None = None
+                       timings: list[UnitTiming] | None = None,
+                       profile_dir: str | None = None
                        ) -> list[SpeedtestSample]:
         """Ookla-like tests on Starlink and SatCom (Fig. 5a/5b)."""
-        return execute_units(self.speedtest_units(), workers, timings)
+        return execute_units(self.speedtest_units(), workers, timings,
+                             profile_dir)
 
     def run_bulk(self, workers: int = 1,
-                 timings: list[UnitTiming] | None = None
+                 timings: list[UnitTiming] | None = None,
+                 profile_dir: str | None = None
                  ) -> list[BulkSample]:
         """H3 transfers in both directions and both sessions."""
-        return execute_units(self.bulk_units(), workers, timings)
+        return execute_units(self.bulk_units(), workers, timings,
+                             profile_dir)
 
     def run_messages(self, workers: int = 1,
-                     timings: list[UnitTiming] | None = None
+                     timings: list[UnitTiming] | None = None,
+                     profile_dir: str | None = None
                      ) -> list[MessagesSample]:
         """Low-bitrate message runs in both directions."""
-        return execute_units(self.messages_units(), workers, timings)
+        return execute_units(self.messages_units(), workers, timings,
+                             profile_dir)
 
     def run_web(self, workers: int = 1,
-                timings: list[UnitTiming] | None = None
+                timings: list[UnitTiming] | None = None,
+                profile_dir: str | None = None
                 ) -> list[VisitSample]:
         """Browser visits over Starlink, SatCom and wired (Fig. 6)."""
-        rounds = execute_units(self.web_units(), workers, timings)
+        rounds = execute_units(self.web_units(), workers, timings,
+                               profile_dir)
         return [visit for round_visits in rounds
                 for visit in round_visits]
 
@@ -233,7 +243,8 @@ class Campaign:
     # -- everything --------------------------------------------------------
 
     def run_all(self, workers: int = 1,
-                timings: list[UnitTiming] | None = None
+                timings: list[UnitTiming] | None = None,
+                profile_dir: str | None = None
                 ) -> CampaignDatasets:
         """Run every dataset of Table 1.
 
@@ -250,7 +261,7 @@ class Campaign:
             ("visits", self.web_units()),
         ]
         units = [unit for _, group in groups for unit in group]
-        payloads = execute_units(units, workers, timings)
+        payloads = execute_units(units, workers, timings, profile_dir)
         data = CampaignDatasets()
         cursor = 0
         for name, group in groups:

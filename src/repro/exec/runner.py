@@ -13,7 +13,11 @@ which worker finished first.
 
 from __future__ import annotations
 
+import cProfile
+import functools
 import os
+import pathlib
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -40,34 +44,55 @@ def default_workers() -> int:
     return max(1, usable)
 
 
-def _run_one(unit) -> tuple[object, UnitTiming]:
+def _profile_stem(label: str) -> str:
+    """Filesystem-safe stem for a unit label."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label) or "unit"
+
+
+def _run_one(unit, profile_dir: str | None = None
+             ) -> tuple[object, UnitTiming]:
+    profiler = None
+    if profile_dir is not None:
+        profiler = cProfile.Profile()
+        profiler.enable()
     began = time.perf_counter()
     payload = unit.run()
     elapsed = time.perf_counter() - began
+    if profiler is not None:
+        profiler.disable()
+        out_dir = pathlib.Path(profile_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(
+            out_dir / f"{_profile_stem(unit.label)}.pstats")
     return payload, UnitTiming(label=unit.label, kind=unit.kind,
                                elapsed_s=elapsed)
 
 
 def execute_units(units: Sequence, workers: int = 1,
-                  timings: list[UnitTiming] | None = None) -> list:
+                  timings: list[UnitTiming] | None = None,
+                  profile_dir: str | None = None) -> list:
     """Run ``units`` and return their payloads in input order.
 
     ``workers=1`` executes in-process; ``workers>1`` fans out over a
     process pool. Per-unit wall clock (as seen by the process that
     ran the unit) is appended to ``timings`` when given, also in
-    input order.
+    input order. With ``profile_dir`` set, each unit runs under
+    cProfile and dumps ``<label>.pstats`` into that directory (the
+    timing then includes profiler overhead; use it for hotspot
+    hunting, not for benchmark numbers).
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     units = list(units)
     if not units:
         return []
+    run_one = functools.partial(_run_one, profile_dir=profile_dir)
     if workers == 1 or len(units) == 1:
-        outcomes = [_run_one(unit) for unit in units]
+        outcomes = [run_one(unit) for unit in units]
     else:
         with ProcessPoolExecutor(max_workers=min(workers,
                                                  len(units))) as pool:
-            outcomes = list(pool.map(_run_one, units, chunksize=1))
+            outcomes = list(pool.map(run_one, units, chunksize=1))
     if timings is not None:
         timings.extend(timing for _, timing in outcomes)
     return [payload for payload, _ in outcomes]

@@ -94,6 +94,11 @@ class StarlinkParams:
 class StarlinkPathModel:
     """Analytic one-way/RTT delay model of the Starlink access."""
 
+    #: Class-level default for the per-slot base-delay cache (fast
+    #: path); equivalence tests flip it to prove digests do not
+    #: depend on it.
+    base_cache_enabled = True
+
     def __init__(self, params: StarlinkParams | None = None,
                  constellation: Constellation | None = None,
                  terminal: UserTerminal | None = None,
@@ -108,6 +113,10 @@ class StarlinkPathModel:
             self.constellation, self.terminal, STARLINK_GATEWAYS, seed=seed)
         self._fiber_cache: dict[str, float] = {}
         self._jitter_cache: dict[tuple[str, int], float] = {}
+        #: Slot -> slot-constant part of base_one_way; valid only
+        #: while the scheduler stays at ``_base_cache_version``.
+        self._base_cache: dict[int, float] = {}
+        self._base_cache_version = self.scheduler.version
 
     # -- building blocks ----------------------------------------------
 
@@ -117,16 +126,42 @@ class StarlinkPathModel:
         Radio propagation over the bent pipe, gateway->PoP fibre,
         processing, the campaign-timeline adjustment and the diurnal
         wobble -- everything except per-packet jitter.
+
+        The geometry + processing part is constant within one 15 s
+        scheduler slot, so it is memoized per slot (the cached value
+        is the identical left-to-right float sum the uncached
+        expression produces -- only the time-varying timeline and
+        diurnal terms are re-added per call). The cache is discarded
+        whenever :attr:`SatelliteScheduler.version` moves, i.e. when
+        outage injection retroactively changes slot allocations.
         """
+        if self.base_cache_enabled:
+            scheduler = self.scheduler
+            if scheduler.version != self._base_cache_version:
+                self._base_cache.clear()
+                self._base_cache_version = scheduler.version
+            slot = scheduler.slot_of(t)
+            base = self._base_cache.get(slot)
+            if base is None:
+                base = self._slot_base(t)
+                if len(self._base_cache) > 50_000:
+                    self._base_cache.clear()
+                self._base_cache[slot] = base
+        else:
+            base = self._slot_base(t)
+        return (base
+                + self.timeline.extra_latency(t)
+                + self._diurnal(t))
+
+    def _slot_base(self, t: float) -> float:
+        """Slot-constant part of :meth:`base_one_way` at time ``t``."""
         snap = self.scheduler.snapshot(t)
         gw_to_pop = self._fiber_one_way(snap.gateway.name,
                                         snap.gateway.location,
                                         self.pop_location(t))
         return (snap.one_way_propagation + gw_to_pop
                 + self.params.processing_one_way_s
-                + self.params.pop_processing_s
-                + self.timeline.extra_latency(t)
-                + self._diurnal(t))
+                + self.params.pop_processing_s)
 
     def _fiber_one_way(self, key: str, a: GeoPoint, b: GeoPoint) -> float:
         cached = self._fiber_cache.get(key)
@@ -136,9 +171,14 @@ class StarlinkPathModel:
         return cached
 
     def _diurnal(self, t: float) -> float:
+        amplitude = self.params.diurnal_amplitude_s
+        if amplitude == 0.0:
+            # Default configuration (the paper found no diurnal
+            # pattern); skip the sin() -- the product below is +0.0
+            # for every t, so the early-out is value-identical.
+            return 0.0
         hour_angle = 2.0 * math.pi * (t % 86_400.0) / 86_400.0
-        return self.params.diurnal_amplitude_s * 0.5 * (
-            1.0 + math.sin(hour_angle))
+        return amplitude * 0.5 * (1.0 + math.sin(hour_angle))
 
     def jitter(self, rng: random.Random, direction: str,
                t: float | None = None) -> float:

@@ -76,6 +76,10 @@ class SatelliteScheduler:
         self._cache: dict[int, PathSnapshot] = {}
         #: Injected satellite outages: (sat_index, start_slot, end_slot).
         self._outages: list[tuple[int, int, int]] = []
+        #: Bumped whenever snapshots may change retroactively (outage
+        #: injection); downstream per-slot caches key on it to
+        #: invalidate without subscribing to individual slots.
+        self.version = 0
 
     def slot_of(self, t: float) -> int:
         """Scheduler slot index containing time ``t``."""
@@ -105,6 +109,7 @@ class SatelliteScheduler:
             raise ConfigurationError(
                 f"outage window is empty: [{start_slot}, {end_slot})")
         self._outages.append((sat_index, start_slot, end_slot))
+        self.version += 1
         for slot in range(start_slot, end_slot):
             self._cache.pop(slot, None)
 

@@ -44,12 +44,16 @@ class Node:
         self.address = address
         self.neighbors: dict[str, Any] = {}
         self.routes: dict[str, str] = {}
+        # dst address -> resolved egress pipe; invalidated whenever
+        # routing state changes (every forwarded packet hits this).
+        self._pipe_cache: dict[str, Any] = {}
         self.packets_received = 0
         self.packets_forwarded = 0
 
     def attach(self, neighbor_name: str, pipe) -> None:
         """Register the egress pipe toward ``neighbor_name``."""
         self.neighbors[neighbor_name] = pipe
+        self._pipe_cache.clear()
 
     def add_route(self, dst_address: str, via_neighbor: str) -> None:
         """Install a static route for ``dst_address``."""
@@ -57,17 +61,23 @@ class Node:
             raise ConfigurationError(
                 f"{self.name}: unknown neighbor {via_neighbor!r}")
         self.routes[dst_address] = via_neighbor
+        self._pipe_cache.clear()
 
     def set_default_route(self, via_neighbor: str) -> None:
         """Install the catch-all route."""
         self.add_route(DEFAULT_ROUTE, via_neighbor)
 
     def _egress_pipe(self, dst_address: str):
+        pipe = self._pipe_cache.get(dst_address)
+        if pipe is not None:
+            return pipe
         via = self.routes.get(dst_address) or self.routes.get(DEFAULT_ROUTE)
         if via is None:
             raise RoutingError(
                 f"{self.name}: no route to {dst_address!r}")
-        return self.neighbors[via]
+        pipe = self.neighbors[via]
+        self._pipe_cache[dst_address] = pipe
+        return pipe
 
     def send(self, packet: Packet) -> None:
         """Originate or forward ``packet`` toward its destination."""
@@ -253,6 +263,10 @@ class NatBox(Router):
                  inside_neighbor: str):
         super().__init__(sim, name, address)
         self.inside_neighbor = inside_neighbor
+        # Prefix of ingress-pipe names that identify outbound traffic;
+        # prebuilt because mutate_forward runs once per forwarded
+        # packet.
+        self._inside_prefix = f"{inside_neighbor}->"
         # (protocol, public_port) -> (inner address, inner port)
         self._reverse: dict[tuple[Protocol, int], tuple[str, int]] = {}
         # (protocol, inner addr, inner port) -> public port
@@ -273,7 +287,7 @@ class NatBox(Router):
 
     def mutate_forward(self, packet: Packet, pipe) -> bool:
         outbound = (pipe is not None
-                    and pipe.name.startswith(f"{self.inside_neighbor}->"))
+                    and pipe.name.startswith(self._inside_prefix))
         if outbound:
             self.translations += 1
             if packet.protocol is Protocol.ICMP:

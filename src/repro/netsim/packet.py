@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 #: Fixed overhead added on the wire for IP + transport framing, bytes.
@@ -47,7 +47,6 @@ class IcmpType(enum.Enum):
     DEST_UNREACHABLE = "dest-unreachable"
 
 
-@dataclass
 class Packet:
     """One simulated IP datagram.
 
@@ -61,27 +60,69 @@ class Packet:
         headers: mutable header-field dict inspected by Tracebox.
         uid: globally unique packet id (diagnostics, NAT mapping).
         created_at: simulated time the packet was built, if known.
+
+    ``__slots__`` plus a lazily-allocated ``headers`` dict: bulk flows
+    build millions of packets whose headers nobody reads (only
+    Tracebox and the NAT/PEP middleboxes touch them), so the dict --
+    and the pseudo checksum seeding it -- is materialised on first
+    access rather than per construction. Reading ``headers`` always
+    yields a dict containing at least ``checksum``, exactly as the
+    eager constructor produced.
+
+    The checksum itself is computed lazily too: it is a pure function
+    of the addressing 5-tuple, and every rewrite site mutates the
+    fields and then calls :meth:`refresh_checksum`, so deferring the
+    hash to the next ``headers`` read yields the identical value the
+    eager recompute produced (NAT boxes rewrite ~2x per forwarded
+    packet while nothing reads the result on the fast path).
     """
 
-    src: str
-    dst: str
-    protocol: Protocol
-    size: int
-    src_port: int = 0
-    dst_port: int = 0
-    ttl: int = DEFAULT_TTL
-    payload: Any = None
-    headers: dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_packet_ids))
-    created_at: float = 0.0
+    __slots__ = ("src", "dst", "protocol", "size", "src_port",
+                 "dst_port", "ttl", "payload", "_headers", "uid",
+                 "created_at", "_ck_stale")
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size}")
-        # Every packet carries a pseudo transport checksum so that NATs
-        # have something observable to rewrite (Sec 3.5 of the paper:
-        # "Only the TCP and UDP checksums are altered by the NATs").
-        self.headers.setdefault("checksum", self._checksum())
+    def __init__(self, src: str, dst: str, protocol: Protocol,
+                 size: int, src_port: int = 0, dst_port: int = 0,
+                 ttl: int = DEFAULT_TTL, payload: Any = None,
+                 headers: dict[str, Any] | None = None,
+                 uid: int | None = None, created_at: float = 0.0):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.size = size
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.ttl = ttl
+        self.payload = payload
+        self.uid = next(_packet_ids) if uid is None else uid
+        self.created_at = created_at
+        if headers:
+            # Every packet carries a pseudo transport checksum so that
+            # NATs have something observable to rewrite (Sec 3.5 of
+            # the paper: "Only the TCP and UDP checksums are altered
+            # by the NATs"). Seeded on first read; a caller-supplied
+            # checksum is kept, as setdefault would.
+            self._headers = headers
+            self._ck_stale = "checksum" not in headers
+        else:
+            # Empty/absent header dicts are deferred; the checksum is
+            # seeded on first access, same content and key order as
+            # the eager path.
+            self._headers = None
+            self._ck_stale = False
+
+    @property
+    def headers(self) -> dict[str, Any]:
+        hdrs = self._headers
+        if hdrs is None:
+            hdrs = self._headers = {"checksum": self._checksum()}
+            self._ck_stale = False
+        elif self._ck_stale:
+            hdrs["checksum"] = self._checksum()
+            self._ck_stale = False
+        return hdrs
 
     def _checksum(self) -> int:
         """Pseudo checksum over the addressing 5-tuple."""
@@ -90,8 +131,14 @@ class Packet:
         return hash(material) & 0xFFFF
 
     def refresh_checksum(self) -> None:
-        """Recompute the pseudo checksum after a header rewrite."""
-        self.headers["checksum"] = self._checksum()
+        """Mark the pseudo checksum for recomputation after a rewrite.
+
+        The recompute is deferred to the next ``headers`` read: the
+        checksum depends only on fields that every rewrite site
+        updates *before* calling this, so the deferred hash sees the
+        same field values the eager recompute would have.
+        """
+        self._ck_stale = True
 
     def copy_headers(self) -> dict[str, Any]:
         """Snapshot of the header dict (for ICMP quoting/Tracebox)."""

@@ -25,6 +25,11 @@ class DropTailQueue:
     queueing delay.
     """
 
+    #: Overwritten (with an instance attribute) by an invariant
+    #: checker watching this queue; the class-level default makes the
+    #: hot-path eligibility test a plain attribute load.
+    _repro_invariants_watched = False
+
     def __init__(self, capacity_bytes: int | None = None,
                  capacity_packets: int | None = None):
         if capacity_bytes is not None and capacity_bytes <= 0:

@@ -9,6 +9,7 @@ resulting :class:`TraceRecord` lists.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.netsim.link import Pipe
@@ -35,12 +36,26 @@ class PipeTracer:
     Attach with ``PipeTracer(pipe)``; detach with :meth:`close`.
     Multiple tracers per pipe are not supported (last one wins), which
     matches how the experiments use them.
+
+    Recording is opt-in per pipe by construction -- pipes without a
+    tracer attached pay nothing per packet (and stay eligible for the
+    packet-train fast path). ``max_records`` additionally bounds
+    memory for long-lived monitoring captures: the record store
+    becomes a ring buffer keeping only the most recent N events.
+    Digest-consuming analyses must leave it unset (the default,
+    unbounded) -- dropping old records changes what they digest.
     """
 
     def __init__(self, pipe: Pipe, capture_tx: bool = True,
-                 capture_rx: bool = True, capture_loss: bool = True):
+                 capture_rx: bool = True, capture_loss: bool = True,
+                 max_records: int | None = None):
         self.pipe = pipe
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.records: list[TraceRecord] | deque[TraceRecord]
+        if max_records is None:
+            self.records = []
+        else:
+            self.records = deque(maxlen=max_records)
         if capture_tx:
             pipe.on_transmit = self._on_tx
         if capture_rx:

@@ -128,9 +128,10 @@ class InvariantChecker:
         self._mark(sim)
         state = _SimState()
         self._sims.append((sim, state))
-        orig_at = sim.at  # bound class method
+        orig_at = sim.at  # bound class methods
+        orig_post = sim.post
 
-        def checked_at(time, fn, *args):
+        def wrap_fire(time, fn):
             def checked_fn(*fn_args):
                 if not self._active:
                     return fn(*fn_args)
@@ -146,9 +147,18 @@ class InvariantChecker:
                 state.events_checked += 1
                 return fn(*fn_args)
 
-            return orig_at(time, checked_fn, *args)
+            return checked_fn
+
+        def checked_at(time, fn, *args):
+            return orig_at(time, wrap_fire(time, fn), *args)
+
+        def checked_post(time, fn, *args):
+            # post() is the fire-and-forget fast path (no Event
+            # handle); it must be observed exactly like at().
+            return orig_post(time, wrap_fire(time, fn), *args)
 
         self._shadow(sim, "at", checked_at)
+        self._shadow(sim, "post", checked_post)
 
     # -- network ----------------------------------------------------------
 

@@ -137,7 +137,7 @@ class _RecvStream:
     @property
     def complete(self) -> bool:
         return (self.fin_size is not None
-                and self.received.first_missing(0) >= self.fin_size)
+                and self.received.prefix_end() >= self.fin_size)
 
 
 class QuicConnection:
@@ -168,6 +168,8 @@ class QuicConnection:
         self._next_stream_id = 0 if role == "client" else 1
         self._recovery_start = -1.0
         self._pto_event: Event | None = None
+        #: Authoritative PTO fire time (lazy re-arm, see _arm_pto).
+        self._pto_deadline: float | None = None
         self._pto_streak = 0
         self._pump_scheduled = False
 
@@ -288,7 +290,9 @@ class QuicConnection:
     def _schedule_pump(self) -> None:
         if not self._pump_scheduled and not self.closed:
             self._pump_scheduled = True
-            self.sim.schedule(0.0, self._pump)
+            # Fire-and-forget (pump events are never cancelled);
+            # now + 0.0 == now, so this is schedule(0.0, ...) exactly.
+            self.sim.post(self.sim.now, self._pump)
 
     def _pump(self) -> None:
         self._pump_scheduled = False
@@ -541,17 +545,38 @@ class QuicConnection:
     # -- PTO --------------------------------------------------------------
 
     def _arm_pto(self) -> None:
-        if self._pto_event is not None:
-            self._pto_event.cancel()
-            self._pto_event = None
+        # Lazy re-arm, same scheme as the TCP RTO timer: _arm_pto runs
+        # per sent packet and per ACK, so an eager timer costs a
+        # cancel + reschedule pair each time for a probe that rarely
+        # fires. _pto_deadline holds the authoritative fire time; the
+        # heap event is only replaced when it would fire later than
+        # the deadline, and an early-firing timer sleeps again until
+        # the current deadline (_check_pto). Probes still execute at
+        # exactly the eager scheme's times.
         if not self._sent:
+            self._pto_deadline = None
             return
         timeout = self.rtt.pto(self.config.max_ack_delay)
         timeout *= 2 ** min(self._pto_streak, 6)
-        self._pto_event = self.sim.schedule(timeout, self._on_pto)
+        deadline = self.sim.now + timeout
+        self._pto_deadline = deadline
+        event = self._pto_event
+        if event is None or event.cancelled or event.time > deadline:
+            if event is not None:
+                event.cancel()
+            self._pto_event = self.sim.at(deadline, self._check_pto)
+
+    def _check_pto(self) -> None:
+        self._pto_event = None
+        deadline = self._pto_deadline
+        if deadline is None or self.closed or not self._sent:
+            return
+        if self.sim.now < deadline:
+            self._pto_event = self.sim.at(deadline, self._check_pto)
+            return
+        self._on_pto()
 
     def _on_pto(self) -> None:
-        self._pto_event = None
         if self.closed or not self._sent:
             return
         self.stats.pto_count += 1

@@ -55,6 +55,14 @@ class RangeSet:
             end = start + 1
         if end <= start:
             raise ValueError(f"empty range [{start},{end})")
+        ends = self._ends
+        if ends and self._starts[-1] <= start <= ends[-1]:
+            # In-order fast path: the new range touches only the last
+            # range (the overwhelmingly common case for sequential
+            # delivery) -- extend it in place, no bisect, no slicing.
+            if end > ends[-1]:
+                ends[-1] = end
+            return
         # Find the window of existing ranges that touch [start, end).
         i = bisect_left(self._ends, start)
         j = i
@@ -71,6 +79,19 @@ class RangeSet:
         """Whether ``value`` is covered."""
         i = bisect_left(self._ends, value + 1)
         return i < len(self._starts) and self._starts[i] <= value
+
+    def prefix_end(self) -> int:
+        """``first_missing(0)`` in O(1), for non-negative range sets.
+
+        The cumulative-ACK point of TCP reassembly is read twice per
+        data segment; with ranges kept sorted, coalesced and (as every
+        transport user guarantees) non-negative, it is simply the end
+        of a range starting at 0, or 0 when none does.
+        """
+        starts = self._starts
+        if starts and starts[0] <= 0:
+            return self._ends[0]
+        return 0
 
     def first_missing(self, floor: int = 0) -> int:
         """Smallest integer >= ``floor`` not covered.

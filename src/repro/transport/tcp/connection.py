@@ -134,6 +134,10 @@ class TcpConnection:
         self._recovery_epoch = 0
         self._highest_sacked = 0
         self._rto_event: Event | None = None
+        #: Simulated time the retransmission timer should fire, or
+        #: None when no data is in flight. The heap event is re-armed
+        #: lazily (see _arm_rto), so this is the authoritative value.
+        self._rto_deadline: float | None = None
         self._rto_backoff = 0
         self._pump_scheduled = False
         self._next_pace_time = 0.0
@@ -242,7 +246,9 @@ class TcpConnection:
     def _schedule_pump(self) -> None:
         if not self._pump_scheduled and not self.closed:
             self._pump_scheduled = True
-            self.sim.schedule(0.0, self._pump)
+            # Fire-and-forget (pump events are never cancelled);
+            # now + 0.0 == now, so this is schedule(0.0, ...) exactly.
+            self.sim.post(self.sim.now, self._pump)
 
     def _pump(self) -> None:
         self._pump_scheduled = False
@@ -297,12 +303,14 @@ class TcpConnection:
             return
         kind = packet.payload[0]
         self.stats.segments_received += 1
-        if kind == "ctrl":
-            self._handle_control(packet.payload[1])
-            return
+        # Dispatch in frequency order: data and ACK segments dwarf
+        # the handful of handshake/teardown control segments.
         if kind == "data":
             _, seq, length, fin = packet.payload
             self._handle_data(seq, length, fin)
+            return
+        if kind == "ctrl":
+            self._handle_control(packet.payload[1])
             return
         if kind == "ack":
             _, ack_no, rwnd, sacks = packet.payload
@@ -311,15 +319,19 @@ class TcpConnection:
     def _handle_data(self, seq: int, length: int, fin: bool) -> None:
         if fin:
             self.rcv_fin_at = seq + length
-        in_order_before = self.received.first_missing(0)
+        in_order_before = self.received.prefix_end()
         if length > 0:
             self.received.add(seq, seq + length)
-        in_order_now = self.received.first_missing(0)
+        in_order_now = self.received.prefix_end()
         newly = in_order_now - in_order_before
         if newly > 0:
             self.delivered = in_order_now
             self._bytes_since_growth += newly
-            self._maybe_autotune()
+            # Precondition inlined: once the advertised window has
+            # grown to rwnd_max (the steady state of every bulk
+            # flow), skip the call entirely.
+            if self.config.autotune and self.rwnd < self.config.rwnd_max:
+                self._maybe_autotune()
             if self.on_bytes_delivered is not None:
                 self.on_bytes_delivered(newly)
         out_of_order = length > 0 and newly == 0
@@ -361,7 +373,7 @@ class TcpConnection:
         if self._ack_timer is not None:
             self._ack_timer.cancel()
             self._ack_timer = None
-        ack_no = self.received.first_missing(0)
+        ack_no = self.received.prefix_end()
         if (self.rcv_fin_at is not None and ack_no >= self.rcv_fin_at):
             ack_no = self.rcv_fin_at + 1   # FIN consumes one unit
         # SACK blocks: the lowest ranges above the cumulative ACK
@@ -484,17 +496,41 @@ class TcpConnection:
     # -- RTO ------------------------------------------------------------------
 
     def _arm_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        # Lazy re-arm: _arm_rto runs on every transmission and every
+        # window-advancing ACK, which with an eager timer means one
+        # cancel + reschedule pair per ACK, all for a timer that
+        # almost never fires. Instead the authoritative deadline
+        # lives in _rto_deadline and the heap event is only replaced
+        # when it would fire *later* than the deadline; a timer that
+        # fires early re-arms itself at the current deadline
+        # (_check_rto). Actual timeouts still execute at exactly the
+        # deadline the eager scheme would have used.
         if self.bytes_in_flight <= 0:
+            self._rto_deadline = None
             return
         rto = self.rtt.rto(min_rto=self.config.min_rto_s)
         rto *= 2 ** min(self._rto_backoff, 6)
-        self._rto_event = self.sim.schedule(rto, self._on_rto)
+        deadline = self.sim.now + rto
+        self._rto_deadline = deadline
+        event = self._rto_event
+        if event is None or event.cancelled or event.time > deadline:
+            if event is not None:
+                event.cancel()
+            self._rto_event = self.sim.at(deadline, self._check_rto)
+
+    def _check_rto(self) -> None:
+        self._rto_event = None
+        deadline = self._rto_deadline
+        if deadline is None or self.closed or self.bytes_in_flight <= 0:
+            return
+        if self.sim.now < deadline:
+            # The deadline moved later since this timer was armed;
+            # sleep again until the current one.
+            self._rto_event = self.sim.at(deadline, self._check_rto)
+            return
+        self._on_rto()
 
     def _on_rto(self) -> None:
-        self._rto_event = None
         if self.closed or self.bytes_in_flight <= 0:
             return
         self.stats.timeouts += 1

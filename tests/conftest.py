@@ -40,7 +40,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "no_global_invariants: skip suite-wide invariant checking for "
-        "tests that plant deliberate invariant violations")
+        "tests that plant deliberate invariant violations or assert "
+        "that the (watch-disabled) fast path actually engages")
 
 
 @pytest.fixture(autouse=True)

@@ -57,3 +57,34 @@ def test_icmp_message_defaults():
     message = IcmpMessage(IcmpType.ECHO_REQUEST, ident=5, seq=2)
     assert message.quoted_headers is None
     assert message.origin == ""
+
+
+def test_checksum_is_lazy_but_identical_after_rewrites():
+    """Deferred checksum refresh must equal an eager recompute, even
+    across multiple rewrite+refresh rounds without intervening reads."""
+    packet = Packet(src="10.0.0.1", dst="10.0.0.2",
+                    protocol=Protocol.UDP, size=100,
+                    src_port=1, dst_port=2)
+    packet.src = "99.0.0.1"
+    packet.refresh_checksum()
+    packet.dst_port = 8080
+    packet.refresh_checksum()   # no header read in between
+    eager = Packet(src="99.0.0.1", dst="10.0.0.2",
+                   protocol=Protocol.UDP, size=100,
+                   src_port=1, dst_port=8080)
+    assert packet.headers["checksum"] == eager.headers["checksum"]
+
+
+def test_constructor_headers_preserve_order_and_gain_checksum():
+    packet = Packet(src="a", dst="b", protocol=Protocol.UDP, size=10,
+                    headers={"n": 7, "probe_ident": 3})
+    assert list(packet.headers) == ["n", "probe_ident", "checksum"]
+    assert packet.headers["n"] == 7
+
+
+def test_constructor_headers_with_checksum_are_trusted():
+    """A pre-built headers dict that already carries a checksum (e.g.
+    a forwarded packet) is not re-hashed behind the caller's back."""
+    packet = Packet(src="a", dst="b", protocol=Protocol.UDP, size=10,
+                    headers={"checksum": "sentinel"})
+    assert packet.headers["checksum"] == "sentinel"

@@ -219,7 +219,13 @@ def test_mutation_time_warped_event_is_caught():
     sim = Simulator()
     with check_invariants(sim):
         event = sim.at(5.0, lambda: None)
-        event.time = 3.0  # corrupt the heap entry
+        # Corrupt the heap entry's timestamp key, as a buggy engine
+        # that warps an event's firing time would. (Mutating
+        # event.time alone is harmless now: the (time, seq) tuple in
+        # the heap is the ordering key and sets the firing clock.)
+        entry = sim._heap[0]
+        assert entry[0] == event.time == 5.0
+        sim._heap[0] = (3.0,) + entry[1:]
         with pytest.raises(InvariantViolation, match="fired at"):
             sim.run()
 

@@ -151,3 +151,65 @@ def test_property_range_adds_match_set(ranges):
     assert rs.total == len(reference)
     assert rs.first_missing(0) == next(
         x for x in range(600) if x not in reference)
+
+
+def test_prefix_end_empty_and_nonzero_start():
+    rs = RangeSet()
+    assert rs.prefix_end() == 0
+    rs.add(3, 9)
+    assert rs.prefix_end() == 0  # nothing covers 0 yet
+    rs.add(0, 3)
+    assert rs.prefix_end() == 9
+
+
+def test_in_order_adds_extend_last_range_in_place():
+    rs = RangeSet()
+    rs.add(0, 5)
+    rs.add(5, 10)      # adjacent: tail fast path extends
+    assert list(rs) == [(0, 10)]
+    rs.add(2, 7)       # fully covered: no-op
+    assert list(rs) == [(0, 10)]
+    rs.add(10)         # single value, still in order
+    assert list(rs) == [(0, 11)]
+
+
+@given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 25)),
+                min_size=1, max_size=50))
+def test_property_prefix_end_matches_first_missing(ranges):
+    """prefix_end() is first_missing(0), checked against a reference
+    after every add (so the in-order tail fast path and the general
+    bisect path both stay consistent with the covered set)."""
+    rs = RangeSet()
+    reference = set()
+    for start, length in ranges:
+        rs.add(start, start + length)
+        reference.update(range(start, start + length))
+        expected = next(x for x in range(len(reference) + 1)
+                        if x not in reference)
+        assert rs.prefix_end() == expected
+        assert rs.prefix_end() == rs.first_missing(0)
+        # Representation invariants the fast path must preserve:
+        pairs = list(rs)
+        assert rs.total == len(reference)
+        for (s1, e1), (s2, _) in zip(pairs, pairs[1:]):
+            assert e1 < s2
+
+
+@given(st.integers(0, 50), st.lists(st.integers(0, 80), min_size=1,
+                                    max_size=80))
+def test_property_sequential_then_random_adds(base, extras):
+    """In-order segments followed by out-of-order ones (TCP reassembly
+    shape) keep prefix_end consistent."""
+    rs = RangeSet()
+    reference = set()
+    for i in range(base):      # sequential prefix, tail fast path
+        rs.add(i)
+        reference.add(i)
+    for value in extras:       # arbitrary out-of-order arrivals
+        rs.add(value)
+        reference.add(value)
+    expected = 0
+    while expected in reference:
+        expected += 1
+    assert rs.prefix_end() == expected
+    assert rs.total == len(reference)
