@@ -17,6 +17,16 @@ the serial run — and ``--timing`` prints a per-unit-kind wall-clock
 breakdown after the artefacts. ``--profile DIR`` runs every work unit
 under ``cProfile`` and dumps one ``*.pstats`` file per unit into DIR
 (load with :mod:`pstats` to find hot spots).
+
+Crash safety: ``--journal DIR`` checkpoints every completed work unit
+into DIR, so a campaign killed at any instant can be rerun with
+``--journal DIR --resume`` and finish from where it stopped — the
+resumed dataset is bit-identical to an uninterrupted run. ``--retries
+N`` re-attempts failing units with deterministic backoff,
+``--unit-timeout S`` bounds one attempt's wall clock (the unit is
+re-dispatched to a fresh worker), and ``--failure-policy degrade``
+finishes with partial datasets plus a degradation report instead of
+aborting on the first exhausted unit.
 """
 
 from __future__ import annotations
@@ -30,6 +40,8 @@ from repro.core.datasets import CampaignDatasets
 from repro.core.loss_events import table2_loss_ratios
 from repro.core.middlebox import run_middlebox_study
 from repro.core.reporting import (
+    coverage_note,
+    render_degradation,
     render_figure1,
     render_figure2,
     render_figure3,
@@ -46,11 +58,28 @@ from repro.core.rtt import (
     figure3_loaded_rtt,
 )
 from repro.core.throughput import figure5_throughput
-from repro.exec.runner import UnitTiming, render_timings
+from repro.errors import JournalError
+from repro.exec.journal import Journal
+from repro.exec.runner import FAILURE_POLICIES, UnitTiming, render_timings
 from repro.units import minutes
 
 ARTEFACTS = ("table1", "fig1", "fig2", "fig3", "table2", "fig4",
              "fig5", "fig6", "middlebox", "errant", "all")
+
+#: Which campaign datasets each artefact is derived from (for the
+#: per-figure unit-coverage note of degraded runs).
+ARTEFACT_DATASETS = {
+    "table1": ("pings", "speedtests", "bulk", "messages", "visits"),
+    "fig1": ("pings",),
+    "fig2": ("pings",),
+    "fig3": ("bulk", "messages"),
+    "table2": ("bulk", "messages"),
+    "fig4": ("bulk", "messages"),
+    "fig5": ("speedtests", "bulk"),
+    "fig6": ("visits",),
+    "middlebox": (),
+    "errant": ("pings", "speedtests", "messages"),
+}
 
 
 def _build_config(args: argparse.Namespace) -> CampaignConfig:
@@ -73,42 +102,53 @@ def _emit(text: str) -> None:
 def run_artefact(name: str, campaign: Campaign, cache: dict,
                  workers: int = 1,
                  timings: list[UnitTiming] | None = None,
-                 profile_dir: str | None = None) -> None:
-    """Generate and print one artefact, reusing cached datasets."""
+                 profile_dir: str | None = None,
+                 exec_kwargs: dict | None = None) -> None:
+    """Generate and print one artefact, reusing cached datasets.
+
+    ``exec_kwargs`` carries the crash-safety options (journal,
+    retries, unit timeout, failure policy) through to every campaign
+    run; with ``failure_policy="degrade"`` each artefact is followed
+    by a unit-coverage note naming the datasets it was derived from.
+    """
+    exec_kwargs = exec_kwargs or {}
 
     def pings():
         if "pings" not in cache:
             cache["pings"] = campaign.run_pings(workers=workers,
                                                timings=timings,
-                                               profile_dir=profile_dir)
+                                               profile_dir=profile_dir,
+                                               **exec_kwargs)
         return cache["pings"]
 
     def bulk():
         if "bulk" not in cache:
             cache["bulk"] = campaign.run_bulk(workers=workers,
                                               timings=timings,
-                                              profile_dir=profile_dir)
+                                              profile_dir=profile_dir,
+                                              **exec_kwargs)
         return cache["bulk"]
 
     def messages():
         if "messages" not in cache:
             cache["messages"] = campaign.run_messages(
                 workers=workers, timings=timings,
-                profile_dir=profile_dir)
+                profile_dir=profile_dir, **exec_kwargs)
         return cache["messages"]
 
     def speedtests():
         if "speedtests" not in cache:
             cache["speedtests"] = campaign.run_speedtests(
                 workers=workers, timings=timings,
-                profile_dir=profile_dir)
+                profile_dir=profile_dir, **exec_kwargs)
         return cache["speedtests"]
 
     def visits():
         if "visits" not in cache:
             cache["visits"] = campaign.run_web(workers=workers,
                                                timings=timings,
-                                               profile_dir=profile_dir)
+                                               profile_dir=profile_dir,
+                                               **exec_kwargs)
         return cache["visits"]
 
     if name == "table1":
@@ -144,6 +184,12 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
     else:  # pragma: no cover - guarded by argparse choices
         raise ValueError(f"unknown artefact {name!r}")
 
+    report = campaign.degradation_report()
+    if report.degraded:
+        note = coverage_note(report, ARTEFACT_DATASETS.get(name, ()))
+        if note:
+            _emit(note)
+
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
@@ -168,20 +214,70 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", metavar="DIR", default=None,
                         help="dump per-work-unit cProfile stats "
                              "(*.pstats) into DIR")
+    parser.add_argument("--journal", metavar="DIR", default=None,
+                        help="checkpoint each completed work unit "
+                             "into DIR; already-journaled units are "
+                             "skipped, so a killed run is resumable")
+    parser.add_argument("--resume", action="store_true",
+                        help="allow --journal to reuse a directory "
+                             "that already holds checkpoints "
+                             "(continue an interrupted campaign)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts per failing work unit "
+                             "(default 0)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="S",
+                        help="base backoff before a retry, doubled "
+                             "per attempt (default 0.5s)")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-attempt wall-clock budget; a unit "
+                             "exceeding it is re-dispatched to a "
+                             "fresh worker")
+    parser.add_argument("--failure-policy", choices=FAILURE_POLICIES,
+                        default="raise",
+                        help="'raise' aborts on the first exhausted "
+                             "unit; 'degrade' finishes with partial "
+                             "datasets plus a degradation report")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal DIR")
+
+    journal = None
+    if args.journal is not None:
+        try:
+            journal = Journal(args.journal, resume=args.resume)
+        except JournalError as exc:
+            parser.error(str(exc))
+        if len(journal):
+            print(f"journal: resuming, {len(journal)} unit(s) "
+                  "already completed\n")
 
     campaign = Campaign(_build_config(args))
     cache: dict = {}
     timings: list[UnitTiming] = []
+    exec_kwargs = {
+        "journal": journal,
+        "retries": args.retries,
+        "retry_backoff_s": args.retry_backoff,
+        "unit_timeout": args.unit_timeout,
+        "failure_policy": args.failure_policy,
+    }
     names = [a for a in ARTEFACTS if a != "all"] \
         if args.artefact == "all" else [args.artefact]
     for name in names:
         run_artefact(name, campaign, cache, workers=args.workers,
-                     timings=timings, profile_dir=args.profile)
+                     timings=timings, profile_dir=args.profile,
+                     exec_kwargs=exec_kwargs)
     if args.timing:
         _emit(render_timings(timings))
+    report = campaign.degradation_report()
+    if report.degraded:
+        _emit(render_degradation(report))
     return 0
 
 

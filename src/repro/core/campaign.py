@@ -36,7 +36,14 @@ from repro.core.datasets import (
     SpeedtestSample,
     VisitSample,
 )
-from repro.exec.runner import UnitTiming, execute_units
+from repro.errors import ConfigurationError
+from repro.exec.journal import Journal
+from repro.exec.runner import (
+    DegradationReport,
+    UnitFailure,
+    UnitTiming,
+    execute_units,
+)
 from repro.exec.units import (
     CAMPUS_SERVER,
     OOKLA_BRUSSELS,
@@ -102,6 +109,31 @@ class CampaignConfig:
     web_sites: int = 120
     web_visits_per_site: int = 4
 
+    def __post_init__(self) -> None:
+        for name in ("ping_days", "ping_interval_s",
+                     "speedtest_warmup_s", "speedtest_measure_s",
+                     "satcom_warmup_s", "messages_duration_s"):
+            value = getattr(self, name)
+            if not value > 0:   # also rejects NaN
+                raise ConfigurationError(
+                    f"CampaignConfig.{name} must be positive, "
+                    f"got {value!r}")
+        for name in ("pings_per_round", "speedtest_epochs",
+                     "speedtest_connections", "bulk_per_direction",
+                     "bulk_bytes", "messages_per_direction",
+                     "web_sites", "web_visits_per_site"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(
+                    f"CampaignConfig.{name} must be >= 1, got "
+                    f"{value!r} (a non-positive count silently yields "
+                    "an empty unit list; shrink the other scale knobs "
+                    "instead)")
+        if not 0.0 <= self.ping_loss_prob <= 1.0:
+            raise ConfigurationError(
+                f"CampaignConfig.ping_loss_prob must be within "
+                f"[0, 1], got {self.ping_loss_prob!r}")
+
 
 @dataclass
 class Campaign:
@@ -115,11 +147,19 @@ class Campaign:
         self.path_model = StarlinkPathModel(
             constellation=self.constellation, timeline=self.timeline,
             seed=self.config.seed)
+        #: Per-dataset crash-safety bookkeeping from the latest runs;
+        #: summarised by :meth:`degradation_report`.
+        self._dataset_failures: dict[str, list[UnitFailure]] = {}
+        self._coverage: dict[str, tuple[int, int]] = {}
 
     # -- epoch helpers -----------------------------------------------------
 
     def _epochs(self, n: int, start: float, end: float,
                 label: str) -> list[float]:
+        if end < start:
+            raise ConfigurationError(
+                f"inverted epoch window for {label!r}: start {start} "
+                f"is after end {end}")
         rng = make_rng((self.config.seed, "epochs", label))
         return sorted(start + rng.random() * (end - start)
                       for _ in range(n))
@@ -189,47 +229,97 @@ class Campaign:
         return units
 
     # -- execution ---------------------------------------------------------
+    #
+    # Every run_* method shares the crash-safety keywords of
+    # :func:`repro.exec.execute_units`: ``journal`` checkpoints each
+    # completed unit (kill the process at any instant and resume
+    # digest-identically), ``retries``/``retry_backoff_s`` bound
+    # deterministic re-attempts, ``unit_timeout`` caps one attempt's
+    # wall clock, and ``failure_policy="degrade"`` finishes with
+    # partial datasets — the lost units are reported through
+    # :meth:`degradation_report`.
+
+    def _execute(self, dataset: str, units, workers, timings,
+                 profile_dir, journal, retries, retry_backoff_s,
+                 unit_timeout, failure_policy) -> list:
+        failures: list[UnitFailure] = []
+        payloads = execute_units(
+            units, workers, timings, profile_dir, journal=journal,
+            retries=retries, retry_backoff_s=retry_backoff_s,
+            unit_timeout=unit_timeout, failure_policy=failure_policy,
+            failures=failures)
+        kept = [p for p in payloads
+                if not isinstance(p, UnitFailure)]
+        self._dataset_failures[dataset] = failures
+        self._coverage[dataset] = (len(kept), len(units))
+        return kept
 
     def run_pings(self, workers: int = 1,
                   timings: list[UnitTiming] | None = None,
-                  profile_dir: str | None = None
-                  ) -> PingDataset:
+                  profile_dir: str | None = None, *,
+                  journal: Journal | None = None, retries: int = 0,
+                  retry_backoff_s: float = 0.0,
+                  unit_timeout: float | None = None,
+                  failure_policy: str = "raise") -> PingDataset:
         """Five-month idle-latency series toward the 11 anchors."""
-        return self._merge_pings(execute_units(self.ping_units(),
-                                               workers, timings,
-                                               profile_dir))
+        return self._merge_pings(self._execute(
+            "pings", self.ping_units(), workers, timings, profile_dir,
+            journal, retries, retry_backoff_s, unit_timeout,
+            failure_policy))
 
     def run_speedtests(self, workers: int = 1,
                        timings: list[UnitTiming] | None = None,
-                       profile_dir: str | None = None
+                       profile_dir: str | None = None, *,
+                       journal: Journal | None = None,
+                       retries: int = 0, retry_backoff_s: float = 0.0,
+                       unit_timeout: float | None = None,
+                       failure_policy: str = "raise"
                        ) -> list[SpeedtestSample]:
         """Ookla-like tests on Starlink and SatCom (Fig. 5a/5b)."""
-        return execute_units(self.speedtest_units(), workers, timings,
-                             profile_dir)
+        return self._execute(
+            "speedtests", self.speedtest_units(), workers, timings,
+            profile_dir, journal, retries, retry_backoff_s,
+            unit_timeout, failure_policy)
 
     def run_bulk(self, workers: int = 1,
                  timings: list[UnitTiming] | None = None,
-                 profile_dir: str | None = None
-                 ) -> list[BulkSample]:
+                 profile_dir: str | None = None, *,
+                 journal: Journal | None = None, retries: int = 0,
+                 retry_backoff_s: float = 0.0,
+                 unit_timeout: float | None = None,
+                 failure_policy: str = "raise") -> list[BulkSample]:
         """H3 transfers in both directions and both sessions."""
-        return execute_units(self.bulk_units(), workers, timings,
-                             profile_dir)
+        return self._execute(
+            "bulk", self.bulk_units(), workers, timings, profile_dir,
+            journal, retries, retry_backoff_s, unit_timeout,
+            failure_policy)
 
     def run_messages(self, workers: int = 1,
                      timings: list[UnitTiming] | None = None,
-                     profile_dir: str | None = None
+                     profile_dir: str | None = None, *,
+                     journal: Journal | None = None, retries: int = 0,
+                     retry_backoff_s: float = 0.0,
+                     unit_timeout: float | None = None,
+                     failure_policy: str = "raise"
                      ) -> list[MessagesSample]:
         """Low-bitrate message runs in both directions."""
-        return execute_units(self.messages_units(), workers, timings,
-                             profile_dir)
+        return self._execute(
+            "messages", self.messages_units(), workers, timings,
+            profile_dir, journal, retries, retry_backoff_s,
+            unit_timeout, failure_policy)
 
     def run_web(self, workers: int = 1,
                 timings: list[UnitTiming] | None = None,
-                profile_dir: str | None = None
-                ) -> list[VisitSample]:
+                profile_dir: str | None = None, *,
+                journal: Journal | None = None, retries: int = 0,
+                retry_backoff_s: float = 0.0,
+                unit_timeout: float | None = None,
+                failure_policy: str = "raise") -> list[VisitSample]:
         """Browser visits over Starlink, SatCom and wired (Fig. 6)."""
-        rounds = execute_units(self.web_units(), workers, timings,
-                               profile_dir)
+        rounds = self._execute(
+            "visits", self.web_units(), workers, timings, profile_dir,
+            journal, retries, retry_backoff_s, unit_timeout,
+            failure_policy)
         return [visit for round_visits in rounds
                 for visit in round_visits]
 
@@ -240,18 +330,40 @@ class Campaign:
             dataset.series[name] = (times, rtts)
         return dataset
 
+    def degradation_report(self) -> DegradationReport:
+        """Coverage and failures accumulated by the latest runs.
+
+        With ``failure_policy="raise"`` (the default) a report with an
+        empty ``failures`` list simply confirms full coverage; under
+        ``"degrade"`` it names every unit the datasets are missing, so
+        derived figures can state what they were computed from.
+        """
+        failures = [failure
+                    for dataset in sorted(self._dataset_failures)
+                    for failure in self._dataset_failures[dataset]]
+        return DegradationReport(
+            total_units=sum(t for _, t in self._coverage.values()),
+            completed_units=sum(c for c, _ in self._coverage.values()),
+            failures=failures, coverage=dict(self._coverage))
+
     # -- everything --------------------------------------------------------
 
     def run_all(self, workers: int = 1,
                 timings: list[UnitTiming] | None = None,
-                profile_dir: str | None = None
-                ) -> CampaignDatasets:
+                profile_dir: str | None = None, *,
+                journal: Journal | None = None, retries: int = 0,
+                retry_backoff_s: float = 0.0,
+                unit_timeout: float | None = None,
+                failure_policy: str = "raise") -> CampaignDatasets:
         """Run every dataset of Table 1.
 
         All work units go through one executor pass, so with
         ``workers=N`` the pool stays busy across dataset boundaries
         (a long ping series overlaps with short web rounds instead of
-        serialising behind them).
+        serialising behind them). Under ``failure_policy="degrade"``
+        the returned datasets are partial — merge simply skips lost
+        units — and :meth:`degradation_report` states the per-dataset
+        unit coverage.
         """
         groups: list[tuple[str, list[WorkUnit]]] = [
             ("pings", self.ping_units()),
@@ -261,19 +373,26 @@ class Campaign:
             ("visits", self.web_units()),
         ]
         units = [unit for _, group in groups for unit in group]
-        payloads = execute_units(units, workers, timings, profile_dir)
+        payloads = execute_units(
+            units, workers, timings, profile_dir, journal=journal,
+            retries=retries, retry_backoff_s=retry_backoff_s,
+            unit_timeout=unit_timeout, failure_policy=failure_policy)
         data = CampaignDatasets()
         cursor = 0
         for name, group in groups:
             chunk = payloads[cursor:cursor + len(group)]
             cursor += len(group)
+            kept = [p for p in chunk if not isinstance(p, UnitFailure)]
+            self._dataset_failures[name] = [
+                p for p in chunk if isinstance(p, UnitFailure)]
+            self._coverage[name] = (len(kept), len(group))
             if name == "pings":
-                data.pings = self._merge_pings(chunk)
+                data.pings = self._merge_pings(kept)
             elif name == "visits":
-                data.visits = [visit for round_visits in chunk
+                data.visits = [visit for round_visits in kept
                                for visit in round_visits]
             else:
-                setattr(data, name, chunk)
+                setattr(data, name, kept)
         return data
 
 

@@ -7,14 +7,73 @@ eyeballed against the original.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.browsing import BrowsingStats
 from repro.core.loss_events import LossCell
 from repro.core.rtt import Fig1Row, Fig2Series, LoadedRttStats
 from repro.core.throughput import ThroughputSeries
+from repro.exec.runner import DegradationReport
 
 
 def _rule(width: int = 72) -> str:
     return "-" * width
+
+
+def render_degradation(report: DegradationReport) -> str:
+    """Crash-safe executor summary: unit coverage and lost units.
+
+    Printed after a ``failure_policy="degrade"`` campaign so every
+    consumer of the partial datasets can see exactly what is missing
+    and why (error type, attempt count, first line of the message).
+    """
+    lines = [f"Degradation report: "
+             f"{report.completed_units}/{report.total_units} "
+             f"work units completed.", _rule(),
+             f"{'dataset':<14}{'completed':>10}{'total':>8}"
+             f"{'coverage':>10}", _rule()]
+    for dataset in sorted(report.coverage):
+        completed, total = report.coverage[dataset]
+        pct = 100.0 * completed / total if total else 100.0
+        lines.append(f"{dataset:<14}{completed:>10}{total:>8}"
+                     f"{pct:>9.1f}%")
+    if report.failures:
+        lines.append(_rule())
+        lines.append("lost units:")
+        for failure in report.failures:
+            first = failure.message.splitlines()[0] \
+                if failure.message else ""
+            lines.append(
+                f"  {failure.label} ({failure.kind}): "
+                f"{failure.error_type} after {failure.attempts} "
+                f"attempt(s): {first}")
+    lines.append(_rule())
+    return "\n".join(lines)
+
+
+def coverage_note(report: DegradationReport | None,
+                  datasets: Sequence[str]) -> str:
+    """One-line unit-coverage note for a figure built from ``datasets``.
+
+    Empty when there is nothing to report; flags ``PARTIAL DATA`` when
+    any contributing dataset lost units, so no derived figure can be
+    read without knowing what it was computed from.
+    """
+    if report is None:
+        return ""
+    parts = []
+    degraded = False
+    for name in datasets:
+        if name not in report.coverage:
+            continue
+        completed, total = report.coverage[name]
+        parts.append(f"{name} {completed}/{total} units")
+        if completed < total:
+            degraded = True
+    if not parts:
+        return ""
+    prefix = "PARTIAL DATA" if degraded else "coverage"
+    return f"[{prefix}: {', '.join(parts)}]"
 
 
 def render_table1(rows: list[dict]) -> str:

@@ -53,5 +53,24 @@ class CampaignError(ReproError):
     """A measurement campaign was misconfigured or failed to run."""
 
 
+class UnitExecutionError(CampaignError):
+    """A work unit exhausted its retry budget under ``failure_policy="raise"``.
+
+    Raised by :func:`repro.exec.execute_units` the moment a unit's last
+    attempt fails (exception, worker death, or wall-clock timeout) when
+    the caller asked for all-or-nothing semantics. Under
+    ``failure_policy="degrade"`` the same condition is recorded as a
+    :class:`repro.exec.UnitFailure` instead.
+    """
+
+
+class JournalError(CampaignError):
+    """A checkpoint journal was misused (mismatched entry, stale dir)."""
+
+
+class ChaosError(ReproError):
+    """A failure injected on purpose by the executor chaos harness."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received unusable data (e.g. empty samples)."""

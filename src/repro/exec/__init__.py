@@ -6,9 +6,22 @@ serially or on a process pool with a deterministic ordered merge
 (:mod:`repro.exec.runner`). Parallel output is bit-identical to the
 serial run for the same seed; ``tests/core/test_campaign_parallel.py``
 pins that with the trace-digest machinery.
+
+The runner is crash-safe: a :class:`~repro.exec.journal.Journal`
+checkpoints every completed unit atomically (kill the run at any
+instant and resume digest-identically), unit exceptions / worker
+deaths / timeouts become structured :class:`UnitFailure` records with
+bounded deterministic retry, and ``failure_policy="degrade"`` finishes
+with partial output plus a :class:`DegradationReport`.
+``tests/exec/`` pins every recovery path with the chaos harness in
+:mod:`repro.testing.chaos`.
 """
 
+from repro.exec.journal import Journal
 from repro.exec.runner import (
+    FAILURE_POLICIES,
+    DegradationReport,
+    UnitFailure,
     UnitTiming,
     default_workers,
     execute_units,
@@ -17,6 +30,7 @@ from repro.exec.runner import (
 )
 from repro.exec.units import (
     BulkUnit,
+    CampaignUnit,
     MessagesUnit,
     PingSeriesUnit,
     SpeedtestUnit,
@@ -27,9 +41,14 @@ from repro.exec.units import (
 
 __all__ = [
     "BulkUnit",
+    "CampaignUnit",
+    "DegradationReport",
+    "FAILURE_POLICIES",
+    "Journal",
     "MessagesUnit",
     "PingSeriesUnit",
     "SpeedtestUnit",
+    "UnitFailure",
     "UnitTiming",
     "WebRoundUnit",
     "WorkUnit",

@@ -1,0 +1,136 @@
+"""Checkpoint journal: one atomically written file per completed unit.
+
+The journal is what makes a long campaign crash-safe. Every time a
+work unit completes, its payload is pickled into the journal directory
+under a key derived from the unit's identity; when the same campaign is
+started again with the same journal, :func:`repro.exec.execute_units`
+loads the journaled payloads instead of re-running the units. Because a
+journaled payload is the exact object the unit returned (pickle
+round-trips floats and numpy arrays bit-exactly), a resumed dataset is
+digest-identical to an uninterrupted run.
+
+Keys are a SHA-256 digest of ``(unit label, unit kind, campaign-config
+fingerprint)``, where the fingerprint is :func:`~repro.testing.digest.\
+digest_value` of the unit's ``config`` dataclass. The campaign seed and
+every scale knob are part of the key, so resuming with a different
+configuration can never reuse stale payloads, and several
+configurations can safely share one directory.
+
+Crash safety is per entry: payloads are written to a temp file, fsynced
+and ``os.replace``d into place, so a ``kill -9`` at any instant leaves
+either a complete entry or no entry — never a torn one. Stale temp
+files and corrupt entries are discarded on the next run, which merely
+re-executes the affected units.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+
+from repro.errors import JournalError
+from repro.testing.digest import digest_value
+
+
+class Journal:
+    """Directory of per-unit checkpoints for crash-safe execution.
+
+    ``resume=False`` refuses a directory that already holds entries,
+    which protects interactive runs from silently reusing a previous
+    campaign's checkpoints (the CLI maps ``--resume`` onto it).
+    """
+
+    def __init__(self, directory: str | os.PathLike,
+                 resume: bool = True):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # A crash can strand temp files mid-write; they are garbage by
+        # construction (the atomic rename never happened).
+        for stale in self.directory.glob("*.tmp-*"):
+            stale.unlink(missing_ok=True)
+        if not resume and len(self):
+            raise JournalError(
+                f"journal directory {str(self.directory)!r} already "
+                f"holds {len(self)} completed unit(s); pass "
+                "resume=True (CLI: --resume) to continue that run, or "
+                "point the journal at a fresh directory")
+
+    # -- keys --------------------------------------------------------------
+
+    def key_for(self, unit) -> str:
+        """Stable journal key for one work unit."""
+        config = getattr(unit, "config", None)
+        fingerprint = digest_value(config) if config is not None else ""
+        return digest_value((unit.label, unit.kind, fingerprint))
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.pkl"
+
+    # -- entries -----------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        """Whether a completed payload is journaled under ``key``."""
+        return self._path(key).exists()
+
+    def store(self, key: str, payload, elapsed_s: float = 0.0,
+              label: str = "") -> None:
+        """Persist one completed unit's payload, atomically."""
+        record = {"label": label, "elapsed_s": float(elapsed_s),
+                  "payload": payload}
+        tmp = self.directory / f"{key}.tmp-{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._path(key))
+
+    def load(self, key: str, label: str | None = None
+             ) -> tuple[object, float] | None:
+        """``(payload, elapsed_s)`` for a journaled unit, or ``None``.
+
+        A corrupt entry (disk fault, partial copy) is discarded and
+        reported as missing, so a resume re-runs that unit instead of
+        wedging the campaign. When ``label`` is given, a mismatching
+        recorded label raises :class:`JournalError` — the journal is
+        then not from the campaign being resumed.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                record = pickle.load(fh)
+            if not isinstance(record, dict) or "payload" not in record:
+                raise ValueError("malformed journal record")
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+        recorded = record.get("label", "")
+        if label is not None and recorded and recorded != label:
+            raise JournalError(
+                f"journal entry {key[:12]}... records unit "
+                f"{recorded!r} but {label!r} was expected; refusing "
+                "to resume from a mismatched journal")
+        return record["payload"], float(record.get("elapsed_s", 0.0))
+
+    # -- inventory ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def labels(self) -> list[str]:
+        """Recorded labels of every journaled unit (sorted)."""
+        found = []
+        for path in self.directory.glob("*.pkl"):
+            try:
+                with open(path, "rb") as fh:
+                    record = pickle.load(fh)
+                found.append(str(record.get("label", "")))
+            except Exception:
+                continue
+        return sorted(found)
+
+    def __repr__(self) -> str:
+        return (f"<Journal dir={str(self.directory)!r} "
+                f"entries={len(self)}>")

@@ -5,25 +5,58 @@ payloads in the order the units were given, bit-identical for every
 ``N``. Serial execution (``workers=1``) is the degenerate case — it
 calls ``unit.run()`` in-process through the exact same code path a
 pool worker uses, so there is no separate serial implementation to
-drift. Parallel execution uses :class:`~concurrent.futures.\
-ProcessPoolExecutor` with ``chunksize=1`` and an ordered merge via
-``Executor.map``, which yields results in submission order no matter
-which worker finished first.
+drift. Parallel execution submits one unit per free worker slot and
+merges results by input index, which preserves submission order no
+matter which worker finished first.
+
+On top of that sits the crash-safety layer:
+
+* **journal** — each completed unit's payload is persisted atomically
+  (:class:`repro.exec.journal.Journal`); on restart, journaled units
+  are loaded instead of re-run, and the resumed output is
+  digest-identical to an uninterrupted run.
+* **failure isolation** — a raising unit, a dying worker process or a
+  unit that exceeds ``unit_timeout`` becomes a structured
+  :class:`UnitFailure` instead of tearing down the run, after a
+  bounded deterministic retry with exponential backoff.
+* **failure policy** — ``"raise"`` aborts on the first exhausted unit
+  (:class:`~repro.errors.UnitExecutionError`); ``"degrade"`` finishes
+  the run and returns the :class:`UnitFailure` records in place of the
+  missing payloads, so callers can assemble partial datasets.
+* **interrupt safety** — ``KeyboardInterrupt`` cancels pending work,
+  kills the pool's worker processes (no orphans), and propagates; the
+  journal already holds every unit completed so far, so the run is
+  resumable.
+
+Attribution caveats, by construction of ``ProcessPoolExecutor``: a
+worker death breaks the whole pool, so every in-flight unit is charged
+an attempt (the pool cannot say which unit killed it); a timed-out
+unit cannot be killed individually, so the pool is rebuilt — timed-out
+units are charged, innocent in-flight units are re-dispatched free.
+Keeping at most ``workers`` units in flight bounds both effects.
 """
 
 from __future__ import annotations
 
 import cProfile
-import functools
 import os
 import pathlib
 import re
 import time
+import traceback
+from concurrent import futures as _cf
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnitExecutionError
+
+#: Poll interval of the pool supervisor loop (seconds). Short enough
+#: that timeout enforcement is prompt, long enough to stay off the CPU.
+_POLL_S = 0.05
+
+#: Accepted ``failure_policy`` values.
+FAILURE_POLICIES = ("raise", "degrade")
 
 
 @dataclass(frozen=True)
@@ -33,6 +66,46 @@ class UnitTiming:
     label: str
     kind: str
     elapsed_s: float
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Structured record of one unit that exhausted its attempts.
+
+    Under ``failure_policy="degrade"`` these take the failed unit's
+    place in the payload list (and in the ``failures`` out-parameter),
+    so callers can both skip and report them.
+    """
+
+    label: str
+    kind: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+
+@dataclass
+class DegradationReport:
+    """Unit coverage of a (possibly partial) campaign run.
+
+    ``coverage`` maps dataset name to ``(completed, total)`` unit
+    counts; ``failures`` lists every unit that was lost. Rendered for
+    humans by :func:`repro.core.reporting.render_degradation`.
+    """
+
+    total_units: int = 0
+    completed_units: int = 0
+    failures: list[UnitFailure] = field(default_factory=list)
+    coverage: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
+
+    def coverage_fraction(self, dataset: str) -> float:
+        completed, total = self.coverage.get(dataset, (0, 0))
+        return completed / total if total else 1.0
 
 
 def default_workers() -> int:
@@ -49,7 +122,12 @@ def _profile_stem(label: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", label) or "unit"
 
 
-def _run_one(unit, profile_dir: str | None = None
+def _backoff_s(retry_backoff_s: float, attempt: int) -> float:
+    """Deterministic exponential backoff before attempt ``attempt+1``."""
+    return retry_backoff_s * (2 ** (attempt - 1))
+
+
+def _run_one(unit, profile_dir: str | None = None, index: int = 0
              ) -> tuple[object, UnitTiming]:
     profiler = None
     if profile_dir is not None:
@@ -62,40 +140,333 @@ def _run_one(unit, profile_dir: str | None = None
         profiler.disable()
         out_dir = pathlib.Path(profile_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
+        # The unit index disambiguates labels that sanitize to the
+        # same stem, which would otherwise overwrite each other.
         profiler.dump_stats(
-            out_dir / f"{_profile_stem(unit.label)}.pstats")
+            out_dir / f"{index:04d}-{_profile_stem(unit.label)}.pstats")
     return payload, UnitTiming(label=unit.label, kind=unit.kind,
                                elapsed_s=elapsed)
 
 
+def _pool_run_one(unit, profile_dir: str | None, index: int) -> tuple:
+    """Worker-side wrapper: exceptions become data, never pool poison."""
+    try:
+        payload, timing = _run_one(unit, profile_dir, index)
+    except Exception as exc:
+        return ("err", type(exc).__name__, str(exc),
+                traceback.format_exc())
+    return ("ok", payload, timing)
+
+
+def _stop_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without orphaning workers: kill, cancel, reap."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in procs:
+        if proc.is_alive():
+            proc.kill()
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        proc.join(timeout=5.0)
+
+
+class _PoolSupervisor:
+    """Submit-window pool driver with retry, timeout and rebuild.
+
+    At most ``workers`` units are in flight at any moment; completed
+    futures are reaped by index, a broken pool is rebuilt, and units
+    whose wall clock exceeds ``unit_timeout`` are abandoned by killing
+    the pool and re-dispatching survivors to a fresh one.
+    """
+
+    def __init__(self, todo: list[tuple[int, object]], workers: int,
+                 profile_dir: str | None, retries: int,
+                 retry_backoff_s: float, unit_timeout: float | None,
+                 failure_policy: str,
+                 record_ok: Callable[[int, object, UnitTiming], None]):
+        self.pending = [(i, u, 1) for i, u in todo]  # attempt to run next
+        self.workers = workers
+        self.profile_dir = profile_dir
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.unit_timeout = unit_timeout
+        self.failure_policy = failure_policy
+        self.record_ok = record_ok
+        self.ready_at: dict[int, float] = {}   # backoff gates by index
+        self.inflight: dict = {}               # future -> (i, unit, attempt, t0)
+        self.outcomes: dict[int, object] = {}
+
+    def run(self) -> dict[int, object]:
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            while self.pending or self.inflight:
+                self._dispatch()
+                self._reap()
+            self.pool.shutdown()
+        except BaseException:
+            # KeyboardInterrupt and UnitExecutionError both land here:
+            # cancel pending futures, kill workers, leave no orphans.
+            _stop_pool(self.pool)
+            raise
+        return self.outcomes
+
+    # -- submission --------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        now = time.monotonic()
+        while self.pending and len(self.inflight) < self.workers:
+            slot = next(
+                (k for k, (i, _, _) in enumerate(self.pending)
+                 if self.ready_at.get(i, 0.0) <= now), None)
+            if slot is None:
+                break
+            index, unit, attempt = self.pending.pop(slot)
+            try:
+                future = self.pool.submit(_pool_run_one, unit,
+                                          self.profile_dir, index)
+            except _cf.BrokenExecutor:
+                # Pool died between reaps; put the unit back and let
+                # the reap path drain the doomed futures and rebuild.
+                self.pending.append((index, unit, attempt))
+                return
+            self.inflight[future] = (index, unit, attempt,
+                                     time.monotonic())
+
+    # -- completion / failure ----------------------------------------------
+
+    def _reap(self) -> None:
+        if not self.inflight:
+            if self.pending:
+                # Everything runnable is gated on backoff; sleep to
+                # the earliest gate (capped so interrupts stay snappy).
+                gate = min(self.ready_at.get(i, 0.0)
+                           for i, _, _ in self.pending)
+                time.sleep(max(0.0, min(gate - time.monotonic(), 0.5)))
+            return
+        done, _ = _cf.wait(set(self.inflight), timeout=_POLL_S,
+                           return_when=_cf.FIRST_COMPLETED)
+        broken = False
+        for future in done:
+            index, unit, attempt, _ = self.inflight.pop(future)
+            exc = future.exception()
+            if exc is None:
+                status = future.result()
+                if status[0] == "ok":
+                    _, payload, timing = status
+                    self.outcomes[index] = (payload, timing)
+                    self.record_ok(index, payload, timing)
+                else:
+                    _, error_type, message, tb = status
+                    self._attempt_failed(index, unit, attempt,
+                                         error_type, message, tb)
+            elif isinstance(exc, KeyboardInterrupt):
+                # A worker saw Ctrl-C: the signal went to the whole
+                # process group, so treat it as a driver interrupt.
+                raise KeyboardInterrupt
+            elif isinstance(exc, _cf.BrokenExecutor):
+                broken = True
+                self._attempt_failed(
+                    index, unit, attempt, "WorkerCrash",
+                    "worker process died before returning a result", "")
+            else:
+                self._attempt_failed(index, unit, attempt,
+                                     type(exc).__name__, str(exc), "")
+        if broken:
+            self._rebuild_after_break()
+        elif self.unit_timeout is not None and self.inflight:
+            self._enforce_timeout()
+
+    def _rebuild_after_break(self) -> None:
+        # The pool is unusable and every other in-flight future is
+        # doomed with it. Each such unit is charged an attempt — the
+        # pool cannot attribute which one killed the worker.
+        for future, (index, unit, attempt, _) in list(
+                self.inflight.items()):
+            self._attempt_failed(
+                index, unit, attempt, "WorkerCrash",
+                "worker pool broke while the unit was in flight", "")
+        self.inflight.clear()
+        _stop_pool(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def _enforce_timeout(self) -> None:
+        now = time.monotonic()
+        expired = {future for future, (_, _, _, t0)
+                   in self.inflight.items()
+                   if now - t0 > self.unit_timeout and not future.done()}
+        if not expired:
+            return
+        # A single worker cannot be killed through the pool API, so
+        # kill the whole pool: expired units are charged an attempt,
+        # innocent in-flight units are re-dispatched free of charge.
+        for future, (index, unit, attempt, _) in list(
+                self.inflight.items()):
+            if future in expired:
+                self._attempt_failed(
+                    index, unit, attempt, "UnitTimeout",
+                    f"unit exceeded the {self.unit_timeout:.6g}s "
+                    "wall-clock budget", "")
+            else:
+                self.pending.append((index, unit, attempt))
+        self.inflight.clear()
+        _stop_pool(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def _attempt_failed(self, index: int, unit, attempt: int,
+                        error_type: str, message: str, tb: str) -> None:
+        if attempt <= self.retries:
+            self.ready_at[index] = time.monotonic() + _backoff_s(
+                self.retry_backoff_s, attempt)
+            self.pending.append((index, unit, attempt + 1))
+            return
+        failure = UnitFailure(label=unit.label, kind=unit.kind,
+                              error_type=error_type, message=message,
+                              traceback=tb, attempts=attempt)
+        if self.failure_policy == "raise":
+            raise UnitExecutionError(
+                f"unit {unit.label!r} failed after {attempt} "
+                f"attempt(s): {error_type}: {message}")
+        self.outcomes[index] = failure
+
+
+def _execute_serial(todo: list[tuple[int, object]],
+                    profile_dir: str | None, retries: int,
+                    retry_backoff_s: float, failure_policy: str,
+                    record_ok: Callable[[int, object, UnitTiming], None]
+                    ) -> dict[int, object]:
+    outcomes: dict[int, object] = {}
+    for index, unit in todo:
+        attempt = 1
+        while True:
+            try:
+                payload, timing = _run_one(unit, profile_dir, index)
+            except KeyboardInterrupt:
+                # Completed units are already journaled (stores are
+                # per-unit and atomic), so the run is resumable as-is.
+                raise
+            except Exception as exc:
+                if attempt <= retries:
+                    delay = _backoff_s(retry_backoff_s, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                failure = UnitFailure(
+                    label=unit.label, kind=unit.kind,
+                    error_type=type(exc).__name__, message=str(exc),
+                    traceback=traceback.format_exc(), attempts=attempt)
+                if failure_policy == "raise":
+                    raise UnitExecutionError(
+                        f"unit {unit.label!r} failed after {attempt} "
+                        f"attempt(s): {type(exc).__name__}: {exc}"
+                    ) from exc
+                outcomes[index] = failure
+                break
+            else:
+                outcomes[index] = (payload, timing)
+                record_ok(index, payload, timing)
+                break
+    return outcomes
+
+
 def execute_units(units: Sequence, workers: int = 1,
                   timings: list[UnitTiming] | None = None,
-                  profile_dir: str | None = None) -> list:
+                  profile_dir: str | None = None, *,
+                  journal=None, retries: int = 0,
+                  retry_backoff_s: float = 0.0,
+                  unit_timeout: float | None = None,
+                  failure_policy: str = "raise",
+                  failures: list[UnitFailure] | None = None) -> list:
     """Run ``units`` and return their payloads in input order.
 
     ``workers=1`` executes in-process; ``workers>1`` fans out over a
     process pool. Per-unit wall clock (as seen by the process that
     ran the unit) is appended to ``timings`` when given, also in
     input order. With ``profile_dir`` set, each unit runs under
-    cProfile and dumps ``<label>.pstats`` into that directory (the
-    timing then includes profiler overhead; use it for hotspot
+    cProfile and dumps ``<index>-<label>.pstats`` into that directory
+    (the timing then includes profiler overhead; use it for hotspot
     hunting, not for benchmark numbers).
+
+    Crash safety:
+
+    * ``journal`` (a :class:`repro.exec.journal.Journal`) persists each
+      completed payload atomically and skips already-journaled units on
+      restart; the assembled output is digest-identical either way.
+    * ``retries`` grants each unit up to ``retries`` extra attempts
+      after a failure (exception, worker death, timeout), with
+      deterministic exponential backoff ``retry_backoff_s * 2**(k-1)``.
+    * ``unit_timeout`` bounds each attempt's wall clock; enforcing it
+      requires a worker process, so the pool path is used even with
+      ``workers=1``. A timed-out unit is re-dispatched to a fresh pool.
+    * ``failure_policy="raise"`` (default) aborts on the first unit
+      that exhausts its attempts; ``"degrade"`` finishes the run and
+      returns the :class:`UnitFailure` record *in place of* that
+      unit's payload (and appends it to ``failures`` when given) —
+      callers filter with ``isinstance(p, UnitFailure)``.
+    * ``KeyboardInterrupt`` cancels pending work, kills pool workers
+      (no orphans) and propagates; journaled progress survives.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if retry_backoff_s < 0:
+        raise ConfigurationError(
+            f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+    if unit_timeout is not None and not unit_timeout > 0:
+        raise ConfigurationError(
+            f"unit_timeout must be positive, got {unit_timeout}")
+    if failure_policy not in FAILURE_POLICIES:
+        raise ConfigurationError(
+            f"failure_policy must be one of {FAILURE_POLICIES}, "
+            f"got {failure_policy!r}")
     units = list(units)
     if not units:
         return []
-    run_one = functools.partial(_run_one, profile_dir=profile_dir)
-    if workers == 1 or len(units) == 1:
-        outcomes = [run_one(unit) for unit in units]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers,
-                                                 len(units))) as pool:
-            outcomes = list(pool.map(run_one, units, chunksize=1))
-    if timings is not None:
-        timings.extend(timing for _, timing in outcomes)
-    return [payload for payload, _ in outcomes]
+
+    outcomes: dict[int, object] = {}
+    keys: list[str] | None = None
+    if journal is not None:
+        keys = [journal.key_for(unit) for unit in units]
+        for i, unit in enumerate(units):
+            entry = journal.load(keys[i], label=unit.label)
+            if entry is not None:
+                payload, elapsed = entry
+                outcomes[i] = (payload, UnitTiming(
+                    label=unit.label, kind=unit.kind, elapsed_s=elapsed))
+
+    def record_ok(index: int, payload, timing: UnitTiming) -> None:
+        if journal is not None:
+            journal.store(keys[index], payload,
+                          elapsed_s=timing.elapsed_s,
+                          label=timing.label)
+
+    todo = [(i, unit) for i, unit in enumerate(units)
+            if i not in outcomes]
+    if todo:
+        if workers == 1 and unit_timeout is None:
+            outcomes.update(_execute_serial(
+                todo, profile_dir, retries, retry_backoff_s,
+                failure_policy, record_ok))
+        else:
+            supervisor = _PoolSupervisor(
+                todo, min(workers, len(todo)), profile_dir, retries,
+                retry_backoff_s, unit_timeout, failure_policy,
+                record_ok)
+            outcomes.update(supervisor.run())
+
+    payloads: list = []
+    for i in range(len(units)):
+        outcome = outcomes[i]
+        if isinstance(outcome, UnitFailure):
+            if failures is not None:
+                failures.append(outcome)
+            payloads.append(outcome)
+        else:
+            payload, timing = outcome
+            if timings is not None:
+                timings.append(timing)
+            payloads.append(payload)
+    return payloads
 
 
 def timing_breakdown(timings: Sequence[UnitTiming]) -> list[dict]:

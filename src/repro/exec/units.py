@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -51,6 +51,31 @@ from repro.units import days
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.campaign import CampaignConfig
+
+
+@runtime_checkable
+class CampaignUnit(Protocol):
+    """The executor contract: what ``repro.exec`` runs, journals,
+    retries and reports on.
+
+    ``label`` is a stable identity (it keys journal entries and names
+    failures), ``kind`` buckets timings and coverage, and ``run()``
+    must be a pure function of the unit's own fields — re-running it
+    after a crash, on another process, or from a resumed journal must
+    reproduce identical bytes. Units that carry a ``config`` attribute
+    (all campaign units do) get it fingerprinted into their journal
+    key, so checkpoints can never leak across configurations. Wrappers
+    such as :class:`repro.testing.chaos.ChaosUnit` satisfy the same
+    protocol by delegation.
+    """
+
+    @property
+    def label(self) -> str: ...
+
+    @property
+    def kind(self) -> str: ...
+
+    def run(self) -> object: ...
 
 #: Campus server (UCLouvain) and nearby Ookla server locations.
 CAMPUS_SERVER = GeoPoint(50.670, 4.615)

@@ -14,12 +14,26 @@ Three layers, each usable on its own:
 * :mod:`repro.testing.scenarios` -- seeded property-based scenario
   generators (random topologies + workloads) with trace-digest replay
   comparison and simple shrinking, proving bit-identical replay.
+* :mod:`repro.testing.chaos` -- executor-level chaos: deterministic
+  :class:`ChaosUnit` wrappers that make campaign work units raise,
+  hang, or SIGKILL their own worker on chosen attempts, with
+  cross-process attempt tracking, so every crash-recovery path of
+  :mod:`repro.exec` is pinned by tests rather than luck.
 
 :mod:`repro.testing.digest` holds the canonical trace/dataset
 fingerprints the replay checks compare.
 """
 
 from repro.errors import InvariantViolation
+from repro.testing.chaos import (
+    ChaosInjection,
+    ChaosSpec,
+    ChaosUnit,
+    attempts_made,
+    claim_attempt,
+    seeded_chaos,
+    wrap_units,
+)
 from repro.testing.digest import digest_dataset, digest_records, digest_value
 from repro.testing.faults import FaultPlan
 from repro.testing.invariants import (
@@ -39,8 +53,15 @@ from repro.testing.scenarios import (
 )
 
 __all__ = [
+    "ChaosInjection",
+    "ChaosSpec",
+    "ChaosUnit",
     "FaultPlan",
     "InvariantChecker",
+    "attempts_made",
+    "claim_attempt",
+    "seeded_chaos",
+    "wrap_units",
     "InvariantViolation",
     "Scenario",
     "build_network",

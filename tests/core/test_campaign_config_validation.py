@@ -1,0 +1,64 @@
+"""CampaignConfig validation: bad scale knobs fail fast and loudly.
+
+Before PR 4, a zero or negative knob silently produced an empty unit
+list (or a downstream ZeroDivisionError three layers deep); now the
+config constructor rejects it with a message naming the field.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig, quick_config
+from repro.errors import ConfigurationError
+
+POSITIVE_FLOAT_FIELDS = (
+    "ping_days", "ping_interval_s", "speedtest_warmup_s",
+    "speedtest_measure_s", "satcom_warmup_s", "messages_duration_s")
+COUNT_FIELDS = (
+    "pings_per_round", "speedtest_epochs", "speedtest_connections",
+    "bulk_per_direction", "bulk_bytes", "messages_per_direction",
+    "web_sites", "web_visits_per_site")
+
+
+@pytest.mark.parametrize("name", POSITIVE_FLOAT_FIELDS)
+@pytest.mark.parametrize("value", [0.0, -1.5, math.nan])
+def test_non_positive_durations_rejected(name, value):
+    with pytest.raises(ConfigurationError, match=name):
+        CampaignConfig(**{name: value})
+
+
+@pytest.mark.parametrize("name", COUNT_FIELDS)
+def test_non_positive_counts_rejected(name):
+    with pytest.raises(ConfigurationError, match=name):
+        CampaignConfig(**{name: 0})
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1])
+def test_out_of_range_loss_probability_rejected(value):
+    with pytest.raises(ConfigurationError, match="ping_loss_prob"):
+        CampaignConfig(ping_loss_prob=value)
+
+
+def test_boundary_loss_probabilities_accepted():
+    assert CampaignConfig(ping_loss_prob=0.0).ping_loss_prob == 0.0
+    assert CampaignConfig(ping_loss_prob=1.0).ping_loss_prob == 1.0
+
+
+def test_validation_message_names_the_field():
+    with pytest.raises(ConfigurationError,
+                       match=r"CampaignConfig\.web_sites"):
+        CampaignConfig(web_sites=-3)
+
+
+def test_stock_configurations_are_valid():
+    for config in (CampaignConfig(), quick_config(seed=7)):
+        assert dataclasses.asdict(config)   # constructed without error
+
+
+def test_inverted_epoch_window_rejected():
+    campaign = Campaign(quick_config())
+    with pytest.raises(ConfigurationError, match="inverted epoch"):
+        campaign._epochs(2, start=10.0, end=5.0, label="backwards")
+    assert campaign._epochs(0, start=5.0, end=5.0, label="empty") == []

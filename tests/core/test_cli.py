@@ -50,3 +50,44 @@ def test_workers_and_timing_flags(capsys):
 def test_workers_flag_rejects_zero():
     with pytest.raises(SystemExit):
         main(["fig1", "--workers", "0"])
+
+
+def test_journal_flag_checkpoints_and_resumes(tmp_path, capsys):
+    journal_dir = tmp_path / "journal"
+    assert main(["fig1", "--ping-days", "1",
+                 "--journal", str(journal_dir)]) == 0
+    first = capsys.readouterr().out
+    assert "Figure 1" in first
+    entries = len(list(journal_dir.glob("*.pkl")))
+    assert entries == 11            # one checkpoint per ping unit
+    # A resumed run loads every unit from the journal and says so.
+    assert main(["fig1", "--ping-days", "1",
+                 "--journal", str(journal_dir), "--resume"]) == 0
+    second = capsys.readouterr().out
+    assert f"journal: resuming, {entries} unit(s)" in second
+    assert first.splitlines()[-3:] == second.splitlines()[-3:]
+
+
+def test_nonempty_journal_requires_resume_flag(tmp_path, capsys):
+    journal_dir = tmp_path / "journal"
+    assert main(["fig1", "--ping-days", "1",
+                 "--journal", str(journal_dir)]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["fig1", "--ping-days", "1",
+              "--journal", str(journal_dir)])
+
+
+def test_resume_without_journal_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--resume"])
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--retries", "-1"])
+
+
+def test_unknown_failure_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--failure-policy", "retry-forever"])

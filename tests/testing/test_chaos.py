@@ -1,0 +1,130 @@
+"""Chaos-harness tests: deterministic sabotage, exact attempt counts.
+
+The executor tests in ``tests/exec/`` use the harness; these tests pin
+the harness itself — marker-file attempt claiming is exact across
+claimants, :class:`ChaosUnit` is transparent (label/kind/config/digest
+of a calm run identical to the bare unit), and seeded injection is
+replayable.
+"""
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.errors import ChaosError, ConfigurationError
+from repro.testing.chaos import (
+    ChaosInjection,
+    ChaosSpec,
+    ChaosUnit,
+    attempts_made,
+    claim_attempt,
+    seeded_chaos,
+    wrap_units,
+)
+from repro.units import minutes
+
+
+@dataclass(frozen=True)
+class EchoUnit:
+    value: int
+
+    kind = "echo"
+
+    @property
+    def label(self) -> str:
+        return f"echo:{self.value}"
+
+    def run(self) -> int:
+        return self.value
+
+
+def test_claim_attempt_is_exact_and_per_label(tmp_path):
+    assert attempts_made(tmp_path, "a") == 0
+    assert [claim_attempt(tmp_path, "a") for _ in range(3)] == [1, 2, 3]
+    assert claim_attempt(tmp_path, "b") == 1
+    assert attempts_made(tmp_path, "a") == 3
+    assert attempts_made(tmp_path, "b") == 1
+
+
+def test_chaos_unit_is_transparent_when_calm(tmp_path):
+    unit = EchoUnit(7)
+    calm = ChaosUnit(unit, ChaosSpec(), str(tmp_path))
+    assert calm.label == unit.label
+    assert calm.kind == unit.kind
+    assert calm.run() == 7
+    assert attempts_made(tmp_path, "echo:7") == 1
+
+
+def test_chaos_unit_delegates_config_for_journal_keys(tmp_path):
+    from repro.exec import Journal
+
+    config = CampaignConfig(
+        seed=0, ping_days=0.5, ping_interval_s=minutes(120),
+        speedtest_epochs=1, speedtest_measure_s=0.5,
+        speedtest_warmup_s=0.5, satcom_warmup_s=2.0,
+        bulk_per_direction=1, bulk_bytes=500_000,
+        messages_per_direction=1, messages_duration_s=1.5,
+        web_sites=3, web_visits_per_site=1)
+    unit = Campaign(config).ping_units()[0]
+    wrapped = ChaosUnit(unit, ChaosSpec(), str(tmp_path))
+    assert wrapped.config is unit.config
+    journal = Journal(tmp_path / "j")
+    assert journal.key_for(wrapped) == journal.key_for(unit)
+
+
+def test_chaos_unit_is_picklable(tmp_path):
+    unit = ChaosUnit(EchoUnit(3), ChaosSpec(raise_on=(2,)),
+                     str(tmp_path))
+    clone = pickle.loads(pickle.dumps(unit))
+    assert clone == unit
+
+
+def test_raise_strikes_only_chosen_attempts(tmp_path):
+    unit = ChaosUnit(EchoUnit(1), ChaosSpec(raise_on=(1, 3)),
+                     str(tmp_path))
+    with pytest.raises(ChaosError, match="attempt 1"):
+        unit.run()
+    assert unit.run() == 1          # attempt 2 is calm
+    with pytest.raises(ChaosError, match="attempt 3"):
+        unit.run()
+
+
+def test_interrupt_spec_raises_keyboard_interrupt(tmp_path):
+    unit = ChaosUnit(EchoUnit(1), ChaosSpec(interrupt_on=(1,)),
+                     str(tmp_path))
+    with pytest.raises(KeyboardInterrupt):
+        unit.run()
+    assert unit.run() == 1
+
+
+def test_wrap_units_applies_specs_by_label(tmp_path):
+    units = [EchoUnit(v) for v in range(3)]
+    noisy = ChaosSpec(raise_on=(1,))
+    wrapped = wrap_units(units, tmp_path, {"echo:1": noisy})
+    assert [w.inner for w in wrapped] == units
+    assert wrapped[1].spec is noisy
+    assert wrapped[0].spec == ChaosSpec() == wrapped[2].spec
+
+
+def test_seeded_chaos_injections_are_replayable(tmp_path):
+    units = [EchoUnit(v) for v in range(20)]
+    _, first = seeded_chaos(units, tmp_path / "a", seed=3,
+                            p_raise=0.3, p_hang=0.2, max_attempt=2)
+    _, second = seeded_chaos(units, tmp_path / "b", seed=3,
+                             p_raise=0.3, p_hang=0.2, max_attempt=2)
+    assert first == second
+    assert first and all(isinstance(i, ChaosInjection) for i in first)
+    assert {i.fault for i in first} <= {"raise", "hang"}
+    assert all(1 <= i.attempt <= 2 for i in first)
+    wrapped, none = seeded_chaos(units, tmp_path / "c", seed=3)
+    assert none == []               # zero probabilities: all calm
+    assert all(w.spec == ChaosSpec() for w in wrapped)
+
+
+def test_seeded_chaos_rejects_bad_parameters(tmp_path):
+    with pytest.raises(ConfigurationError, match="probabilities"):
+        seeded_chaos([], tmp_path, p_raise=0.8, p_kill=0.4)
+    with pytest.raises(ConfigurationError, match="max_attempt"):
+        seeded_chaos([], tmp_path, max_attempt=0)

@@ -84,6 +84,24 @@ def test_cancellation_race_is_clean_on_correct_engine():
     assert sim.events_processed == 3
 
 
+def test_assert_cancellation_clean_raises_when_victims_fire(monkeypatch):
+    # Break cancellation on purpose: with Event.cancel a no-op, the
+    # victim of every race fires, and the checker must say so instead
+    # of silently passing (the failure mode is itself under test).
+    from repro.netsim.engine import Event
+
+    monkeypatch.setattr(Event, "cancel", lambda self: None)
+    sim = Simulator()
+    plan = FaultPlan(seed=5)
+    plan.inject_cancellation_race(0.5)
+    plan.inject_cancellation_race(1.0)
+    plan.arm(sim)
+    sim.run()
+    with pytest.raises(AssertionError,
+                       match=r"2 cancelled event\(s\) fired"):
+        plan.assert_cancellation_clean()
+
+
 def test_satellite_outage_forces_handover_at_boundary():
     scheduler = SatelliteScheduler(
         Constellation(), default_terminal(), STARLINK_GATEWAYS, seed=0)
