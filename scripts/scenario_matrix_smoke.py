@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""CI smoke test: miniature campaigns across disruption scenarios.
+
+Runs the micro campaign under ``clear_sky``, ``rain_fade`` and
+``sat_outage``, pins each scenario's dataset digest (the determinism
+gate for the disruption subsystem: schedules, installers and hardened
+apps must all stay bit-reproducible), writes every availability
+report into an output directory (uploaded as a CI artifact), and
+asserts the ``sat_outage`` run detects a *recovered* outage episode.
+
+Run from the repository root (CI job ``scenario-matrix-smoke``)::
+
+    PYTHONPATH=src python scripts/scenario_matrix_smoke.py --out DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.availability import analyze_availability
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.reporting import render_availability
+from repro.testing.digest import digest_dataset
+from repro.units import minutes
+
+#: Scenario -> expected dataset digest for :func:`smoke_config`,
+#: seed 0, serial run. A mismatch means a disruption code path (or
+#: anything under it) stopped being deterministic, or changed
+#: behaviour without updating the pin.
+PINNED = {
+    "clear_sky": "95022a386c1e4e8b8ab33efb39c76fcd"
+                 "eff18768096c5ea9156bd352f2f5575e",
+    "rain_fade": "e7b40b7e07bc9dce0ac4316bc294edad"
+                 "347ad04d242648e93f611c1e18118e1d",
+    "sat_outage": "b91f1ae0b9c6a975f6612bfe6407e1b2"
+                  "ea1640bfa3e01e9658fb266f3f437f07",
+}
+
+
+def smoke_config(scenario: str) -> CampaignConfig:
+    return CampaignConfig(
+        seed=0, scenario=scenario,
+        ping_days=1.0, ping_interval_s=minutes(60),
+        speedtest_epochs=1, speedtest_measure_s=0.5,
+        speedtest_warmup_s=0.5, satcom_warmup_s=2.0,
+        bulk_per_direction=1, bulk_bytes=500_000,
+        messages_per_direction=1, messages_duration_s=1.5,
+        web_sites=3, web_visits_per_site=1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="scenario-reports",
+                        help="directory for the availability reports")
+    args = parser.parse_args()
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    failures: list[str] = []
+    reports = {}
+    for scenario, pinned in PINNED.items():
+        data = Campaign(smoke_config(scenario)).run_all()
+        digest = digest_dataset(data)
+        report = analyze_availability(data, scenario=scenario)
+        reports[scenario] = report
+        (out / f"availability_{scenario}.txt").write_text(
+            render_availability(report) + "\n")
+        ok = digest == pinned
+        print(f"{scenario}: digest {digest[:16]}... "
+              f"{'ok' if ok else 'MISMATCH'}; availability "
+              f"{report.availability_pct:.2f}%, "
+              f"{len(report.episodes)} episode(s)")
+        if not ok:
+            failures.append(f"{scenario}: digest {digest} != pinned "
+                            f"{pinned}")
+
+    recovered = [ep for ep in reports["sat_outage"].episodes
+                 if ep.recovered]
+    if not recovered:
+        failures.append("sat_outage: expected at least one recovered "
+                        "outage episode, found none")
+    else:
+        ep = recovered[0]
+        print(f"sat_outage episode: start t+{ep.start_t:.0f}s, "
+              f"span {ep.duration_s:.0f}s, time to recovery "
+              f"{ep.time_to_recovery_s:.0f}s")
+    if reports["clear_sky"].episodes:
+        failures.append("clear_sky: detected outage episodes on an "
+                        "undisrupted campaign")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"scenario-matrix-smoke: OK — {len(PINNED)} scenarios, "
+          f"reports in {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

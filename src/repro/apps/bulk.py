@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.apps.outcome import MeasurementOutcome, outcome_field
+from repro.errors import MeasurementError
 from repro.netsim.node import Host
 from repro.transport.quic import H3Client, H3Server, QuicConfig
 from repro.units import mb, to_mbps
@@ -36,6 +38,13 @@ class BulkTransferResult:
     loss_event_durations_s: list[float] = field(default_factory=list)
     #: Length (packets) of each loss burst on the receiver.
     loss_burst_lengths: list[int] = field(default_factory=list)
+    #: Arrival time of the packet preceding each loss burst — when
+    #: the burst *started* on the wire, used by the availability
+    #: analysis to attribute bursts to 15 s reallocation boundaries.
+    #: Digest-excluded: observability layered on the measured payload.
+    loss_event_times_s: list[float] = field(
+        default_factory=list, metadata={"digest": False})
+    outcome: MeasurementOutcome = outcome_field()
 
     @property
     def loss_ratio(self) -> float:
@@ -55,14 +64,23 @@ class BulkTransferResult:
 def run_bulk_transfer(client: Host, server: Host, direction: str,
                       payload_bytes: int = mb(100), port: int = 443,
                       timeout_s: float = 120.0,
-                      config: QuicConfig | None = None
+                      config: QuicConfig | None = None,
+                      stall_timeout_s: float | None = 45.0
                       ) -> BulkTransferResult:
     """Run one H3 transfer and collect measurements.
 
     Drives the client's simulator until completion or ``timeout_s``.
+    ``stall_timeout_s`` bounds how long the transfer may make zero
+    receiver-side progress before the run is abandoned as stalled
+    (long enough, by default, to ride out a two-slot satellite
+    blackout and observe the recovery); ``None`` disables stall
+    detection. The checks only *read* simulator state, so a transfer
+    that never stalls is bit-identical to one run without them.
     """
     if direction not in ("down", "up"):
-        raise ValueError(f"direction must be down/up, got {direction!r}")
+        raise MeasurementError(
+            f"bulk transfer: direction must be down/up, "
+            f"got {direction!r}")
     sim = client.sim
     config = config or QuicConfig()
     config.record_arrivals = True
@@ -76,8 +94,28 @@ def run_bulk_transfer(client: Host, server: Host, direction: str,
         result_handle = h3_client.post(payload_bytes)
     start = sim.now
     deadline = start + timeout_s
+
+    def receiver_progress() -> int:
+        conn = (h3_client.connection if direction == "down"
+                else next(iter(h3_server.connections.values()), None))
+        if conn is None:
+            return -1
+        max_pn = conn.received_pns.max_value
+        return -1 if max_pn is None else max_pn
+
+    stalled = False
+    last_progress = receiver_progress()
+    progress_at = start
     while sim.now < deadline and not result_handle.complete:
         sim.run(until=min(deadline, sim.now + 1.0))
+        progress = receiver_progress()
+        if progress != last_progress:
+            last_progress = progress
+            progress_at = sim.now
+        elif stall_timeout_s is not None \
+                and sim.now - progress_at >= stall_timeout_s:
+            stalled = True
+            break
 
     client_conn = h3_client.connection
     server_conn = next(iter(h3_server.connections.values()), None)
@@ -99,24 +137,46 @@ def run_bulk_transfer(client: Host, server: Host, direction: str,
         result.receiver_lost_pns = receiver.receiver_lost_pns()
         max_pn = receiver.received_pns.max_value
         result.receiver_max_pn = max_pn if max_pn is not None else 0
-        bursts, durations = _loss_events(receiver)
+        bursts, durations, times = _loss_events(receiver)
         result.loss_burst_lengths = bursts
         result.loss_event_durations_s = durations
+        result.loss_event_times_s = times
+
+    elapsed = sim.now - start
+    if result_handle.complete:
+        result.outcome = MeasurementOutcome(elapsed_s=elapsed)
+    elif stalled:
+        result.outcome = MeasurementOutcome(
+            "stalled",
+            detail=f"no receiver progress for {stall_timeout_s:.0f}s "
+                   f"(last packet number {last_progress})",
+            elapsed_s=elapsed)
+    elif last_progress < 0 and client_conn.stats.handshake_rtt is None:
+        result.outcome = MeasurementOutcome(
+            "unreachable", detail="QUIC handshake never completed",
+            elapsed_s=elapsed)
+    else:
+        result.outcome = MeasurementOutcome(
+            "timed_out",
+            detail=f"transfer incomplete after {timeout_s:.0f}s",
+            elapsed_s=elapsed)
 
     h3_client.close()
     h3_server.close()
     return result
 
 
-def _loss_events(receiver) -> tuple[list[int], list[float]]:
-    """Loss bursts and their durations from the receiver's capture.
+def _loss_events(receiver) -> tuple[list[int], list[float], list[float]]:
+    """Loss bursts, their durations and start times, receiver capture.
 
     A burst is a run of consecutive missing packet numbers; its
     duration is the arrival-time distance between the packets that
-    bracket the gap (what a client-side pcap shows).
+    bracket the gap (what a client-side pcap shows) and its start
+    time is the arrival of the packet preceding the gap.
     """
     bursts = [length for _, length in receiver.received_pns.gap_runs()]
     durations: list[float] = []
+    times: list[float] = []
     log = receiver.arrival_log
     if log:
         # Map pn -> arrival for gap boundaries.
@@ -127,4 +187,5 @@ def _loss_events(receiver) -> tuple[list[int], list[float]]:
             if before is not None and after is not None \
                     and after > before:
                 durations.append(after - before)
-    return bursts, durations
+                times.append(before)
+    return bursts, durations, times

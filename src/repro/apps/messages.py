@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.apps.outcome import MeasurementOutcome, outcome_field
+from repro.errors import MeasurementError
 from repro.netsim.node import Host
 from repro.rng import make_rng
 from repro.transport.quic import QuicConfig, QuicServer, open_connection
@@ -42,6 +44,7 @@ class MessagesResult:
     loss_event_durations_s: list[float] = field(default_factory=list)
     bytes_sent: int = 0
     duration_s: float = 0.0
+    outcome: MeasurementOutcome = outcome_field()
 
     @property
     def loss_ratio(self) -> float:
@@ -70,7 +73,9 @@ def run_messages_workload(client: Host, server: Host, direction: str,
     simulator for ``duration_s`` plus a drain tail.
     """
     if direction not in ("down", "up"):
-        raise ValueError(f"direction must be down/up, got {direction!r}")
+        raise MeasurementError(
+            f"messages workload: direction must be down/up, "
+            f"got {direction!r}")
     sim = client.sim
     rng = make_rng((seed, "messages", direction))
     config = QuicConfig(record_arrivals=True)
@@ -140,6 +145,24 @@ def run_messages_workload(client: Host, server: Host, direction: str,
             after = arrival.get(gap_start + length)
             if before is not None and after is not None and after > before:
                 result.loss_event_durations_s.append(after - before)
+
+    # Outcome classification: the run window always terminates; what
+    # can fail under adverse conditions is the connection (never
+    # established -> nothing sent) or delivery (messages sent but
+    # none completed inside the window).
+    elapsed = sim.now - start
+    if sent["count"] == 0:
+        result.outcome = MeasurementOutcome(
+            "unreachable",
+            detail="connection never established; no message sent",
+            elapsed_s=elapsed)
+    elif not completions:
+        result.outcome = MeasurementOutcome(
+            "stalled",
+            detail=f"{sent['count']} message(s) sent, none delivered",
+            elapsed_s=elapsed)
+    else:
+        result.outcome = MeasurementOutcome(elapsed_s=elapsed)
 
     q_client.close()
     q_server.close()

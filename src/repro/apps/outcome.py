@@ -1,0 +1,70 @@
+"""Structured outcomes for hardened measurement apps.
+
+Under adverse network conditions (rain fade, satellite blackouts,
+route withdrawals, flash load) the measurement tools must yield
+*data, not crashes or hangs*. Every app therefore classifies how its
+run ended into a :class:`MeasurementOutcome` attached to its result
+object:
+
+* ``ok`` -- the measurement completed normally (possibly with loss;
+  loss is data, not a failure);
+* ``timed_out`` -- the per-measurement deadline expired while the
+  measurement was still making progress;
+* ``stalled`` -- progress ceased for longer than the stall window
+  while the measurement was under way;
+* ``unreachable`` -- the target never answered at all (no handshake,
+  no reply, no hop).
+
+Outcome fields ride on the result dataclasses with
+``field(metadata={"digest": False})``: they are bookkeeping layered on
+top of the measured payload, so dataset digests of undisturbed
+(``clear_sky``) runs stay bit-identical to pre-outcome versions of
+this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The closed set of outcome states.
+OUTCOME_STATUSES = ("ok", "timed_out", "stalled", "unreachable")
+
+
+@dataclass(frozen=True)
+class MeasurementOutcome:
+    """How one measurement run ended."""
+
+    status: str = "ok"
+    #: Human-readable cause, e.g. ``"no handshake within 8.0s"``.
+    detail: str = ""
+    #: Wall-clock (simulated) seconds the measurement ran for.
+    elapsed_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in OUTCOME_STATUSES:
+            raise ValueError(
+                f"outcome status must be one of {OUTCOME_STATUSES}, "
+                f"got {self.status!r}")
+
+    @property
+    def is_ok(self) -> bool:
+        """Whether the measurement completed normally."""
+        return self.status == "ok"
+
+    def __str__(self) -> str:
+        if self.detail:
+            return f"{self.status} ({self.detail})"
+        return self.status
+
+
+#: Shared default: a clean completion.
+OK = MeasurementOutcome()
+
+
+def outcome_field():
+    """Dataclass field holding a result's :class:`MeasurementOutcome`.
+
+    Digest-excluded (see module docstring) so that adding outcomes to
+    a result type does not change the digest of undisturbed runs.
+    """
+    return field(default=OK, metadata={"digest": False})

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.apps.outcome import MeasurementOutcome, outcome_field
 from repro.netsim.node import Host
 from repro.netsim.packet import IcmpMessage, IcmpType, Packet
 
@@ -29,6 +30,7 @@ class PingResult:
     sent: int = 0
     received: int = 0
     rtts: list[float] = field(default_factory=list)
+    outcome: MeasurementOutcome = outcome_field()
 
     @property
     def loss_ratio(self) -> float:
@@ -88,12 +90,26 @@ def ping(host: Host, target: str, count: int = 3,
     """Run ``count`` echo probes and wait for replies.
 
     Drives the host's simulator; returns after all probes have been
-    answered or ``timeout`` has elapsed past the last probe.
+    answered or ``timeout`` has elapsed past the last probe. The ICMP
+    binding is released unconditionally — a permanent outage (no
+    reply ever arrives) must not leave a listener behind, and late
+    replies must not mutate a result that was already returned.
     """
     client = PingClient(host, target)
     sim = host.sim
-    for seq in range(count):
-        sim.schedule(seq * interval, client.send_probe, seq)
-    sim.run(until=sim.now + (count - 1) * interval + timeout)
-    client.close()
-    return client.result
+    start = sim.now
+    try:
+        for seq in range(count):
+            sim.schedule(seq * interval, client.send_probe, seq)
+        sim.run(until=sim.now + (count - 1) * interval + timeout)
+    finally:
+        client.close()
+    result = client.result
+    if result.sent > 0 and result.received == 0:
+        result.outcome = MeasurementOutcome(
+            "unreachable",
+            detail=f"{result.sent} probe(s) to {target}, no reply",
+            elapsed_s=sim.now - start)
+    else:
+        result.outcome = MeasurementOutcome(elapsed_s=sim.now - start)
+    return result

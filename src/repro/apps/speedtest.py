@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.apps.outcome import MeasurementOutcome, outcome_field
+from repro.errors import MeasurementError
 from repro.netsim.node import Host
 from repro.transport.tcp import TcpConfig, TcpServer, tcp_connect
 from repro.units import mb, to_mbps
@@ -25,6 +27,7 @@ class SpeedtestResult:
     measured_bytes: int
     measure_window_s: float
     handshake_rtts: list[float] = field(default_factory=list)
+    outcome: MeasurementOutcome = outcome_field()
 
     @property
     def throughput_bps(self) -> float:
@@ -81,7 +84,8 @@ def run_speedtest(client: Host, server: Host, direction: str,
             conn.on_established = (lambda conn=conn:
                                    conn.send(payload_bytes))
     else:
-        raise ValueError(f"direction must be down/up, got {direction!r}")
+        raise MeasurementError(
+            f"speedtest: direction must be down/up, got {direction!r}")
 
     start = sim.now
 
@@ -101,7 +105,25 @@ def run_speedtest(client: Host, server: Host, direction: str,
         conn.close()
     server_app.close()
 
+    # Outcome classification: the test window always terminates (the
+    # simulator is driven to a fixed horizon), so the failure modes
+    # are no-handshake (unreachable) and no-progress (stalled).
+    elapsed = sim.now - start
+    if counters["bytes"] > 0:
+        outcome = MeasurementOutcome(elapsed_s=elapsed)
+    elif not handshakes:
+        outcome = MeasurementOutcome(
+            "unreachable",
+            detail=f"0/{connections} TCP handshakes completed",
+            elapsed_s=elapsed)
+    else:
+        outcome = MeasurementOutcome(
+            "stalled",
+            detail="connections established but no byte delivered "
+                   "inside the measurement window",
+            elapsed_s=elapsed)
+
     return SpeedtestResult(
         direction=direction, connections=connections,
         measured_bytes=counters["bytes"], measure_window_s=measure_s,
-        handshake_rtts=handshakes)
+        handshake_rtts=handshakes, outcome=outcome)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.apps.outcome import MeasurementOutcome, outcome_field
 from repro.netsim.node import Host
 from repro.netsim.packet import IcmpMessage, IcmpType, Packet, Protocol
 
@@ -51,6 +52,7 @@ class TraceboxReport:
 
     #: Header fields observed on the SYN-ACK itself.
     syn_ack_headers: dict = field(default_factory=dict)
+    outcome: MeasurementOutcome = outcome_field()
 
     @property
     def pep_detected(self) -> bool:
@@ -121,30 +123,44 @@ def tracebox(host: Host, target: str, target_port: int = 80,
                 syn_ack["from"] = packet.src
                 syn_ack["headers"] = dict(packet.headers)
 
+    start = sim.now
     host.bind_icmp(ident, on_icmp)
     local_port = host.allocate_port()
     host.bind(Protocol.TCP, local_port, on_tcp)
+    try:
+        for ttl in range(1, max_ttl + 1):
+            headers = {
+                "probe_ident": ident, "probe_ttl": ttl,
+                "tcp_seq": 1_000_000 + ttl,
+                "tcp_options": "mss;ws;sackOK;ts",
+                "tcp_flags": "SYN",
+            }
+            packet = Packet(
+                src=host.address, dst=target, protocol=Protocol.TCP,
+                size=60, src_port=local_port, dst_port=target_port,
+                ttl=ttl, payload=("ctrl", "SYN"), headers=headers)
+            sent_headers[ttl] = dict(packet.headers)
+            host.send(packet)
+        sim.run(until=sim.now + probe_timeout)
+    finally:
+        # Unconditional unbind: a probe swallowed by a permanent
+        # outage must not leave listeners behind.
+        host.unbind_icmp(ident)
+        host.unbind(Protocol.TCP, local_port)
 
-    for ttl in range(1, max_ttl + 1):
-        headers = {
-            "probe_ident": ident, "probe_ttl": ttl,
-            "tcp_seq": 1_000_000 + ttl,
-            "tcp_options": "mss;ws;sackOK;ts",
-            "tcp_flags": "SYN",
-        }
-        packet = Packet(
-            src=host.address, dst=target, protocol=Protocol.TCP,
-            size=60, src_port=local_port, dst_port=target_port,
-            ttl=ttl, payload=("ctrl", "SYN"), headers=headers)
-        sent_headers[ttl] = dict(packet.headers)
-        host.send(packet)
-    sim.run(until=sim.now + probe_timeout)
-    host.unbind_icmp(ident)
-    host.unbind(Protocol.TCP, local_port)
+    elapsed = sim.now - start
+    if not findings and syn_ack["from"] is None:
+        outcome = MeasurementOutcome(
+            "unreachable",
+            detail=f"no hop and no SYN-ACK within {probe_timeout:.0f}s",
+            elapsed_s=elapsed)
+    else:
+        outcome = MeasurementOutcome(elapsed_s=elapsed)
 
     return TraceboxReport(
         target=target,
         findings=[findings[ttl] for ttl in sorted(findings)],
         syn_ack_from_destination=(syn_ack["from"] == target),
         syn_ack_source=syn_ack["from"],
-        syn_ack_headers=syn_ack.get("headers", {}))
+        syn_ack_headers=syn_ack.get("headers", {}),
+        outcome=outcome)

@@ -9,8 +9,9 @@ probes to high ports and collects ICMP Time-Exceeded origins.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.apps.outcome import MeasurementOutcome, outcome_field
 from repro.netsim.node import Host
 from repro.netsim.packet import IcmpMessage, IcmpType, Packet, Protocol
 
@@ -30,19 +31,38 @@ class TracerouteHop:
     reached_destination: bool = False
 
 
-def traceroute(host: Host, target: str, max_ttl: int = 16,
-               probe_timeout: float = 3.0) -> list[TracerouteHop]:
+@dataclass
+class TracerouteResult:
+    """Full outcome of one trace: hops plus outcome classification."""
+
+    target: str
+    hops: list[TracerouteHop] = field(default_factory=list)
+    probes_sent: int = 0
+    outcome: MeasurementOutcome = outcome_field()
+
+    @property
+    def reached(self) -> bool:
+        """Whether the destination itself answered."""
+        return any(h.reached_destination or h.address == self.target
+                   for h in self.hops)
+
+
+def traceroute_probe(host: Host, target: str, max_ttl: int = 16,
+                     probe_timeout: float = 3.0,
+                     retries: int = 1) -> TracerouteResult:
     """Discover the path from ``host`` to ``target``.
 
-    Sends one probe per TTL (the simulator is lossless for these
-    control paths unless an outage is active). Returns hops in TTL
-    order; stops at ``max_ttl`` or when the destination answers.
+    Sends one probe per TTL, then up to ``retries`` bounded re-probe
+    rounds for TTLs still unanswered (an outage can swallow a single
+    probe without meaning the hop is dark). The ICMP binding is
+    released unconditionally, so a permanent outage leaves no
+    listener behind and the engine can go idle.
     """
     sim = host.sim
     ident = next(_probe_idents)
     hops: dict[int, TracerouteHop] = {}
     sent_at: dict[int, float] = {}
-    done = {"reached": False}
+    start = sim.now
 
     def on_icmp(packet: Packet) -> None:
         message: IcmpMessage = packet.payload
@@ -62,14 +82,8 @@ def traceroute(host: Host, target: str, max_ttl: int = 16,
                     ttl=ttl, address=message.origin,
                     rtt=sim.now - sent_at.get(ttl, sim.now),
                     reached_destination=(message.origin == target))
-                done["reached"] = done["reached"] or (
-                    message.origin == target)
 
-    host.bind_icmp(ident, on_icmp)
-
-    # Destination hosts answer the high-port probe with an ICMP
-    # port-unreachable, which marks the trace as complete.
-    for ttl in range(1, max_ttl + 1):
+    def send_probe(ttl: int) -> None:
         packet = Packet(
             src=host.address, dst=target, protocol=Protocol.UDP,
             size=60, src_port=ident, dst_port=TRACEROUTE_PORT + ttl,
@@ -77,12 +91,52 @@ def traceroute(host: Host, target: str, max_ttl: int = 16,
             headers={"probe_ident": ident, "probe_ttl": ttl})
         sent_at[ttl] = sim.now
         host.send(packet)
-    sim.run(until=sim.now + probe_timeout)
-    host.unbind_icmp(ident)
+
+    probes_sent = 0
+    host.bind_icmp(ident, on_icmp)
+    try:
+        # Destination hosts answer the high-port probe with an ICMP
+        # port-unreachable, which marks the trace as complete.
+        for attempt in range(1 + max(0, retries)):
+            missing = [ttl for ttl in range(1, max_ttl + 1)
+                       if ttl not in hops]
+            if attempt > 0 and (not missing
+                                or any(h.reached_destination
+                                       for h in hops.values())):
+                break
+            for ttl in missing:
+                send_probe(ttl)
+                probes_sent += 1
+            sim.run(until=sim.now + probe_timeout)
+    finally:
+        host.unbind_icmp(ident)
+
     path = []
     for ttl in sorted(hops):
         hop = hops[ttl]
         path.append(hop)
         if hop.reached_destination or hop.address == target:
             break
-    return path
+    result = TracerouteResult(target=target, hops=path,
+                              probes_sent=probes_sent)
+    if not path:
+        result.outcome = MeasurementOutcome(
+            "unreachable",
+            detail=f"no hop answered {probes_sent} probe(s)",
+            elapsed_s=sim.now - start)
+    elif not result.reached:
+        result.outcome = MeasurementOutcome(
+            "timed_out",
+            detail=f"trace stopped at ttl {path[-1].ttl} "
+                   f"({path[-1].address})",
+            elapsed_s=sim.now - start)
+    else:
+        result.outcome = MeasurementOutcome(elapsed_s=sim.now - start)
+    return result
+
+
+def traceroute(host: Host, target: str, max_ttl: int = 16,
+               probe_timeout: float = 3.0) -> list[TracerouteHop]:
+    """Hop list of :func:`traceroute_probe` (compatibility entry)."""
+    return traceroute_probe(host, target, max_ttl=max_ttl,
+                            probe_timeout=probe_timeout).hops

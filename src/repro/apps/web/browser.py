@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.apps.outcome import MeasurementOutcome, outcome_field
 from repro.apps.web.page import Page
 from repro.rng import make_rng
 
@@ -70,14 +71,22 @@ class VisitResult:
     #: Individual connection-setup durations (TCP+TLS), seconds.
     connection_setup_s: list[float] = field(default_factory=list)
     total_bytes: int = 0
+    outcome: MeasurementOutcome = outcome_field()
 
 
 class BrowserEngine:
-    """Simulates page visits over an access profile."""
+    """Simulates page visits over an access profile.
 
-    def __init__(self, profile: AccessProfile, seed: int = 0):
+    ``visit_deadline_s`` is the watchdog a real browser harness puts
+    on each page load: a visit whose onload exceeds it is classified
+    ``timed_out`` (metrics are still reported — data, not a crash).
+    """
+
+    def __init__(self, profile: AccessProfile, seed: int = 0,
+                 visit_deadline_s: float | None = None):
         self.profile = profile
         self.seed = seed
+        self.visit_deadline_s = visit_deadline_s
 
     def visit(self, page: Page, visit_id: int = 0) -> VisitResult:
         """One visit; deterministic for (page, visit_id, seed)."""
@@ -157,11 +166,20 @@ class BrowserEngine:
 
         onload = t + 0.05  # event dispatch overhead
         speed_index = self._speed_index(first_paint, completion_times)
+        deadline = self.visit_deadline_s
+        if deadline is not None and onload > deadline:
+            outcome = MeasurementOutcome(
+                "timed_out",
+                detail=f"onload {onload:.1f}s exceeded the "
+                       f"{deadline:.0f}s visit deadline",
+                elapsed_s=deadline)
+        else:
+            outcome = MeasurementOutcome(elapsed_s=onload)
         return VisitResult(
             url=page.url, onload_s=onload, speed_index_s=speed_index,
             first_paint_s=first_paint, n_connections=n_connections,
             connection_setup_s=setup_times,
-            total_bytes=page.total_bytes)
+            total_bytes=page.total_bytes, outcome=outcome)
 
     # -- components -----------------------------------------------------
 

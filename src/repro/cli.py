@@ -27,6 +27,14 @@ N`` re-attempts failing units with deterministic backoff,
 re-dispatched to a fresh worker), and ``--failure-policy degrade``
 finishes with partial datasets plus a degradation report instead of
 aborting on the first exhausted unit.
+
+Adverse conditions: ``--scenario NAME`` runs the whole campaign under
+a named disruption scenario (rain fade, satellite outage, gateway
+flap, storm; see :mod:`repro.disrupt`), and the ``availability``
+artefact renders outage episodes, time-to-recovery, the availability
+percentage and slot-aligned loss-burst attribution::
+
+    python -m repro availability --scenario sat_outage
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.availability import analyze_availability
 from repro.core.campaign import Campaign, CampaignConfig, quick_config
 from repro.core.browsing import figure6_browsing
 from repro.core.datasets import CampaignDatasets
@@ -41,6 +50,7 @@ from repro.core.loss_events import table2_loss_ratios
 from repro.core.middlebox import run_middlebox_study
 from repro.core.reporting import (
     coverage_note,
+    render_availability,
     render_degradation,
     render_figure1,
     render_figure2,
@@ -58,13 +68,15 @@ from repro.core.rtt import (
     figure3_loaded_rtt,
 )
 from repro.core.throughput import figure5_throughput
+from repro.disrupt.scenarios import scenario_names
 from repro.errors import JournalError
 from repro.exec.journal import Journal
 from repro.exec.runner import FAILURE_POLICIES, UnitTiming, render_timings
 from repro.units import minutes
 
 ARTEFACTS = ("table1", "fig1", "fig2", "fig3", "table2", "fig4",
-             "fig5", "fig6", "middlebox", "errant", "all")
+             "fig5", "fig6", "middlebox", "errant", "availability",
+             "all")
 
 #: Which campaign datasets each artefact is derived from (for the
 #: per-figure unit-coverage note of degraded runs).
@@ -79,6 +91,8 @@ ARTEFACT_DATASETS = {
     "fig6": ("visits",),
     "middlebox": (),
     "errant": ("pings", "speedtests", "messages"),
+    "availability": ("pings", "speedtests", "bulk", "messages",
+                     "visits"),
 }
 
 
@@ -91,6 +105,8 @@ def _build_config(args: argparse.Namespace) -> CampaignConfig:
         config.ping_interval_s = minutes(20)
     if args.sites is not None:
         config.web_sites = args.sites
+    if args.scenario is not None:
+        config.scenario = args.scenario
     return config
 
 
@@ -171,6 +187,13 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
         _emit(render_figure5(figure5_throughput(speedtests(), bulk())))
     elif name == "fig6":
         _emit(render_figure6(figure6_browsing(visits())))
+    elif name == "availability":
+        data = CampaignDatasets(pings=pings(), bulk=bulk(),
+                                messages=messages(),
+                                speedtests=speedtests(),
+                                visits=visits())
+        _emit(render_availability(analyze_availability(
+            data, scenario=campaign.config.scenario)))
     elif name == "middlebox":
         _emit(render_middlebox(run_middlebox_study(
             seed=campaign.config.seed)))
@@ -206,6 +229,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="override the ping-campaign length")
     parser.add_argument("--sites", type=int, default=None,
                         help="override the web-corpus size")
+    parser.add_argument("--scenario", choices=scenario_names(),
+                        default=None,
+                        help="adverse-conditions scenario the campaign "
+                             "runs under (default clear_sky: disrupt "
+                             "nothing)")
     parser.add_argument("--workers", type=int, default=1,
                         help="campaign worker processes (default 1; "
                              "results are identical for any value)")

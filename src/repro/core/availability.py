@@ -1,0 +1,240 @@
+"""Availability analysis under adverse conditions.
+
+Derives service-availability metrics from the campaign datasets: the
+paper reads outages off the five-month ping series (Sec. 3.2 connects
+loss events to the 15 s reallocation slots), and the disruption
+scenarios of :mod:`repro.disrupt` make those events reproducible. The
+analysis answers three questions:
+
+* **When was the service down?** Outage-episode detection over the
+  pooled anchor ping series: an instant where (nearly) every anchor
+  loses its probe is an outage, consecutive outage instants form an
+  episode, and the first healthy probe afterwards dates the recovery.
+* **How available was it?** Per-scenario availability percentage
+  (fraction of probes answered) plus a tally of the structured
+  :class:`~repro.apps.outcome.MeasurementOutcome` statuses every
+  hardened measurement app reports.
+* **Were losses slot-aligned?** Loss bursts recorded by the bulk
+  transfers are attributed to 15 s reallocation-slot boundaries when
+  they start within a small tolerance of one — the paper's signature
+  evidence that the scheduler, not the medium, drops the packets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.datasets import BulkSample, CampaignDatasets, PingDataset
+
+#: Reallocation-slot length used for loss-burst attribution; mirrors
+#: ``repro.leo.scheduling.SLOT_DURATION``.
+SLOT_DURATION_S = 15.0
+
+#: A probe instant counts as an outage when at least this fraction of
+#: anchors lost their probe (random per-anchor loss never correlates
+#: across anchors; a disruption does).
+DEFAULT_LOSS_THRESHOLD = 0.9
+
+#: Loss bursts starting within this many seconds of a slot boundary
+#: are attributed to the reallocation.
+DEFAULT_SLOT_TOLERANCE_S = 1.0
+
+
+@dataclass(frozen=True)
+class OutageEpisode:
+    """One contiguous loss-of-service interval on the ping series."""
+
+    #: First probe instant with correlated loss.
+    start_t: float
+    #: Last probe instant with correlated loss.
+    end_t: float
+    #: First healthy probe after the episode (NaN: never recovered
+    #: inside the campaign).
+    recovery_t: float
+    #: Probes lost across all anchors during the episode.
+    probes_lost: int
+
+    @property
+    def duration_s(self) -> float:
+        """Observed outage span (last lost minus first lost probe)."""
+        return self.end_t - self.start_t
+
+    @property
+    def recovered(self) -> bool:
+        """Whether service came back before the campaign ended."""
+        return not math.isnan(self.recovery_t)
+
+    @property
+    def time_to_recovery_s(self) -> float:
+        """Outage start to first healthy probe (NaN if unrecovered)."""
+        if not self.recovered:
+            return math.nan
+        return self.recovery_t - self.start_t
+
+
+@dataclass
+class AvailabilityReport:
+    """Everything the availability analysis extracts for one run."""
+
+    scenario: str
+    total_probes: int
+    lost_probes: int
+    episodes: list[OutageEpisode] = field(default_factory=list)
+    #: MeasurementOutcome status -> count, across every dataset.
+    outcome_counts: dict[str, int] = field(default_factory=dict)
+    #: Loss bursts from the bulk transfers and how many of them start
+    #: at a reallocation-slot boundary.
+    total_bursts: int = 0
+    slot_aligned_bursts: int = 0
+
+    @property
+    def availability_pct(self) -> float:
+        """Fraction of ping probes answered, percent."""
+        if self.total_probes == 0:
+            return 100.0
+        return 100.0 * (1.0 - self.lost_probes / self.total_probes)
+
+    @property
+    def slot_aligned_fraction(self) -> float:
+        """Fraction of loss bursts starting on a slot boundary."""
+        if self.total_bursts == 0:
+            return 0.0
+        return self.slot_aligned_bursts / self.total_bursts
+
+
+def _pooled_loss(pings: PingDataset
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(times, lost, total) per unique probe instant, anchor-pooled."""
+    counts: dict[float, list[int]] = {}
+    for times, rtts in pings.series.values():
+        lost_mask = np.isnan(rtts)
+        for t, lost in zip(times.tolist(), lost_mask.tolist()):
+            entry = counts.setdefault(t, [0, 0])
+            entry[0] += int(lost)
+            entry[1] += 1
+    ordered = sorted(counts)
+    lost = np.array([counts[t][0] for t in ordered], dtype=float)
+    total = np.array([counts[t][1] for t in ordered], dtype=float)
+    return np.array(ordered), lost, total
+
+
+def detect_outage_episodes(pings: PingDataset,
+                           loss_threshold: float =
+                           DEFAULT_LOSS_THRESHOLD,
+                           min_probes_lost: int = 2,
+                           max_gap_s: float | None = None
+                           ) -> list[OutageEpisode]:
+    """Find contiguous correlated-loss intervals in the ping series.
+
+    A probe instant is *down* when at least ``loss_threshold`` of the
+    anchors lost their probe there. Down instants separated by no more
+    than ``max_gap_s`` belong to one episode (the default spans one
+    ping round, so an outage covering consecutive rounds coalesces
+    while rounds separated by healthy ones split). Episodes losing
+    fewer than ``min_probes_lost`` probes are discarded as
+    uncorrelated background loss.
+    """
+    times, lost, total = _pooled_loss(pings)
+    if times.size == 0:
+        return []
+    down = (total > 0) & (lost / np.maximum(total, 1.0)
+                          >= loss_threshold)
+    if max_gap_s is None:
+        # Largest spacing between adjacent probe instants == one ping
+        # round; instants one round apart still coalesce.
+        spacing = np.diff(times)
+        max_gap_s = float(spacing.max()) + 1.0 if spacing.size else 1.0
+
+    episodes: list[OutageEpisode] = []
+    down_idx = np.flatnonzero(down)
+    if down_idx.size == 0:
+        return []
+    run_start = down_idx[0]
+    prev = down_idx[0]
+    runs: list[tuple[int, int]] = []
+    for idx in down_idx[1:]:
+        if times[idx] - times[prev] > max_gap_s:
+            runs.append((run_start, prev))
+            run_start = idx
+        prev = idx
+    runs.append((run_start, prev))
+
+    for first, last in runs:
+        probes_lost = int(lost[first:last + 1].sum())
+        if probes_lost < min_probes_lost:
+            continue
+        healthy_after = np.flatnonzero(~down[last + 1:])
+        recovery_t = (float(times[last + 1 + healthy_after[0]])
+                      if healthy_after.size else math.nan)
+        episodes.append(OutageEpisode(
+            start_t=float(times[first]), end_t=float(times[last]),
+            recovery_t=recovery_t, probes_lost=probes_lost))
+    return episodes
+
+
+def slot_aligned_bursts(bulk: list[BulkSample],
+                        slot_duration_s: float = SLOT_DURATION_S,
+                        tolerance_s: float = DEFAULT_SLOT_TOLERANCE_S
+                        ) -> tuple[int, int]:
+    """(aligned, total) loss-burst counts over the bulk transfers.
+
+    A burst is attributed to a reallocation slot when the arrival of
+    the packet preceding the gap falls within ``tolerance_s`` of a
+    multiple of ``slot_duration_s`` on the campaign clock.
+    """
+    aligned = 0
+    total = 0
+    for sample in bulk:
+        for t in sample.result.loss_event_times_s:
+            total += 1
+            offset = t % slot_duration_s
+            if min(offset, slot_duration_s - offset) <= tolerance_s:
+                aligned += 1
+    return aligned, total
+
+
+def outcome_tally(data: CampaignDatasets) -> dict[str, int]:
+    """Status -> count over every MeasurementOutcome in the datasets."""
+    counts: dict[str, int] = {}
+
+    def add(outcome) -> None:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+
+    for outcome in data.pings.outcomes.values():
+        add(outcome)
+    for sample in data.speedtests:
+        add(sample.outcome)
+    for sample in data.bulk:
+        add(sample.outcome)
+    for sample in data.messages:
+        add(sample.outcome)
+    for sample in data.visits:
+        add(sample.outcome)
+    return counts
+
+
+def analyze_availability(data: CampaignDatasets,
+                         scenario: str = "clear_sky",
+                         loss_threshold: float =
+                         DEFAULT_LOSS_THRESHOLD,
+                         min_probes_lost: int = 2,
+                         slot_tolerance_s: float =
+                         DEFAULT_SLOT_TOLERANCE_S
+                         ) -> AvailabilityReport:
+    """Full availability analysis of one campaign's datasets."""
+    lost = sum(int(np.isnan(rtts).sum())
+               for _, rtts in data.pings.series.values())
+    total = sum(int(rtts.size)
+                for _, rtts in data.pings.series.values())
+    aligned, bursts = slot_aligned_bursts(
+        data.bulk, tolerance_s=slot_tolerance_s)
+    return AvailabilityReport(
+        scenario=scenario, total_probes=total, lost_probes=lost,
+        episodes=detect_outage_episodes(
+            data.pings, loss_threshold=loss_threshold,
+            min_probes_lost=min_probes_lost),
+        outcome_counts=outcome_tally(data),
+        total_bursts=bursts, slot_aligned_bursts=aligned)

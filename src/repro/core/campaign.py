@@ -36,6 +36,8 @@ from repro.core.datasets import (
     SpeedtestSample,
     VisitSample,
 )
+from repro.disrupt.apply import apply_to_access, apply_to_scheduler
+from repro.disrupt.scenarios import build_scenario, scenario_names
 from repro.errors import ConfigurationError
 from repro.exec.journal import Journal
 from repro.exec.runner import (
@@ -108,11 +110,19 @@ class CampaignConfig:
     #: Web visits: sites x visits per access technology.
     web_sites: int = 120
     web_visits_per_site: int = 4
+    #: Per-visit watchdog: visits whose onload exceeds it are
+    #: classified ``timed_out`` (metrics still recorded).
+    web_visit_deadline_s: float = 60.0
+    #: Named adverse-conditions scenario (see :mod:`repro.disrupt`).
+    #: ``"clear_sky"`` is guaranteed to disrupt nothing: datasets are
+    #: bit-identical to a build without the disrupt subsystem.
+    scenario: str = "clear_sky"
 
     def __post_init__(self) -> None:
         for name in ("ping_days", "ping_interval_s",
                      "speedtest_warmup_s", "speedtest_measure_s",
-                     "satcom_warmup_s", "messages_duration_s"):
+                     "satcom_warmup_s", "messages_duration_s",
+                     "web_visit_deadline_s"):
             value = getattr(self, name)
             if not value > 0:   # also rejects NaN
                 raise ConfigurationError(
@@ -133,6 +143,12 @@ class CampaignConfig:
             raise ConfigurationError(
                 f"CampaignConfig.ping_loss_prob must be within "
                 f"[0, 1], got {self.ping_loss_prob!r}")
+        if self.scenario not in scenario_names():
+            raise ConfigurationError(
+                f"CampaignConfig.scenario must be one of "
+                f"{scenario_names()}, got {self.scenario!r} (register "
+                "custom scenarios with repro.disrupt.register_scenario "
+                "before building the config)")
 
 
 @dataclass
@@ -147,6 +163,12 @@ class Campaign:
         self.path_model = StarlinkPathModel(
             constellation=self.constellation, timeline=self.timeline,
             seed=self.config.seed)
+        #: Materialised adverse-conditions scenario; clear_sky builds
+        #: an empty schedule and the applications below are no-ops.
+        self.scenario = build_scenario(self.config.scenario,
+                                       self.config)
+        apply_to_scheduler(self.path_model.scheduler,
+                           self.scenario.campaign)
         #: Per-dataset crash-safety bookkeeping from the latest runs;
         #: summarised by :meth:`degradation_report`.
         self._dataset_failures: dict[str, list[UnitFailure]] = {}
@@ -166,9 +188,12 @@ class Campaign:
 
     def _starlink_access(self, epoch: float, run_seed: int
                          ) -> StarlinkAccess:
-        return StarlinkAccess(seed=run_seed, epoch_t=epoch,
-                              timeline=self.timeline,
-                              constellation=self.constellation)
+        access = StarlinkAccess(seed=run_seed, epoch_t=epoch,
+                                timeline=self.timeline,
+                                constellation=self.constellation)
+        apply_to_access(access,
+                        self.scenario.experiment_schedule(epoch))
+        return access
 
     # -- work-unit decomposition -------------------------------------------
 
@@ -326,8 +351,9 @@ class Campaign:
     @staticmethod
     def _merge_pings(payloads) -> PingDataset:
         dataset = PingDataset()
-        for name, times, rtts in payloads:
+        for name, times, rtts, outcome in payloads:
             dataset.series[name] = (times, rtts)
+            dataset.outcomes[name] = outcome
         return dataset
 
     def degradation_report(self) -> DegradationReport:

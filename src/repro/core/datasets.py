@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.apps.bulk import BulkTransferResult
 from repro.apps.messages import MessagesResult
+from repro.apps.outcome import MeasurementOutcome, outcome_field
 from repro.core.anchors import ANCHORS, EUROPEAN_REGIONS, anchor_by_name
 
 
@@ -25,6 +26,10 @@ class PingDataset:
 
     series: dict[str, tuple[np.ndarray, np.ndarray]] = field(
         default_factory=dict)
+    #: Per-anchor measurement outcome (digest-excluded: observability
+    #: layered on the measured payload, not part of it).
+    outcomes: dict[str, MeasurementOutcome] = field(
+        default_factory=dict, metadata={"digest": False})
 
     def anchors(self) -> list[str]:
         """Anchor names present, in canonical order."""
@@ -75,6 +80,7 @@ class SpeedtestSample:
     network: str           # "starlink" | "satcom"
     direction: str         # "down" | "up"
     throughput_mbps: float
+    outcome: MeasurementOutcome = outcome_field()
 
 
 @dataclass
@@ -86,6 +92,11 @@ class BulkSample:
     session: int           # 1 = before Apr 25, 2 = after
     result: BulkTransferResult
 
+    @property
+    def outcome(self) -> MeasurementOutcome:
+        """The transfer's measurement outcome."""
+        return self.result.outcome
+
 
 @dataclass
 class MessagesSample:
@@ -94,6 +105,11 @@ class MessagesSample:
     t: float
     direction: str
     result: MessagesResult
+
+    @property
+    def outcome(self) -> MeasurementOutcome:
+        """The run's measurement outcome."""
+        return self.result.outcome
 
 
 @dataclass
@@ -107,6 +123,7 @@ class VisitSample:
     speed_index_s: float
     n_connections: int
     connection_setup_s: list[float] = field(default_factory=list)
+    outcome: MeasurementOutcome = outcome_field()
 
 
 @dataclass

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.availability import AvailabilityReport
 from repro.core.browsing import BrowsingStats
 from repro.core.loss_events import LossCell
 from repro.core.rtt import Fig1Row, Fig2Series, LoadedRttStats
@@ -228,6 +229,46 @@ def render_figure6(stats: dict[str, BrowsingStats]) -> str:
     lines.append("paper: starlink 2.12 [1.60,2.78] SI 1.82 setup 167; "
                  "satcom 10.91 [8.36,13.59] SI 8.19 setup 2030; "
                  "wired 1.24 SI 1.0")
+    return "\n".join(lines)
+
+
+def render_availability(report: AvailabilityReport) -> str:
+    """Availability under the active disruption scenario.
+
+    Outage episodes with their recovery times, the probe-level
+    availability percentage, slot-aligned loss-burst attribution and
+    the tally of structured measurement outcomes.
+    """
+    lines = [f"Availability report — scenario {report.scenario!r}.",
+             _rule(80),
+             f"probes: {report.total_probes} total, "
+             f"{report.lost_probes} lost -> availability "
+             f"{report.availability_pct:.2f}%"]
+    if report.episodes:
+        lines.append(f"outage episodes: {len(report.episodes)}")
+        for i, ep in enumerate(report.episodes, 1):
+            recovery = (f"recovered at t+{ep.recovery_t:.0f}s "
+                        f"(time to recovery "
+                        f"{ep.time_to_recovery_s:.0f}s)"
+                        if ep.recovered else "NOT recovered")
+            lines.append(
+                f"  #{i}: start t+{ep.start_t:.0f}s  "
+                f"end t+{ep.end_t:.0f}s  span {ep.duration_s:.0f}s  "
+                f"probes lost {ep.probes_lost}  {recovery}")
+    else:
+        lines.append("outage episodes: none")
+    if report.total_bursts:
+        lines.append(
+            f"loss bursts (bulk): {report.total_bursts} total, "
+            f"{report.slot_aligned_bursts} starting on a 15 s "
+            f"reallocation boundary "
+            f"({100 * report.slot_aligned_fraction:.0f}%)")
+    else:
+        lines.append("loss bursts (bulk): none recorded")
+    tally = " ".join(f"{status}={count}" for status, count in
+                     sorted(report.outcome_counts.items()))
+    lines.append(f"measurement outcomes: {tally or 'none'}")
+    lines.append(_rule(80))
     return "\n".join(lines)
 
 

@@ -1,0 +1,43 @@
+"""Adverse-conditions subsystem: seeded, named network disruptions.
+
+Schedules rain-fade attenuation, satellite/gateway outages, exit-PoP
+route withdrawals and load surges into the simulated Starlink access,
+composed into reproducible named scenarios (``clear_sky``,
+``rain_fade``, ``sat_outage``, ``gateway_flap``, ``storm``) selected
+via :class:`repro.core.campaign.CampaignConfig.scenario` or
+``python -m repro ... --scenario NAME``.
+"""
+
+from repro.disrupt.apply import (
+    ScheduledExtraLoss,
+    apply_to_access,
+    apply_to_scheduler,
+)
+from repro.disrupt.scenarios import (
+    DEFAULT_SCENARIO,
+    Scenario,
+    build_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.disrupt.schedule import (
+    CLEAR_SKY,
+    DisruptionSchedule,
+    DisruptionWindow,
+)
+
+__all__ = [
+    "CLEAR_SKY",
+    "DEFAULT_SCENARIO",
+    "DisruptionSchedule",
+    "DisruptionWindow",
+    "Scenario",
+    "ScheduledExtraLoss",
+    "apply_to_access",
+    "apply_to_scheduler",
+    "build_scenario",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

@@ -1,0 +1,215 @@
+"""Named, reproducible adverse-conditions scenarios.
+
+A :class:`Scenario` couples two views of the same weather:
+
+* ``campaign`` — windows on the campaign clock, driving the analytic
+  ping series and the availability analysis (these are what the
+  outage-episode detector must find);
+* ``overlay`` — windows *relative to an experiment epoch*, installed
+  into every packet-level experiment (:class:`repro.leo.access.
+  StarlinkAccess`) the campaign runs under this scenario. Packet
+  epochs are sampled across months, so without the overlay an
+  hour-long storm would almost never intersect a 30-second transfer.
+
+Campaign windows are aligned to ping probe rounds (the builders read
+``config.ping_interval_s``), so a blackout reliably swallows whole
+rounds instead of falling between probes.
+
+Builders are registered in a table; :func:`register_scenario` lets
+tests and downstream studies add their own (the property-based
+no-hang suite generates random ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.disrupt.schedule import DisruptionSchedule, DisruptionWindow
+from repro.errors import DisruptionError
+from repro.units import days
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.campaign import CampaignConfig
+
+#: The scenario every config uses unless told otherwise.
+DEFAULT_SCENARIO = "clear_sky"
+
+#: Gateways the flap scenarios take down (see repro.leo.ground).
+FLAP_GATEWAYS = ("gw-gravelines-fr", "gw-turnhout-be")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named adverse-conditions setup for a whole campaign."""
+
+    name: str
+    campaign: DisruptionSchedule
+    #: Epoch-relative windows for packet-level experiments.
+    overlay: tuple[DisruptionWindow, ...] = ()
+
+    def experiment_schedule(self, epoch_t: float) -> DisruptionSchedule:
+        """The overlay translated to one experiment's epoch."""
+        if not self.overlay:
+            return DisruptionSchedule(name=self.name)
+        return DisruptionSchedule(name=self.name,
+                                  windows=self.overlay).shifted(epoch_t)
+
+    @property
+    def is_clear(self) -> bool:
+        """True when the scenario disrupts nothing at all."""
+        return self.campaign.is_empty and not self.overlay
+
+
+def _round_window(config: "CampaignConfig", first_round: int,
+                  n_rounds: int) -> tuple[float, float]:
+    """Campaign window covering ``n_rounds`` ping rounds.
+
+    Starts one second before the first probe of ``first_round`` and
+    ends one second after the last probe of the last covered round,
+    so every probe of those rounds falls inside.
+    """
+    interval = config.ping_interval_s
+    start = first_round * interval - 1.0
+    end = ((first_round + n_rounds - 1) * interval
+           + config.pings_per_round + 1.0)
+    return start, end
+
+
+def _total_rounds(config: "CampaignConfig") -> int:
+    return max(1, int(days(config.ping_days) // config.ping_interval_s))
+
+
+def _clear_sky(config: "CampaignConfig") -> Scenario:
+    return Scenario(name="clear_sky",
+                    campaign=DisruptionSchedule(name="clear_sky"))
+
+
+def _rain_fade(config: "CampaignConfig") -> Scenario:
+    """Three rain cells across the campaign, one steady over epochs."""
+    total = _total_rounds(config)
+    windows = []
+    for frac, severity in ((0.2, 0.5), (0.5, 0.7), (0.8, 0.6)):
+        first = max(1, int(total * frac))
+        start, end = _round_window(config, first, n_rounds=3)
+        windows.append(DisruptionWindow("fade", start, end,
+                                        severity=severity))
+    overlay = (DisruptionWindow("fade", 0.0, 14_400.0, severity=0.6),)
+    return Scenario(name="rain_fade",
+                    campaign=DisruptionSchedule("rain_fade",
+                                                tuple(windows)),
+                    overlay=overlay)
+
+
+def _sat_outage(config: "CampaignConfig") -> Scenario:
+    """A failed serving satellite: total blackout over >= 2 slots.
+
+    The campaign blackout swallows two consecutive ping rounds, so
+    episode start/end/recovery are exactly derivable; the overlay
+    blackout covers [8 s, 43 s) of every packet experiment — 35 s,
+    i.e. at least two full 15 s reallocation slots.
+    """
+    total = _total_rounds(config)
+    first = max(1, total // 3)
+    start, end = _round_window(config, first, n_rounds=2)
+    campaign = DisruptionSchedule(
+        "sat_outage", (DisruptionWindow("blackout", start, end),))
+    overlay = (DisruptionWindow("blackout", 8.0, 43.0),)
+    return Scenario(name="sat_outage", campaign=campaign,
+                    overlay=overlay)
+
+
+def _gateway_flap(config: "CampaignConfig") -> Scenario:
+    """Gateway maintenance plus an exit-PoP route withdrawal."""
+    total = _total_rounds(config)
+    windows = []
+    for i, gateway in enumerate(FLAP_GATEWAYS):
+        first = max(1, int(total * (0.3 + 0.3 * i)))
+        start, end = _round_window(config, first, n_rounds=2)
+        windows.append(DisruptionWindow("gateway_out", start, end,
+                                        target=gateway))
+    flap_first = max(1, int(total * 0.5))
+    start, end = _round_window(config, flap_first, n_rounds=1)
+    windows.append(DisruptionWindow("blackout", start, end,
+                                    target="route"))
+    overlay = (
+        DisruptionWindow("gateway_out", 0.0, 14_400.0,
+                         target=FLAP_GATEWAYS[0]),
+        DisruptionWindow("blackout", 20.0, 26.0, target="route"),
+    )
+    return Scenario(name="gateway_flap",
+                    campaign=DisruptionSchedule("gateway_flap",
+                                                tuple(windows)),
+                    overlay=overlay)
+
+
+def _storm(config: "CampaignConfig") -> Scenario:
+    """Everything at once: heavy fade, a blackout, a flash crowd."""
+    total = _total_rounds(config)
+    fade_first = max(1, int(total * 0.35))
+    fade_start, fade_end = _round_window(config, fade_first, n_rounds=5)
+    out_first = max(1, int(total * 0.55))
+    out_start, out_end = _round_window(config, out_first, n_rounds=2)
+    surge_first = max(1, int(total * 0.75))
+    surge_start, surge_end = _round_window(config, surge_first,
+                                           n_rounds=3)
+    campaign = DisruptionSchedule("storm", (
+        DisruptionWindow("fade", fade_start, fade_end, severity=0.8),
+        DisruptionWindow("blackout", out_start, out_end),
+        DisruptionWindow("surge", surge_start, surge_end,
+                         severity=0.9),
+    ))
+    overlay = (
+        DisruptionWindow("fade", 0.0, 14_400.0, severity=0.8),
+        DisruptionWindow("blackout", 15.0, 50.0),
+        DisruptionWindow("surge", 0.0, 14_400.0, severity=0.9),
+    )
+    return Scenario(name="storm", campaign=campaign, overlay=overlay)
+
+
+_SCENARIOS: dict[str, Callable[["CampaignConfig"], Scenario]] = {
+    "clear_sky": _clear_sky,
+    "rain_fade": _rain_fade,
+    "sat_outage": _sat_outage,
+    "gateway_flap": _gateway_flap,
+    "storm": _storm,
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, registration order."""
+    return tuple(_SCENARIOS)
+
+
+def register_scenario(name: str,
+                      builder: Callable[["CampaignConfig"], Scenario],
+                      replace: bool = False) -> None:
+    """Add a scenario builder to the registry.
+
+    Used by the property-based no-hang suite to run campaigns under
+    randomly generated schedules; ``replace=True`` allows re-runs in
+    one process.
+    """
+    if name in _SCENARIOS and not replace:
+        raise DisruptionError(
+            f"scenario {name!r} is already registered")
+    _SCENARIOS[name] = builder
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario (built-ins are protected)."""
+    if name in ("clear_sky", "rain_fade", "sat_outage",
+                "gateway_flap", "storm"):
+        raise DisruptionError(
+            f"refusing to unregister built-in scenario {name!r}")
+    _SCENARIOS.pop(name, None)
+
+
+def build_scenario(name: str, config: "CampaignConfig") -> Scenario:
+    """Materialise the named scenario for one campaign config."""
+    builder = _SCENARIOS.get(name)
+    if builder is None:
+        raise DisruptionError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(_SCENARIOS)}")
+    return builder(config)

@@ -74,3 +74,22 @@ class ChaosError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine received unusable data (e.g. empty samples)."""
+
+
+class MeasurementError(ReproError, ValueError):
+    """A measurement app was invoked with unusable arguments.
+
+    Raised by the tools in :mod:`repro.apps` (speedtest, bulk,
+    messages, ...) with the offending measurement named in the
+    message. Derives from :class:`ValueError` too, so legacy callers
+    that caught the apps' original ``ValueError`` keep working.
+    """
+
+
+class DisruptionError(ReproError):
+    """The adverse-conditions subsystem was misused.
+
+    Raised by :mod:`repro.disrupt` for unknown scenario names,
+    contradictory disruption windows or invalid severities -- always
+    naming the offending scenario or window in the message.
+    """

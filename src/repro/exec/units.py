@@ -9,11 +9,14 @@ bytes no matter which process executes it, in which order, or next to
 which other units.
 
 Shared model state (constellation geometry, campaign timeline, the
-analytic path model) is rebuilt once per process and memoised by
-campaign seed in :func:`context_for`. That sharing is safe because
-the model is order-independent by construction: scheduler snapshots
-are seeded per slot, and the fibre/jitter caches are pure memo tables
-whose values depend only on their key and the seed.
+analytic path model, the materialised disruption scenario) is rebuilt
+once per process and memoised per (seed, scenario) in
+:func:`context_for`. That sharing is safe because the model is
+order-independent by construction: scheduler snapshots are seeded per
+slot, and the fibre/jitter caches are pure memo tables whose values
+depend only on their key and the seed. Scenarios get *separate*
+contexts because gateway outages mutate the shared scheduler — a
+clear-sky unit must never see a scheduler another scenario poked.
 """
 
 from __future__ import annotations
@@ -35,12 +38,15 @@ from repro.apps.web.profiles import (
     wired_profile,
 )
 from repro.core.anchors import anchor_by_name
+from repro.apps.outcome import MeasurementOutcome
 from repro.core.datasets import (
     BulkSample,
     MessagesSample,
     SpeedtestSample,
     VisitSample,
 )
+from repro.disrupt.apply import apply_to_access, apply_to_scheduler
+from repro.disrupt.scenarios import Scenario, build_scenario
 from repro.geo.satcom import GeoSatComAccess
 from repro.leo.access import StarlinkAccess, StarlinkPathModel
 from repro.leo.constellation import Constellation
@@ -90,40 +96,59 @@ _WEB_PROFILES = {
 
 @dataclass
 class WorkerContext:
-    """Per-process shared model state for one campaign seed."""
+    """Per-process shared model state for one (seed, scenario)."""
 
     timeline: CampaignTimeline
     constellation: Constellation
     path_model: StarlinkPathModel
+    scenario: Scenario
 
 
-_CONTEXTS: dict[int, WorkerContext] = {}
+_CONTEXTS: dict[tuple, WorkerContext] = {}
 
 
-def context_for(seed: int) -> WorkerContext:
-    """The process-local :class:`WorkerContext` for a campaign seed.
+def context_for(config: "CampaignConfig") -> WorkerContext:
+    """The process-local :class:`WorkerContext` for a campaign config.
 
     Built lazily and memoised, so a worker pays the constellation
-    setup once no matter how many units it executes.
+    setup once no matter how many units it executes. The memo key
+    covers the seed, the scenario name and every config knob the
+    scenario's campaign schedule is derived from, so two configs that
+    would materialise different disruption timelines never share a
+    scheduler.
     """
-    ctx = _CONTEXTS.get(seed)
+    key = (config.seed, config.scenario, config.ping_days,
+           config.ping_interval_s, config.pings_per_round)
+    ctx = _CONTEXTS.get(key)
     if ctx is None:
         timeline = CampaignTimeline()
         constellation = Constellation()
+        scenario = build_scenario(config.scenario, config)
+        path_model = StarlinkPathModel(constellation=constellation,
+                                       timeline=timeline,
+                                       seed=config.seed)
+        # Campaign-scale gateway outages live in the shared scheduler
+        # (a no-op for clear_sky: the empty schedule installs nothing).
+        apply_to_scheduler(path_model.scheduler, scenario.campaign)
         ctx = WorkerContext(
             timeline=timeline, constellation=constellation,
-            path_model=StarlinkPathModel(constellation=constellation,
-                                         timeline=timeline, seed=seed))
-        _CONTEXTS[seed] = ctx
+            path_model=path_model, scenario=scenario)
+        _CONTEXTS[key] = ctx
     return ctx
 
 
 def _starlink_access(config: "CampaignConfig", epoch: float,
                      run_seed: int) -> StarlinkAccess:
-    ctx = context_for(config.seed)
-    return StarlinkAccess(seed=run_seed, epoch_t=epoch,
-                          timeline=ctx.timeline,
-                          constellation=ctx.constellation)
+    ctx = context_for(config)
+    access = StarlinkAccess(seed=run_seed, epoch_t=epoch,
+                            timeline=ctx.timeline,
+                            constellation=ctx.constellation)
+    # Shift the scenario's experiment overlay to this epoch and
+    # install it on the freshly built (private) access. Clear-sky
+    # overlays are empty, and installing an empty schedule touches
+    # neither RNG streams nor the event queue.
+    apply_to_access(access, ctx.scenario.experiment_schedule(epoch))
+    return access
 
 
 @dataclass(frozen=True)
@@ -142,27 +167,50 @@ class PingSeriesUnit:
     def label(self) -> str:
         return f"ping:{self.anchor_name}"
 
-    def run(self) -> tuple[str, np.ndarray, np.ndarray]:
+    def run(self) -> tuple[str, np.ndarray, np.ndarray,
+                           MeasurementOutcome]:
         cfg = self.config
         anchor = anchor_by_name(self.anchor_name)
         rng = make_rng((cfg.seed, "ping-campaign", self.anchor_name))
-        model = context_for(cfg.seed).path_model
+        ctx = context_for(cfg)
+        model = ctx.path_model
+        disruption = ctx.scenario.campaign
         round_times = np.arange(0.0, days(cfg.ping_days),
                                 cfg.ping_interval_s)
         times = []
         rtts = []
+        # Disruption guards are ordered to keep the clear-sky RNG
+        # stream byte-identical to the historical loop: an empty
+        # schedule answers False/0.0 everywhere, so exactly the same
+        # draws happen in exactly the same order.
         for t in round_times:
             pop = model.pop_location(t)
             remote = anchor.remote_rtt_from(pop)
             for probe in range(cfg.pings_per_round):
                 probe_t = t + probe * 1.0
                 times.append(probe_t)
+                if disruption.blackout_at(probe_t):
+                    rtts.append(math.nan)
+                    continue
                 if rng.random() < cfg.ping_loss_prob:
                     rtts.append(math.nan)
                 else:
-                    rtts.append(model.idle_rtt(probe_t, rng,
-                                               remote_rtt_s=remote))
-        return self.anchor_name, np.array(times), np.array(rtts)
+                    extra = disruption.extra_loss_prob(probe_t)
+                    if extra > 0.0 and rng.random() < extra:
+                        rtts.append(math.nan)
+                    else:
+                        rtts.append(model.idle_rtt(probe_t, rng,
+                                                   remote_rtt_s=remote))
+        rtts_arr = np.array(rtts)
+        lost = int(np.isnan(rtts_arr).sum()) if rtts_arr.size else 0
+        if rtts_arr.size and lost == rtts_arr.size:
+            outcome = MeasurementOutcome(
+                "unreachable",
+                detail=f"all {lost} probes to {self.anchor_name} lost")
+        else:
+            outcome = MeasurementOutcome(
+                detail=f"{lost}/{rtts_arr.size} probes lost")
+        return self.anchor_name, np.array(times), rtts_arr, outcome
 
 
 @dataclass(frozen=True)
@@ -199,7 +247,8 @@ class SpeedtestUnit:
             warmup_s=warmup, measure_s=cfg.speedtest_measure_s)
         return SpeedtestSample(t=self.epoch, network=self.network,
                                direction=self.direction,
-                               throughput_mbps=result.throughput_mbps)
+                               throughput_mbps=result.throughput_mbps,
+                               outcome=result.outcome)
 
 
 @dataclass(frozen=True)
@@ -284,7 +333,8 @@ class WebRoundUnit:
         corpus = build_corpus(cfg.web_sites, seed=cfg.seed)
         profile = _WEB_PROFILES[self.network](epoch_t=self.epoch,
                                               seed=cfg.seed)
-        engine = BrowserEngine(profile, seed=cfg.seed + self.visit_id)
+        engine = BrowserEngine(profile, seed=cfg.seed + self.visit_id,
+                               visit_deadline_s=cfg.web_visit_deadline_s)
         visits = []
         for page in corpus:
             result = engine.visit(page, visit_id=self.visit_id)
@@ -293,7 +343,8 @@ class WebRoundUnit:
                 onload_s=result.onload_s,
                 speed_index_s=result.speed_index_s,
                 n_connections=result.n_connections,
-                connection_setup_s=result.connection_setup_s))
+                connection_setup_s=result.connection_setup_s,
+                outcome=result.outcome))
         return visits
 
 

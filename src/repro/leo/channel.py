@@ -68,6 +68,11 @@ class CapacityProcess:
         self._mu_log = math.log(mean_rate) - self._sigma_log ** 2 / 2.0
         #: Multiplier applied on top (campaign events adjust this).
         self.scale = 1.0
+        #: Optional time-varying attenuation, ``t -> factor`` in
+        #: (0, 1] (rain fades, load surges; see :mod:`repro.disrupt`).
+        #: Applied *after* the [min_rate, max_rate] clamp so a deep
+        #: fade is not silently clamped back to min_rate.
+        self.attenuation = None
         self._slot_cache: dict[int, float] = {}
         self._fast_cache: dict[int, float] = {}
 
@@ -105,7 +110,11 @@ class CapacityProcess:
         bucket = int(t // self.fast_bucket_s)
         rate = (self._slot_grant(slot) * self._fast_multiplier(bucket)
                 * self.scale)
-        return min(self.max_rate, max(self.min_rate, rate))
+        rate = min(self.max_rate, max(self.min_rate, rate))
+        attenuation = self.attenuation
+        if attenuation is not None:
+            rate = max(rate * attenuation(t), self.mean_rate * 0.01)
+        return rate
 
 
 @dataclass

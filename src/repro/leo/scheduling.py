@@ -76,6 +76,8 @@ class SatelliteScheduler:
         self._cache: dict[int, PathSnapshot] = {}
         #: Injected satellite outages: (sat_index, start_slot, end_slot).
         self._outages: list[tuple[int, int, int]] = []
+        #: Injected gateway outages: (gw_index, start_slot, end_slot).
+        self._gateway_outages: list[tuple[int, int, int]] = []
         #: Bumped whenever snapshots may change retroactively (outage
         #: injection); downstream per-slot caches key on it to
         #: invalidate without subscribing to individual slots.
@@ -113,9 +115,37 @@ class SatelliteScheduler:
         for slot in range(start_slot, end_slot):
             self._cache.pop(slot, None)
 
+    def add_gateway_outage(self, gateway_name: str, start_slot: int,
+                           end_slot: int) -> None:
+        """Take a gateway out of service for ``[start_slot, end_slot)``.
+
+        Maintenance / weather hook (:mod:`repro.disrupt`): an out
+        gateway is excluded from per-slot gateway selection, so paths
+        re-plan through the remaining gateways — possibly moving the
+        exit PoP, exactly as the paper's traceroutes would observe.
+        Cached snapshots inside the window are recomputed.
+        """
+        names = [gw.name for gw in self.gateways]
+        if gateway_name not in names:
+            raise ConfigurationError(
+                f"unknown gateway {gateway_name!r}; have {names}")
+        if end_slot <= start_slot:
+            raise ConfigurationError(
+                f"gateway outage window is empty: "
+                f"[{start_slot}, {end_slot})")
+        self._gateway_outages.append(
+            (names.index(gateway_name), start_slot, end_slot))
+        self.version += 1
+        for slot in range(start_slot, end_slot):
+            self._cache.pop(slot, None)
+
     def _is_out(self, sat_index: int, slot: int) -> bool:
         return any(sat == sat_index and start <= slot < end
                    for sat, start, end in self._outages)
+
+    def _gw_is_out(self, gw_index: int, slot: int) -> bool:
+        return any(gw == gw_index and start <= slot < end
+                   for gw, start, end in self._gateway_outages)
 
     def _compute_slot(self, slot: int) -> PathSnapshot:
         t = slot * SLOT_DURATION
@@ -130,7 +160,7 @@ class SatelliteScheduler:
         for idx, elev, rng_m in zip(indices, elevations, ranges):
             if self._outages and self._is_out(int(idx), slot):
                 continue
-            gw_choice = self._best_gateway(positions[idx])
+            gw_choice = self._best_gateway(positions[idx], slot)
             if gw_choice is None:
                 continue
             gw_pos_idx, gw_range = gw_choice
@@ -147,12 +177,16 @@ class SatelliteScheduler:
             slot=slot, sat_index=sat_idx, gateway=self.gateways[gw_idx],
             ut_range_m=ut_range, gw_range_m=gw_range, elevation_deg=elev)
 
-    def _best_gateway(self, sat_pos: np.ndarray
+    def _best_gateway(self, sat_pos: np.ndarray, slot: int | None = None
                       ) -> tuple[int, float] | None:
-        """Closest gateway this satellite can serve, or None."""
+        """Closest in-service gateway this satellite can serve."""
         elevations = np.array([
             elevation_angle(gw, sat_pos) for gw in self._gw_ecef])
         usable = np.nonzero(elevations >= GATEWAY_MIN_ELEVATION_DEG)[0]
+        if self._gateway_outages and slot is not None:
+            usable = np.array(
+                [i for i in usable if not self._gw_is_out(int(i), slot)],
+                dtype=int)
         if usable.size == 0:
             return None
         ranges = np.array([

@@ -49,6 +49,12 @@ class Node:
         self._pipe_cache: dict[str, Any] = {}
         self.packets_received = 0
         self.packets_forwarded = 0
+        #: Route-withdrawal state (maintenance / convergence gaps):
+        #: while True the node silently drops everything it would
+        #: send or forward — no ICMP unreachable, exactly like the
+        #: blackhole a withdrawn route leaves before re-convergence.
+        self.blackholed = False
+        self.blackhole_drops = 0
 
     def attach(self, neighbor_name: str, pipe) -> None:
         """Register the egress pipe toward ``neighbor_name``."""
@@ -79,8 +85,23 @@ class Node:
         self._pipe_cache[dst_address] = pipe
         return pipe
 
+    def withdraw_routes(self) -> None:
+        """Enter maintenance: blackhole all traffic through this node.
+
+        Scheduled by :mod:`repro.disrupt` for exit-PoP route
+        withdrawals; idempotent, reversed by :meth:`restore_routes`.
+        """
+        self.blackholed = True
+
+    def restore_routes(self) -> None:
+        """Leave maintenance: resume normal forwarding."""
+        self.blackholed = False
+
     def send(self, packet: Packet) -> None:
         """Originate or forward ``packet`` toward its destination."""
+        if self.blackholed:
+            self.blackhole_drops += 1
+            return
         if packet.dst == self.address:
             # Loopback: deliver without touching the network.
             self.sim.schedule(0.0, self.receive, packet, None)
@@ -204,6 +225,12 @@ class Router(Node):
 
     def receive(self, packet: Packet, pipe) -> None:
         self.packets_received += 1
+        if self.blackholed:
+            # Forwarding path bypasses Node.send, so the maintenance
+            # blackhole must drop here too (and a withdrawn router
+            # does not answer pings either).
+            self.blackhole_drops += 1
+            return
         if packet.dst == self.address:
             self._handle_local(packet)
             return

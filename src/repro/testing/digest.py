@@ -95,6 +95,13 @@ def _feed(h, obj) -> None:
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         h.update(b"\x00D" + type(obj).__name__.encode())
         for f in dataclasses.fields(obj):
+            # Fields declared with ``field(metadata={"digest": False})``
+            # are bookkeeping (measurement outcomes, attribution aids)
+            # layered on top of the measured payload; excluding them
+            # keeps dataset digests comparable across library versions
+            # that merely added observability.
+            if f.metadata.get("digest", True) is False:
+                continue
             h.update(b"\x00f" + f.name.encode())
             _feed(h, getattr(obj, f.name))
     elif isinstance(obj, Mapping):

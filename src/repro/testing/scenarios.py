@@ -16,6 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.disrupt.scenarios import Scenario as DisruptScenario
+from repro.disrupt.scenarios import register_scenario, unregister_scenario
+from repro.disrupt.schedule import DisruptionSchedule, DisruptionWindow
+from repro.leo.ground import STARLINK_GATEWAYS
 from repro.netsim.loss import BernoulliLoss
 from repro.netsim.node import Host
 from repro.netsim.packet import Packet, Protocol
@@ -178,3 +182,87 @@ def _shrink_candidates(sc: Scenario):
         yield replace(sc, n_hosts=sc.n_hosts - 1)
     if sc.horizon_s > 1.0:
         yield replace(sc, horizon_s=max(1.0, sc.horizon_s / 2))
+
+
+# -- random disruption schedules (repro.disrupt) ------------------------
+#
+# The measurement apps promise the no-hang invariant: under *any*
+# valid disruption schedule a campaign terminates and every unit
+# reports a structured MeasurementOutcome. These generators draw
+# arbitrary valid schedules so tests can assert that property instead
+# of spot-checking the five named scenarios.
+
+#: Window kinds the generator draws from; "route" selects a blackout
+#: with route withdrawal (one logical kind, two installers).
+_DISRUPT_DRAW_KINDS = ("fade", "blackout", "route", "gateway_out",
+                       "surge")
+
+
+def random_disruption_windows(seed: int, horizon_s: float,
+                              max_windows: int = 5
+                              ) -> tuple[DisruptionWindow, ...]:
+    """Draw up to ``max_windows`` valid windows in ``[0, horizon_s)``.
+
+    Every structural choice (count, kinds, placement, severity,
+    targets) derives from ``seed`` through :func:`repro.rng.make_rng`,
+    so a schedule is replayable from its seed alone. Windows may
+    overlap — the schedule API composes overlapping effects — and
+    blackouts may start at t=0 (the handshake-loss worst case).
+    """
+    rng = make_rng(("disrupt-windows", seed, max_windows))
+    gateways = [g.name for g in STARLINK_GATEWAYS]
+    windows = []
+    for _ in range(rng.randrange(max_windows + 1)):
+        kind = rng.choice(_DISRUPT_DRAW_KINDS)
+        start = rng.random() * horizon_s * 0.8
+        end = start + 0.5 + rng.random() * (horizon_s - start - 0.5)
+        severity = 0.05 + rng.random() * 0.95
+        if kind == "gateway_out":
+            windows.append(DisruptionWindow(
+                "gateway_out", start, end, target=rng.choice(gateways)))
+        elif kind == "route":
+            windows.append(DisruptionWindow(
+                "blackout", start, end, target="route"))
+        elif kind == "blackout":
+            windows.append(DisruptionWindow("blackout", start, end))
+        else:
+            windows.append(DisruptionWindow(kind, start, end,
+                                            severity=severity))
+    return tuple(windows)
+
+
+def random_disruption_schedule(seed: int, horizon_s: float = 60.0,
+                               max_windows: int = 5
+                               ) -> DisruptionSchedule:
+    """One random valid :class:`DisruptionSchedule` for ``seed``."""
+    return DisruptionSchedule(
+        name=f"random-{seed}",
+        windows=random_disruption_windows(seed, horizon_s,
+                                          max_windows))
+
+
+def register_random_scenario(seed: int, campaign_horizon_s: float,
+                             overlay_horizon_s: float = 30.0,
+                             max_windows: int = 4) -> str:
+    """Register a random scenario; returns its name.
+
+    The campaign schedule covers ``[0, campaign_horizon_s)`` of the
+    analytic ping timeline and the overlay covers
+    ``[0, overlay_horizon_s)`` of every packet experiment. Callers
+    must :func:`repro.disrupt.unregister_scenario` the name when done
+    (tests: use a try/finally).
+    """
+    name = f"random-{seed}"
+
+    def build(config) -> DisruptScenario:
+        return DisruptScenario(
+            name=name,
+            campaign=DisruptionSchedule(
+                name=name,
+                windows=random_disruption_windows(
+                    seed, campaign_horizon_s, max_windows)),
+            overlay=random_disruption_windows(
+                seed + 1, overlay_horizon_s, max_windows))
+
+    register_scenario(name, build)
+    return name

@@ -1,0 +1,169 @@
+"""Hardened-app behaviour under disruptions: structured outcomes,
+bounded execution, and no leaked engine state (the apps must let the
+simulator go idle even when the network never answers)."""
+
+import pytest
+
+from repro.apps.bulk import run_bulk_transfer
+from repro.apps.messages import run_messages_workload
+from repro.apps.outcome import OK, OUTCOME_STATUSES, MeasurementOutcome
+from repro.apps.ping import ping
+from repro.apps.speedtest import run_speedtest
+from repro.apps.traceroute import traceroute_probe
+from repro.apps.web.browser import AccessProfile, BrowserEngine
+from repro.apps.web.corpus import build_page
+from repro.disrupt.apply import apply_to_access
+from repro.disrupt.schedule import DisruptionSchedule, DisruptionWindow
+from repro.leo.access import StarlinkAccess
+from repro.leo.geometry import GeoPoint
+from repro.units import mbps
+
+BRUSSELS = GeoPoint(50.85, 4.35)
+SERVER = "130.104.1.1"
+
+#: A blackout that outlives every test: the worst case the apps must
+#: absorb without hanging or leaking.
+FOREVER = DisruptionSchedule("forever", (
+    DisruptionWindow("blackout", 0.0, 1e9),))
+
+#: Service comes up, then dies mid-measurement and never returns.
+DIES_AT_2S = DisruptionSchedule("dies", (
+    DisruptionWindow("blackout", 2.0, 1e9),))
+
+
+def _access(seed, schedule=None):
+    access = StarlinkAccess(seed=seed)
+    server = access.add_remote_host("server", SERVER, BRUSSELS)
+    access.finalize()
+    if schedule is not None:
+        apply_to_access(access, schedule)
+    return access, server
+
+
+# -- MeasurementOutcome -------------------------------------------------
+
+def test_outcome_rejects_unknown_status():
+    with pytest.raises(ValueError, match="outcome status"):
+        MeasurementOutcome("exploded")
+
+
+def test_outcome_defaults_ok():
+    assert OK.status == "ok"
+    assert MeasurementOutcome().status == "ok"
+    assert set(OUTCOME_STATUSES) == {
+        "ok", "timed_out", "stalled", "unreachable"}
+
+
+# -- ping / traceroute (the leaked-callback regression) -----------------
+
+def test_ping_under_permanent_outage_reports_and_goes_idle():
+    access, _ = _access(seed=10, schedule=FOREVER)
+    result = ping(access.client, SERVER, count=3)
+    assert result.outcome.status == "unreachable"
+    assert result.sent == 3 and result.received == 0
+    # Regression: the ICMP listener must be released even when no
+    # reply ever arrives, and the engine must drain to idle (a leaked
+    # binding used to keep late-reply handlers reachable forever).
+    assert not access.client._icmp_listeners
+    access.sim.run_until_idle(max_events=100_000)
+
+
+def test_traceroute_under_link_blackout_stops_at_the_dish():
+    access, _ = _access(seed=11, schedule=FOREVER)
+    result = traceroute_probe(access.client, SERVER, max_ttl=6,
+                              probe_timeout=2.0)
+    # The dish router answers TTL=1 before the dead space link.
+    assert [h.address for h in result.hops] == ["192.168.1.1"]
+    assert result.outcome.status == "timed_out"
+    assert not access.client._icmp_listeners
+    access.sim.run_until_idle(max_events=100_000)
+
+
+def test_traceroute_distinguishes_route_withdrawal_from_link_loss():
+    schedule = DisruptionSchedule("maint", (
+        DisruptionWindow("blackout", 0.0, 1e9, target="route"),))
+    access, _ = _access(seed=12, schedule=schedule)
+    result = traceroute_probe(access.client, SERVER, max_ttl=6,
+                              probe_timeout=2.0)
+    # Routes withdrawn *behind* the access: both NATs still answer.
+    assert [h.address for h in result.hops] == \
+        ["192.168.1.1", "100.64.0.1"]
+    assert result.outcome.status == "timed_out"
+    access.sim.run_until_idle(max_events=100_000)
+
+
+# -- speedtest ----------------------------------------------------------
+
+def test_speedtest_under_permanent_outage_is_unreachable():
+    access, server = _access(seed=13, schedule=FOREVER)
+    result = run_speedtest(access.client, server, "down",
+                           connections=2, warmup_s=1.0, measure_s=1.0)
+    assert result.outcome.status == "unreachable"
+    assert result.measured_bytes == 0
+    assert result.handshake_rtts == []
+
+
+# -- bulk ---------------------------------------------------------------
+
+def test_bulk_stalls_when_the_link_dies_mid_transfer():
+    access, server = _access(seed=14, schedule=DIES_AT_2S)
+    result = run_bulk_transfer(access.client, server, "down",
+                               payload_bytes=50_000_000,
+                               timeout_s=60.0, stall_timeout_s=5.0)
+    assert result.outcome.status == "stalled"
+    assert not result.completed
+    assert result.handshake_rtt_s is not None
+    assert result.outcome.elapsed_s < 60.0  # gave up well before
+
+
+def test_bulk_unreachable_when_handshake_never_completes():
+    access, server = _access(seed=15, schedule=FOREVER)
+    result = run_bulk_transfer(access.client, server, "down",
+                               payload_bytes=100_000,
+                               timeout_s=5.0, stall_timeout_s=None)
+    assert result.outcome.status == "unreachable"
+    assert result.handshake_rtt_s is None
+
+
+def test_bulk_times_out_without_stall_detection():
+    access, server = _access(seed=16, schedule=DIES_AT_2S)
+    result = run_bulk_transfer(access.client, server, "down",
+                               payload_bytes=500_000_000,
+                               timeout_s=8.0, stall_timeout_s=None)
+    assert result.outcome.status == "timed_out"
+    assert result.outcome.elapsed_s == pytest.approx(8.0)
+
+
+# -- messages -----------------------------------------------------------
+
+def test_messages_unreachable_when_connection_never_establishes():
+    access, server = _access(seed=17, schedule=FOREVER)
+    result = run_messages_workload(access.client, server, "up",
+                                   duration_s=2.0, rate_per_s=5)
+    assert result.outcome.status == "unreachable"
+    assert result.messages_sent == 0
+
+
+# -- browser ------------------------------------------------------------
+
+def _profile(rtt_s, bw):
+    return AccessProfile(
+        name="flat", rtt_sampler=lambda rng: rtt_s,
+        bandwidth_sampler=lambda rng: bw, uplink_bps=bw,
+        has_pep=False, visit_rtt_sigma=0.0)
+
+
+def test_visit_deadline_classifies_slow_pages():
+    page = build_page(1, seed=2)
+    engine = BrowserEngine(_profile(0.6, mbps(2)), seed=1,
+                           visit_deadline_s=0.5)
+    result = engine.visit(page)
+    assert result.outcome.status == "timed_out"
+    assert result.outcome.elapsed_s == pytest.approx(0.5)
+
+
+def test_visit_without_deadline_is_ok():
+    page = build_page(1, seed=2)
+    engine = BrowserEngine(_profile(0.05, mbps(100)), seed=1)
+    result = engine.visit(page)
+    assert result.outcome.status == "ok"

@@ -1,0 +1,174 @@
+"""Tests for the availability analysis (outages, recovery, bursts)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.bulk import BulkTransferResult
+from repro.apps.outcome import MeasurementOutcome
+from repro.core.availability import (
+    AvailabilityReport,
+    OutageEpisode,
+    analyze_availability,
+    detect_outage_episodes,
+    outcome_tally,
+    slot_aligned_bursts,
+)
+from repro.core.datasets import (
+    BulkSample,
+    CampaignDatasets,
+    PingDataset,
+    SpeedtestSample,
+)
+from repro.core.reporting import render_availability
+
+
+def _pings(outage_rounds=(3, 4), lone_loss_at=None, rounds=10,
+           interval=60.0):
+    """Two-anchor dataset: both anchors lose the outage rounds."""
+    times = np.arange(rounds) * interval
+    series = {}
+    for anchor in ("a", "b"):
+        rtts = np.full(rounds, 0.04)
+        for r in outage_rounds:
+            rtts[r] = math.nan
+        if lone_loss_at is not None and anchor == "a":
+            rtts[lone_loss_at] = math.nan
+        series[anchor] = (times.copy(), rtts)
+    return PingDataset(series=series)
+
+
+def test_detects_one_episode_with_recovery():
+    pings = _pings(outage_rounds=(3, 4), lone_loss_at=7)
+    episodes = detect_outage_episodes(pings)
+    assert len(episodes) == 1
+    (ep,) = episodes
+    assert ep.start_t == pytest.approx(180.0)
+    assert ep.end_t == pytest.approx(240.0)
+    assert ep.recovery_t == pytest.approx(300.0)
+    assert ep.probes_lost == 4
+    assert ep.recovered
+    assert ep.time_to_recovery_s == pytest.approx(120.0)
+    assert ep.duration_s == pytest.approx(60.0)
+
+
+def test_uncorrelated_loss_is_not_an_outage():
+    # One anchor losing a probe (50% < 90% threshold) is background
+    # loss, not an episode.
+    pings = _pings(outage_rounds=(), lone_loss_at=5)
+    assert detect_outage_episodes(pings) == []
+
+
+def test_min_probes_lost_filters_blips():
+    pings = _pings(outage_rounds=(3,))
+    assert len(detect_outage_episodes(pings, min_probes_lost=2)) == 1
+    assert detect_outage_episodes(pings, min_probes_lost=3) == []
+
+
+def test_unrecovered_outage_at_campaign_end():
+    pings = _pings(outage_rounds=(8, 9))
+    (ep,) = detect_outage_episodes(pings)
+    assert not ep.recovered
+    assert math.isnan(ep.recovery_t)
+    assert math.isnan(ep.time_to_recovery_s)
+
+
+def test_separate_outages_split_into_episodes():
+    pings = _pings(outage_rounds=(1, 2, 6, 7))
+    episodes = detect_outage_episodes(pings)
+    assert len(episodes) == 2
+    assert episodes[0].end_t < episodes[1].start_t
+
+
+def test_empty_dataset_has_no_episodes():
+    assert detect_outage_episodes(PingDataset()) == []
+
+
+def _bulk_sample(times):
+    result = BulkTransferResult(
+        direction="down", payload_bytes=1_000, completed=True,
+        duration_s=1.0, handshake_rtt_s=0.04,
+        loss_event_times_s=list(times))
+    return BulkSample(t=0.0, direction="down", session=1, result=result)
+
+
+def test_slot_aligned_burst_attribution():
+    # 15.2 and 29.8 are within 1 s of a 15 s boundary; 7.3 is not.
+    aligned, total = slot_aligned_bursts([_bulk_sample([15.2, 7.3,
+                                                        29.8])])
+    assert (aligned, total) == (2, 3)
+
+
+def test_slot_alignment_tolerance():
+    aligned, total = slot_aligned_bursts([_bulk_sample([16.5])],
+                                         tolerance_s=2.0)
+    assert (aligned, total) == (1, 1)
+
+
+def test_outcome_tally_spans_every_dataset():
+    pings = _pings(outage_rounds=())
+    pings.outcomes["a"] = MeasurementOutcome()
+    pings.outcomes["b"] = MeasurementOutcome("unreachable")
+    data = CampaignDatasets(
+        pings=pings,
+        speedtests=[SpeedtestSample(
+            t=0.0, network="starlink", direction="down",
+            throughput_mbps=100.0,
+            outcome=MeasurementOutcome("stalled"))],
+        bulk=[_bulk_sample([])])
+    tally = outcome_tally(data)
+    assert tally == {"ok": 2, "unreachable": 1, "stalled": 1}
+
+
+def test_analyze_availability_assembles_report():
+    data = CampaignDatasets(pings=_pings(outage_rounds=(3, 4)),
+                            bulk=[_bulk_sample([15.2, 7.3])])
+    report = analyze_availability(data, scenario="sat_outage")
+    assert report.scenario == "sat_outage"
+    assert report.total_probes == 20
+    assert report.lost_probes == 4
+    assert report.availability_pct == pytest.approx(80.0)
+    assert len(report.episodes) == 1
+    assert report.total_bursts == 2
+    assert report.slot_aligned_bursts == 1
+    assert report.slot_aligned_fraction == pytest.approx(0.5)
+
+
+def test_availability_pct_of_empty_report_is_100():
+    report = AvailabilityReport(scenario="clear_sky", total_probes=0,
+                                lost_probes=0)
+    assert report.availability_pct == 100.0
+    assert report.slot_aligned_fraction == 0.0
+
+
+def test_render_availability_mentions_the_essentials():
+    data = CampaignDatasets(pings=_pings(outage_rounds=(3, 4)),
+                            bulk=[_bulk_sample([15.2])])
+    data.pings.outcomes["a"] = MeasurementOutcome()
+    text = render_availability(
+        analyze_availability(data, scenario="sat_outage"))
+    assert "scenario 'sat_outage'" in text
+    assert "availability 80.00%" in text
+    assert "outage episodes: 1" in text
+    assert "start t+180s" in text
+    assert "recovered at t+300s" in text
+    assert "time to recovery 120s" in text
+    assert "reallocation boundary" in text
+    assert "ok=2" in text  # the ping anchor plus the bulk sample
+
+
+def test_render_availability_handles_clear_sky():
+    report = AvailabilityReport(scenario="clear_sky",
+                                total_probes=100, lost_probes=0)
+    text = render_availability(report)
+    assert "outage episodes: none" in text
+    assert "loss bursts (bulk): none recorded" in text
+
+
+def test_unrecovered_episode_renders_as_not_recovered():
+    report = AvailabilityReport(
+        scenario="storm", total_probes=10, lost_probes=4,
+        episodes=[OutageEpisode(start_t=60.0, end_t=120.0,
+                                recovery_t=math.nan, probes_lost=4)])
+    assert "NOT recovered" in render_availability(report)

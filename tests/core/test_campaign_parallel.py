@@ -69,7 +69,7 @@ def test_execute_units_preserves_input_order():
     campaign = Campaign(tiny_config())
     units = campaign.ping_units()
     payloads = execute_units(units, workers=2)
-    assert [name for name, _, _ in payloads] \
+    assert [name for name, _, _, _ in payloads] \
         == [u.anchor_name for u in units]
 
 
@@ -114,4 +114,5 @@ def test_ping_unit_is_self_contained():
     alone = digest_value(unit.run())
     via_campaign = Campaign(tiny_config(seed=5)).run_pings()
     assert alone == digest_value(
-        ("be-brussels",) + via_campaign.series["be-brussels"])
+        ("be-brussels",) + via_campaign.series["be-brussels"]
+        + (via_campaign.outcomes["be-brussels"],))

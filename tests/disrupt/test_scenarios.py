@@ -1,0 +1,102 @@
+"""Tests for the named scenario builders and the registry."""
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, quick_config
+from repro.disrupt.scenarios import (
+    Scenario,
+    build_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.disrupt.schedule import DisruptionSchedule
+from repro.errors import ConfigurationError, DisruptionError
+from repro.leo.scheduling import SLOT_DURATION
+
+BUILTINS = ("clear_sky", "rain_fade", "sat_outage", "gateway_flap",
+            "storm")
+
+
+def test_builtin_names_registered():
+    names = scenario_names()
+    for name in BUILTINS:
+        assert name in names
+
+
+def test_every_builtin_builds():
+    config = quick_config(seed=0)
+    for name in BUILTINS:
+        scenario = build_scenario(name, config)
+        assert scenario.name == name
+        assert isinstance(scenario.campaign, DisruptionSchedule)
+
+
+def test_clear_sky_disrupts_nothing():
+    scenario = build_scenario("clear_sky", quick_config(seed=0))
+    assert scenario.is_clear
+    assert scenario.campaign.is_empty
+    assert scenario.experiment_schedule(1234.5).is_empty
+
+
+def test_sat_outage_overlay_spans_two_slots():
+    scenario = build_scenario("sat_outage", quick_config(seed=0))
+    (window,) = scenario.overlay
+    assert window.kind == "blackout"
+    assert window.duration_s >= 2 * SLOT_DURATION
+
+
+def test_sat_outage_campaign_window_covers_probe_rounds():
+    config = quick_config(seed=0)
+    scenario = build_scenario("sat_outage", config)
+    (window,) = scenario.campaign.windows
+    # The blackout must swallow at least two whole probe rounds so the
+    # episode detector has a well-defined start and end.
+    assert window.duration_s > config.ping_interval_s
+
+
+def test_experiment_schedule_shifts_to_epoch():
+    scenario = build_scenario("sat_outage", quick_config(seed=0))
+    base = scenario.overlay[0]
+    shifted = scenario.experiment_schedule(1000.0).windows[0]
+    assert shifted.start_t == pytest.approx(base.start_t + 1000.0)
+    assert shifted.end_t == pytest.approx(base.end_t + 1000.0)
+
+
+def test_register_duplicate_rejected():
+    with pytest.raises(DisruptionError, match="already registered"):
+        register_scenario("clear_sky", lambda config: None)
+
+
+def test_unregister_builtin_rejected():
+    with pytest.raises(DisruptionError, match="built-in"):
+        unregister_scenario("sat_outage")
+
+
+def test_register_and_unregister_custom():
+    def build(config):
+        return Scenario(name="custom",
+                        campaign=DisruptionSchedule(name="custom"))
+
+    register_scenario("custom", build)
+    try:
+        assert "custom" in scenario_names()
+        assert build_scenario("custom", quick_config(seed=0)).is_clear
+    finally:
+        unregister_scenario("custom")
+    assert "custom" not in scenario_names()
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(DisruptionError, match="unknown scenario"):
+        build_scenario("hurricane", quick_config(seed=0))
+
+
+def test_config_validates_scenario_name():
+    with pytest.raises(ConfigurationError):
+        CampaignConfig(seed=0, scenario="hurricane")
+
+
+def test_config_accepts_builtin_scenarios():
+    for name in BUILTINS:
+        assert CampaignConfig(seed=0, scenario=name).scenario == name
