@@ -13,8 +13,11 @@ Artefact generation uses the quick campaign configuration by default;
 ``--full`` switches to the bench-scale configuration (slower, closer
 to the paper's sample counts). ``--workers N`` fans the campaign's
 work units out over N processes — the datasets are bit-identical to
-the serial run — and ``--timing`` prints a per-unit-kind wall-clock
-breakdown after the artefacts. ``--profile DIR`` runs every work unit
+the serial run — and ``--shard-granularity G`` additionally splits
+each splittable unit into up to G shards that the pool steals
+largest-first, so a single long unit no longer caps the speedup
+(again bit-identical for every G). ``--timing`` prints a
+per-unit-kind wall-clock breakdown after the artefacts. ``--profile DIR`` runs every work unit
 under ``cProfile`` and dumps one ``*.pstats`` file per unit into DIR
 (load with :mod:`pstats` to find hot spots).
 
@@ -237,6 +240,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="campaign worker processes (default 1; "
                              "results are identical for any value)")
+    parser.add_argument("--shard-granularity", type=int, default=None,
+                        metavar="G",
+                        help="split each splittable work unit into up "
+                             "to G shards for work-stealing dispatch "
+                             "(default: the config's value, 1); "
+                             "results are identical for any value")
     parser.add_argument("--timing", action="store_true",
                         help="print a per-unit wall-clock breakdown")
     parser.add_argument("--profile", metavar="DIR", default=None,
@@ -270,6 +279,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.shard_granularity is not None \
+            and args.shard_granularity < 1:
+        parser.error(f"--shard-granularity must be >= 1, got "
+                     f"{args.shard_granularity}")
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.resume and args.journal is None:
@@ -294,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         "retry_backoff_s": args.retry_backoff,
         "unit_timeout": args.unit_timeout,
         "failure_policy": args.failure_policy,
+        "granularity": args.shard_granularity,
     }
     names = [a for a in ARTEFACTS if a != "all"] \
         if args.artefact == "all" else [args.artefact]

@@ -113,6 +113,17 @@ class CampaignConfig:
     #: Per-visit watchdog: visits whose onload exceeds it are
     #: classified ``timed_out`` (metrics still recorded).
     web_visit_deadline_s: float = 60.0
+    #: Default shard granularity for the executor: each splittable
+    #: unit is cut into at most this many shards (1 = whole units).
+    #: Output is bit-identical for every granularity; see
+    #: :mod:`repro.exec.sharding`.
+    shard_granularity: int = 1
+    #: Ping rounds per series atom (each chunk has its own derived
+    #: RNG stream, so chunk boundaries never split a stream).
+    ping_shard_rounds: int = 64
+    #: Bulk-transfer segment size: each atom transfers at most this
+    #: many bytes on its own seeded access instance.
+    bulk_segment_bytes: int = mb(4)
     #: Named adverse-conditions scenario (see :mod:`repro.disrupt`).
     #: ``"clear_sky"`` is guaranteed to disrupt nothing: datasets are
     #: bit-identical to a build without the disrupt subsystem.
@@ -131,7 +142,9 @@ class CampaignConfig:
         for name in ("pings_per_round", "speedtest_epochs",
                      "speedtest_connections", "bulk_per_direction",
                      "bulk_bytes", "messages_per_direction",
-                     "web_sites", "web_visits_per_site"):
+                     "web_sites", "web_visits_per_site",
+                     "shard_granularity", "ping_shard_rounds",
+                     "bulk_segment_bytes"):
             value = getattr(self, name)
             if value < 1:
                 raise ConfigurationError(
@@ -264,15 +277,22 @@ class Campaign:
     # partial datasets — the lost units are reported through
     # :meth:`degradation_report`.
 
+    def _granularity(self, granularity: int | None) -> int:
+        return (self.config.shard_granularity if granularity is None
+                else granularity)
+
     def _execute(self, dataset: str, units, workers, timings,
                  profile_dir, journal, retries, retry_backoff_s,
-                 unit_timeout, failure_policy) -> list:
+                 unit_timeout, failure_policy,
+                 granularity=None, shard_timings=None) -> list:
         failures: list[UnitFailure] = []
         payloads = execute_units(
             units, workers, timings, profile_dir, journal=journal,
             retries=retries, retry_backoff_s=retry_backoff_s,
             unit_timeout=unit_timeout, failure_policy=failure_policy,
-            failures=failures)
+            failures=failures,
+            granularity=self._granularity(granularity),
+            shard_timings=shard_timings)
         kept = [p for p in payloads
                 if not isinstance(p, UnitFailure)]
         self._dataset_failures[dataset] = failures
@@ -285,12 +305,13 @@ class Campaign:
                   journal: Journal | None = None, retries: int = 0,
                   retry_backoff_s: float = 0.0,
                   unit_timeout: float | None = None,
-                  failure_policy: str = "raise") -> PingDataset:
+                  failure_policy: str = "raise",
+                  granularity: int | None = None) -> PingDataset:
         """Five-month idle-latency series toward the 11 anchors."""
         return self._merge_pings(self._execute(
             "pings", self.ping_units(), workers, timings, profile_dir,
             journal, retries, retry_backoff_s, unit_timeout,
-            failure_policy))
+            failure_policy, granularity))
 
     def run_speedtests(self, workers: int = 1,
                        timings: list[UnitTiming] | None = None,
@@ -298,13 +319,14 @@ class Campaign:
                        journal: Journal | None = None,
                        retries: int = 0, retry_backoff_s: float = 0.0,
                        unit_timeout: float | None = None,
-                       failure_policy: str = "raise"
+                       failure_policy: str = "raise",
+                       granularity: int | None = None
                        ) -> list[SpeedtestSample]:
         """Ookla-like tests on Starlink and SatCom (Fig. 5a/5b)."""
         return self._execute(
             "speedtests", self.speedtest_units(), workers, timings,
             profile_dir, journal, retries, retry_backoff_s,
-            unit_timeout, failure_policy)
+            unit_timeout, failure_policy, granularity)
 
     def run_bulk(self, workers: int = 1,
                  timings: list[UnitTiming] | None = None,
@@ -312,12 +334,13 @@ class Campaign:
                  journal: Journal | None = None, retries: int = 0,
                  retry_backoff_s: float = 0.0,
                  unit_timeout: float | None = None,
-                 failure_policy: str = "raise") -> list[BulkSample]:
+                 failure_policy: str = "raise",
+                 granularity: int | None = None) -> list[BulkSample]:
         """H3 transfers in both directions and both sessions."""
         return self._execute(
             "bulk", self.bulk_units(), workers, timings, profile_dir,
             journal, retries, retry_backoff_s, unit_timeout,
-            failure_policy)
+            failure_policy, granularity)
 
     def run_messages(self, workers: int = 1,
                      timings: list[UnitTiming] | None = None,
@@ -325,13 +348,14 @@ class Campaign:
                      journal: Journal | None = None, retries: int = 0,
                      retry_backoff_s: float = 0.0,
                      unit_timeout: float | None = None,
-                     failure_policy: str = "raise"
+                     failure_policy: str = "raise",
+                     granularity: int | None = None
                      ) -> list[MessagesSample]:
         """Low-bitrate message runs in both directions."""
         return self._execute(
             "messages", self.messages_units(), workers, timings,
             profile_dir, journal, retries, retry_backoff_s,
-            unit_timeout, failure_policy)
+            unit_timeout, failure_policy, granularity)
 
     def run_web(self, workers: int = 1,
                 timings: list[UnitTiming] | None = None,
@@ -339,12 +363,13 @@ class Campaign:
                 journal: Journal | None = None, retries: int = 0,
                 retry_backoff_s: float = 0.0,
                 unit_timeout: float | None = None,
-                failure_policy: str = "raise") -> list[VisitSample]:
+                failure_policy: str = "raise",
+                granularity: int | None = None) -> list[VisitSample]:
         """Browser visits over Starlink, SatCom and wired (Fig. 6)."""
         rounds = self._execute(
             "visits", self.web_units(), workers, timings, profile_dir,
             journal, retries, retry_backoff_s, unit_timeout,
-            failure_policy)
+            failure_policy, granularity)
         return [visit for round_visits in rounds
                 for visit in round_visits]
 
@@ -380,7 +405,10 @@ class Campaign:
                 journal: Journal | None = None, retries: int = 0,
                 retry_backoff_s: float = 0.0,
                 unit_timeout: float | None = None,
-                failure_policy: str = "raise") -> CampaignDatasets:
+                failure_policy: str = "raise",
+                granularity: int | None = None,
+                shard_timings: list[UnitTiming] | None = None
+                ) -> CampaignDatasets:
         """Run every dataset of Table 1.
 
         All work units go through one executor pass, so with
@@ -402,7 +430,9 @@ class Campaign:
         payloads = execute_units(
             units, workers, timings, profile_dir, journal=journal,
             retries=retries, retry_backoff_s=retry_backoff_s,
-            unit_timeout=unit_timeout, failure_policy=failure_policy)
+            unit_timeout=unit_timeout, failure_policy=failure_policy,
+            granularity=self._granularity(granularity),
+            shard_timings=shard_timings)
         data = CampaignDatasets()
         cursor = 0
         for name, group in groups:

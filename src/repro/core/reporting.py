@@ -44,8 +44,14 @@ def render_degradation(report: DegradationReport) -> str:
         for failure in report.failures:
             first = failure.message.splitlines()[0] \
                 if failure.message else ""
+            # A failed shard names its parent unit AND which piece
+            # died, so the lost unit can be re-run or narrowed down.
+            where = failure.label
+            if failure.shard_index is not None:
+                where += (f" [shard {failure.shard_index + 1}/"
+                          f"{failure.n_shards}: {failure.shard_label}]")
             lines.append(
-                f"  {failure.label} ({failure.kind}): "
+                f"  {where} ({failure.kind}): "
                 f"{failure.error_type} after {failure.attempts} "
                 f"attempt(s): {first}")
     lines.append(_rule())

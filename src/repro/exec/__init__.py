@@ -18,6 +18,14 @@ with partial output plus a :class:`DegradationReport`.
 """
 
 from repro.exec.journal import Journal
+from repro.exec.sharding import (
+    SplittableUnit,
+    UnitShard,
+    atom_count,
+    plan_shards,
+    shard_label,
+    task_cost,
+)
 from repro.exec.runner import (
     FAILURE_POLICIES,
     DegradationReport,
@@ -48,13 +56,19 @@ __all__ = [
     "MessagesUnit",
     "PingSeriesUnit",
     "SpeedtestUnit",
+    "SplittableUnit",
     "UnitFailure",
+    "UnitShard",
     "UnitTiming",
     "WebRoundUnit",
     "WorkUnit",
+    "atom_count",
     "context_for",
     "default_workers",
     "execute_units",
+    "plan_shards",
     "render_timings",
+    "shard_label",
+    "task_cost",
     "timing_breakdown",
 ]

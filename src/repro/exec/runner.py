@@ -1,13 +1,23 @@
 """Work-unit executor: serial or process-parallel, identical output.
 
-The contract is strict: ``execute_units(units, workers=N)`` returns
-payloads in the order the units were given, bit-identical for every
-``N``. Serial execution (``workers=1``) is the degenerate case — it
-calls ``unit.run()`` in-process through the exact same code path a
-pool worker uses, so there is no separate serial implementation to
-drift. Parallel execution submits one unit per free worker slot and
+The contract is strict: ``execute_units(units, workers=N,
+granularity=g)`` returns payloads in the order the units were given,
+bit-identical for every ``(N, g)``. Serial execution (``workers=1``)
+is the degenerate case — it calls the same task code path a pool
+worker uses, so there is no separate serial implementation to drift.
+Parallel execution keeps one task per free worker slot in flight and
 merges results by input index, which preserves submission order no
 matter which worker finished first.
+
+``granularity > 1`` additionally splits units that implement the
+atoms contract (:mod:`repro.exec.sharding`) into up to ``g`` shards
+each. Dispatch is work-stealing in spirit: every free worker slot is
+handed the *largest remaining* runnable shard, so a long-pole unit's
+shards spread across the pool instead of serialising behind one
+worker. Results are merged by ``(unit index, shard index)`` through
+the unit's ordered ``merge_atoms``, which is the same merge
+``unit.run()`` itself performs — sharded output is therefore
+identical to serial by construction, not by scheduling luck.
 
 On top of that sits the crash-safety layer:
 
@@ -50,6 +60,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, UnitExecutionError
+from repro.exec.sharding import UnitShard, plan_shards, task_cost
 
 #: Poll interval of the pool supervisor loop (seconds). Short enough
 #: that timeout enforcement is prompt, long enough to stay off the CPU.
@@ -75,6 +86,13 @@ class UnitFailure:
     Under ``failure_policy="degrade"`` these take the failed unit's
     place in the payload list (and in the ``failures`` out-parameter),
     so callers can both skip and report them.
+
+    When the failing task was a shard of a splittable unit, ``label``
+    still names the *parent* unit (one failure record stands for the
+    whole unit, whose merged payload is lost) and the shard fields
+    say which piece died: ``shard_index`` (0-based), ``n_shards`` and
+    the shard's own ``shard_label``. Whole-unit failures leave the
+    shard fields at their defaults.
     """
 
     label: str
@@ -83,6 +101,9 @@ class UnitFailure:
     message: str
     traceback: str
     attempts: int
+    shard_index: int | None = None
+    n_shards: int = 0
+    shard_label: str = ""
 
 
 @dataclass
@@ -125,6 +146,29 @@ def _profile_stem(label: str) -> str:
 def _backoff_s(retry_backoff_s: float, attempt: int) -> float:
     """Deterministic exponential backoff before attempt ``attempt+1``."""
     return retry_backoff_s * (2 ** (attempt - 1))
+
+
+def _describe_task(runnable) -> str:
+    """Human name of a task for error messages (shard-aware)."""
+    if isinstance(runnable, UnitShard):
+        return (f"unit {runnable.parent_label!r} shard "
+                f"{runnable.shard_index + 1}/{runnable.n_shards} "
+                f"({runnable.label!r})")
+    return f"unit {runnable.label!r}"
+
+
+def _failure_for(runnable, error_type: str, message: str, tb: str,
+                 attempts: int) -> UnitFailure:
+    """Build the :class:`UnitFailure` for an exhausted task."""
+    if isinstance(runnable, UnitShard):
+        return UnitFailure(
+            label=runnable.parent_label, kind=runnable.kind,
+            error_type=error_type, message=message, traceback=tb,
+            attempts=attempts, shard_index=runnable.shard_index,
+            n_shards=runnable.n_shards, shard_label=runnable.label)
+    return UnitFailure(label=runnable.label, kind=runnable.kind,
+                       error_type=error_type, message=message,
+                       traceback=tb, attempts=attempts)
 
 
 def _run_one(unit, profile_dir: str | None = None, index: int = 0
@@ -172,10 +216,13 @@ def _stop_pool(pool: ProcessPoolExecutor) -> None:
 class _PoolSupervisor:
     """Submit-window pool driver with retry, timeout and rebuild.
 
-    At most ``workers`` units are in flight at any moment; completed
-    futures are reaped by index, a broken pool is rebuilt, and units
+    At most ``workers`` tasks are in flight at any moment; completed
+    futures are reaped by index, a broken pool is rebuilt, and tasks
     whose wall clock exceeds ``unit_timeout`` are abandoned by killing
-    the pool and re-dispatching survivors to a fresh one.
+    the pool and re-dispatching survivors to a fresh one. Dispatch
+    order is largest-cost-first among runnable tasks (the work-
+    stealing rule), which only shapes wall clock — the ordered merge
+    by index makes the output independent of scheduling.
     """
 
     def __init__(self, todo: list[tuple[int, object]], workers: int,
@@ -184,6 +231,7 @@ class _PoolSupervisor:
                  failure_policy: str,
                  record_ok: Callable[[int, object, UnitTiming], None]):
         self.pending = [(i, u, 1) for i, u in todo]  # attempt to run next
+        self.costs = {i: task_cost(u) for i, u in todo}
         self.workers = workers
         self.profile_dir = profile_dir
         self.retries = retries
@@ -214,11 +262,15 @@ class _PoolSupervisor:
     def _dispatch(self) -> None:
         now = time.monotonic()
         while self.pending and len(self.inflight) < self.workers:
-            slot = next(
-                (k for k, (i, _, _) in enumerate(self.pending)
-                 if self.ready_at.get(i, 0.0) <= now), None)
-            if slot is None:
+            # Steal the biggest runnable task for the free slot (ties
+            # break toward the earlier task index, deterministically).
+            ready = [k for k, (i, _, _) in enumerate(self.pending)
+                     if self.ready_at.get(i, 0.0) <= now]
+            if not ready:
                 break
+            slot = max(ready,
+                       key=lambda k: (self.costs[self.pending[k][0]],
+                                      -self.pending[k][0]))
             index, unit, attempt = self.pending.pop(slot)
             try:
                 future = self.pool.submit(_pool_run_one, unit,
@@ -318,12 +370,10 @@ class _PoolSupervisor:
                 self.retry_backoff_s, attempt)
             self.pending.append((index, unit, attempt + 1))
             return
-        failure = UnitFailure(label=unit.label, kind=unit.kind,
-                              error_type=error_type, message=message,
-                              traceback=tb, attempts=attempt)
+        failure = _failure_for(unit, error_type, message, tb, attempt)
         if self.failure_policy == "raise":
             raise UnitExecutionError(
-                f"unit {unit.label!r} failed after {attempt} "
+                f"{_describe_task(unit)} failed after {attempt} "
                 f"attempt(s): {error_type}: {message}")
         self.outcomes[index] = failure
 
@@ -350,15 +400,14 @@ def _execute_serial(todo: list[tuple[int, object]],
                         time.sleep(delay)
                     attempt += 1
                     continue
-                failure = UnitFailure(
-                    label=unit.label, kind=unit.kind,
-                    error_type=type(exc).__name__, message=str(exc),
-                    traceback=traceback.format_exc(), attempts=attempt)
+                failure = _failure_for(
+                    unit, type(exc).__name__, str(exc),
+                    traceback.format_exc(), attempt)
                 if failure_policy == "raise":
                     raise UnitExecutionError(
-                        f"unit {unit.label!r} failed after {attempt} "
-                        f"attempt(s): {type(exc).__name__}: {exc}"
-                    ) from exc
+                        f"{_describe_task(unit)} failed after "
+                        f"{attempt} attempt(s): "
+                        f"{type(exc).__name__}: {exc}") from exc
                 outcomes[index] = failure
                 break
             else:
@@ -375,7 +424,10 @@ def execute_units(units: Sequence, workers: int = 1,
                   retry_backoff_s: float = 0.0,
                   unit_timeout: float | None = None,
                   failure_policy: str = "raise",
-                  failures: list[UnitFailure] | None = None) -> list:
+                  failures: list[UnitFailure] | None = None,
+                  granularity: int = 1,
+                  shard_timings: list[UnitTiming] | None = None
+                  ) -> list:
     """Run ``units`` and return their payloads in input order.
 
     ``workers=1`` executes in-process; ``workers>1`` fans out over a
@@ -385,6 +437,19 @@ def execute_units(units: Sequence, workers: int = 1,
     cProfile and dumps ``<index>-<label>.pstats`` into that directory
     (the timing then includes profiler overhead; use it for hotspot
     hunting, not for benchmark numbers).
+
+    ``granularity`` splits each splittable unit into up to that many
+    shards (:func:`repro.exec.sharding.plan_shards`); the pool steals
+    the largest remaining shard per free slot and the ordered merge
+    makes the payloads bit-identical to ``granularity=1`` for every
+    worker count. Retry, timeout, journaling and failure policy all
+    apply per shard — journal keys include the shard's atom range, so
+    a resume at the *same* granularity never re-runs a completed
+    shard (a different granularity re-runs cheaply but stays
+    digest-identical). ``timings`` still records one entry per unit
+    (the sum of its shard wall clocks); ``shard_timings`` additionally
+    records each executed shard under its ``label#s<start>-<stop>``
+    shard label.
 
     Crash safety:
 
@@ -419,20 +484,37 @@ def execute_units(units: Sequence, workers: int = 1,
         raise ConfigurationError(
             f"failure_policy must be one of {FAILURE_POLICIES}, "
             f"got {failure_policy!r}")
+    if granularity < 1:
+        raise ConfigurationError(
+            f"granularity must be >= 1, got {granularity}")
     units = list(units)
     if not units:
         return []
 
+    # Flatten the per-unit shard plan into one task list. With
+    # granularity=1 every task *is* its unit, so task ids, journal
+    # keys and profile-dump names match the pre-sharding executor.
+    plan = plan_shards(units, granularity)
+    tasks: list = []
+    unit_tasks: list[list[int]] = []
+    for group in plan:
+        ids = []
+        for runnable in group:
+            ids.append(len(tasks))
+            tasks.append(runnable)
+        unit_tasks.append(ids)
+
     outcomes: dict[int, object] = {}
     keys: list[str] | None = None
     if journal is not None:
-        keys = [journal.key_for(unit) for unit in units]
-        for i, unit in enumerate(units):
-            entry = journal.load(keys[i], label=unit.label)
+        keys = [journal.key_for(task) for task in tasks]
+        for i, task in enumerate(tasks):
+            entry = journal.load(keys[i], label=task.label)
             if entry is not None:
                 payload, elapsed = entry
                 outcomes[i] = (payload, UnitTiming(
-                    label=unit.label, kind=unit.kind, elapsed_s=elapsed))
+                    label=task.label, kind=task.kind,
+                    elapsed_s=elapsed))
 
     def record_ok(index: int, payload, timing: UnitTiming) -> None:
         if journal is not None:
@@ -440,7 +522,7 @@ def execute_units(units: Sequence, workers: int = 1,
                           elapsed_s=timing.elapsed_s,
                           label=timing.label)
 
-    todo = [(i, unit) for i, unit in enumerate(units)
+    todo = [(i, task) for i, task in enumerate(tasks)
             if i not in outcomes]
     if todo:
         if workers == 1 and unit_timeout is None:
@@ -455,17 +537,35 @@ def execute_units(units: Sequence, workers: int = 1,
             outcomes.update(supervisor.run())
 
     payloads: list = []
-    for i in range(len(units)):
-        outcome = outcomes[i]
-        if isinstance(outcome, UnitFailure):
+    for i, unit in enumerate(units):
+        ids = unit_tasks[i]
+        shard_failures = [outcomes[t] for t in ids
+                          if isinstance(outcomes[t], UnitFailure)]
+        if shard_failures:
+            # One record stands for the whole unit (its merged
+            # payload is lost); the lowest failing shard index wins
+            # deterministically.
+            failure = shard_failures[0]
             if failures is not None:
-                failures.append(outcome)
-            payloads.append(outcome)
+                failures.append(failure)
+            payloads.append(failure)
+            continue
+        results = [outcomes[t] for t in ids]
+        if len(ids) == 1 and not isinstance(tasks[ids[0]], UnitShard):
+            payload, unit_timing = results[0]
         else:
-            payload, timing = outcome
-            if timings is not None:
-                timings.append(timing)
-            payloads.append(payload)
+            atoms: list = []
+            for shard_payload, _ in results:
+                atoms.extend(shard_payload)
+            payload = unit.merge_atoms(atoms)
+            unit_timing = UnitTiming(
+                label=unit.label, kind=unit.kind,
+                elapsed_s=sum(t.elapsed_s for _, t in results))
+        if timings is not None:
+            timings.append(unit_timing)
+        if shard_timings is not None:
+            shard_timings.extend(t for _, t in results)
+        payloads.append(payload)
     return payloads
 
 

@@ -27,9 +27,9 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.apps.bulk import run_bulk_transfer
+from repro.apps.bulk import BulkTransferResult, run_bulk_transfer
 from repro.apps.messages import run_messages_workload
-from repro.apps.speedtest import run_speedtest
+from repro.apps.speedtest import SpeedtestResult, run_speedtest
 from repro.apps.web.browser import BrowserEngine
 from repro.apps.web.corpus import build_corpus
 from repro.apps.web.profiles import (
@@ -52,7 +52,7 @@ from repro.leo.access import StarlinkAccess, StarlinkPathModel
 from repro.leo.constellation import Constellation
 from repro.leo.events import CampaignTimeline
 from repro.leo.geometry import GeoPoint
-from repro.rng import make_rng
+from repro.rng import make_rng, stable_seed
 from repro.units import days
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -138,11 +138,13 @@ def context_for(config: "CampaignConfig") -> WorkerContext:
 
 
 def _starlink_access(config: "CampaignConfig", epoch: float,
-                     run_seed: int) -> StarlinkAccess:
+                     run_seed: int,
+                     capacity_share: float = 1.0) -> StarlinkAccess:
     ctx = context_for(config)
     access = StarlinkAccess(seed=run_seed, epoch_t=epoch,
                             timeline=ctx.timeline,
-                            constellation=ctx.constellation)
+                            constellation=ctx.constellation,
+                            capacity_share=capacity_share)
     # Shift the scenario's experiment overlay to this epoch and
     # install it on the freshly built (private) access. Clear-sky
     # overlays are empty, and installing an empty schedule touches
@@ -155,7 +157,11 @@ def _starlink_access(config: "CampaignConfig", epoch: float,
 class PingSeriesUnit:
     """The full five-month ping series toward one anchor.
 
-    Seed tuple: ``(config.seed, "ping-campaign", anchor_name)``.
+    Atoms are chunks of ``config.ping_shard_rounds`` consecutive ping
+    rounds; chunk ``k`` draws from the stream seeded
+    ``(config.seed, "ping-campaign", anchor_name, "chunk", k)``, so
+    any contiguous grouping of chunks reproduces the same bytes — the
+    series never threads one RNG across a shard boundary.
     """
 
     config: "CampaignConfig"
@@ -167,40 +173,66 @@ class PingSeriesUnit:
     def label(self) -> str:
         return f"ping:{self.anchor_name}"
 
-    def run(self) -> tuple[str, np.ndarray, np.ndarray,
-                           MeasurementOutcome]:
+    def _round_times(self) -> np.ndarray:
+        cfg = self.config
+        return np.arange(0.0, days(cfg.ping_days), cfg.ping_interval_s)
+
+    def n_atoms(self) -> int:
+        chunk = self.config.ping_shard_rounds
+        return max(1, -(-len(self._round_times()) // chunk))
+
+    def cost_hint(self) -> float:
+        return (len(self._round_times())
+                * self.config.pings_per_round * 1e-3)
+
+    def run_atoms(self, start: int, stop: int
+                  ) -> list[tuple[list[float], list[float]]]:
         cfg = self.config
         anchor = anchor_by_name(self.anchor_name)
-        rng = make_rng((cfg.seed, "ping-campaign", self.anchor_name))
         ctx = context_for(cfg)
         model = ctx.path_model
         disruption = ctx.scenario.campaign
-        round_times = np.arange(0.0, days(cfg.ping_days),
-                                cfg.ping_interval_s)
-        times = []
-        rtts = []
+        round_times = self._round_times()
+        chunk = cfg.ping_shard_rounds
+        payloads = []
         # Disruption guards are ordered to keep the clear-sky RNG
-        # stream byte-identical to the historical loop: an empty
-        # schedule answers False/0.0 everywhere, so exactly the same
-        # draws happen in exactly the same order.
-        for t in round_times:
-            pop = model.pop_location(t)
-            remote = anchor.remote_rtt_from(pop)
-            for probe in range(cfg.pings_per_round):
-                probe_t = t + probe * 1.0
-                times.append(probe_t)
-                if disruption.blackout_at(probe_t):
-                    rtts.append(math.nan)
-                    continue
-                if rng.random() < cfg.ping_loss_prob:
-                    rtts.append(math.nan)
-                else:
-                    extra = disruption.extra_loss_prob(probe_t)
-                    if extra > 0.0 and rng.random() < extra:
+        # stream byte-identical whether or not a schedule is
+        # installed: an empty schedule answers False/0.0 everywhere,
+        # so exactly the same draws happen in exactly the same order.
+        for atom in range(start, stop):
+            rng = make_rng((cfg.seed, "ping-campaign", self.anchor_name,
+                            "chunk", atom))
+            times: list[float] = []
+            rtts: list[float] = []
+            for t in round_times[atom * chunk:(atom + 1) * chunk]:
+                pop = model.pop_location(t)
+                remote = anchor.remote_rtt_from(pop)
+                for probe in range(cfg.pings_per_round):
+                    probe_t = t + probe * 1.0
+                    times.append(probe_t)
+                    if disruption.blackout_at(probe_t):
+                        rtts.append(math.nan)
+                        continue
+                    if rng.random() < cfg.ping_loss_prob:
                         rtts.append(math.nan)
                     else:
-                        rtts.append(model.idle_rtt(probe_t, rng,
-                                                   remote_rtt_s=remote))
+                        extra = disruption.extra_loss_prob(probe_t)
+                        if extra > 0.0 and rng.random() < extra:
+                            rtts.append(math.nan)
+                        else:
+                            rtts.append(model.idle_rtt(
+                                probe_t, rng, remote_rtt_s=remote))
+            payloads.append((times, rtts))
+        return payloads
+
+    def merge_atoms(self, payloads) -> tuple[str, np.ndarray,
+                                             np.ndarray,
+                                             MeasurementOutcome]:
+        times: list[float] = []
+        rtts: list[float] = []
+        for chunk_times, chunk_rtts in payloads:
+            times.extend(chunk_times)
+            rtts.extend(chunk_rtts)
         rtts_arr = np.array(rtts)
         lost = int(np.isnan(rtts_arr).sum()) if rtts_arr.size else 0
         if rtts_arr.size and lost == rtts_arr.size:
@@ -212,10 +244,24 @@ class PingSeriesUnit:
                 detail=f"{lost}/{rtts_arr.size} probes lost")
         return self.anchor_name, np.array(times), rtts_arr, outcome
 
+    def run(self) -> tuple[str, np.ndarray, np.ndarray,
+                           MeasurementOutcome]:
+        return self.merge_atoms(self.run_atoms(0, self.n_atoms()))
+
 
 @dataclass(frozen=True)
 class SpeedtestUnit:
-    """One Ookla-like test: a single network x direction x epoch."""
+    """One Ookla-like test: a single network x direction x epoch.
+
+    Atoms are the parallel TCP connections. Connection ``i`` runs as
+    a single-flow speedtest on its own access instance seeded
+    ``stable_seed(run_seed, "st-conn", i)`` with
+    ``capacity_share=1/connections`` — the fair-share stand-in for N
+    flows contending on one terminal — so every connection's bytes
+    are independent of which shard executes it. The merge sums the
+    measured bytes over the common measurement window, which is
+    exactly how the multi-connection test computes throughput.
+    """
 
     config: "CampaignConfig"
     network: str           # "starlink" | "satcom"
@@ -229,31 +275,86 @@ class SpeedtestUnit:
     def label(self) -> str:
         return f"speedtest:{self.network}:{self.direction}:{self.run_seed}"
 
-    def run(self) -> SpeedtestSample:
+    def n_atoms(self) -> int:
+        return max(1, self.config.speedtest_connections)
+
+    def cost_hint(self) -> float:
         cfg = self.config
-        if self.network == "starlink":
-            access = _starlink_access(cfg, self.epoch, self.run_seed)
-            warmup = cfg.speedtest_warmup_s
+        warmup = (cfg.satcom_warmup_s if self.network == "satcom"
+                  else cfg.speedtest_warmup_s)
+        scale = 4.0 if self.network == "satcom" else 1.0
+        return ((warmup + cfg.speedtest_measure_s)
+                * self.n_atoms() * scale)
+
+    def run_atoms(self, start: int, stop: int) -> list[SpeedtestResult]:
+        cfg = self.config
+        share = 1.0 / self.n_atoms()
+        results = []
+        for conn in range(start, stop):
+            conn_seed = stable_seed(self.run_seed, "st-conn", conn)
+            if self.network == "starlink":
+                access = _starlink_access(cfg, self.epoch, conn_seed,
+                                          capacity_share=share)
+                warmup = cfg.speedtest_warmup_s
+            else:
+                access = GeoSatComAccess(seed=conn_seed,
+                                         epoch_t=self.epoch,
+                                         capacity_share=share)
+                warmup = cfg.satcom_warmup_s
+            server = access.add_remote_host("ookla", "62.4.0.10",
+                                            OOKLA_BRUSSELS)
+            access.finalize()
+            results.append(run_speedtest(
+                access.client, server, self.direction, connections=1,
+                warmup_s=warmup, measure_s=cfg.speedtest_measure_s))
+        return results
+
+    def merge_atoms(self, results) -> SpeedtestSample:
+        cfg = self.config
+        total = sum(r.measured_bytes for r in results)
+        handshakes = [rtt for r in results for rtt in r.handshake_rtts]
+        elapsed = max(r.outcome.elapsed_s for r in results)
+        # Mirror run_speedtest's classification over the merged flows.
+        if total > 0:
+            outcome = MeasurementOutcome(elapsed_s=elapsed)
+        elif not handshakes:
+            outcome = MeasurementOutcome(
+                "unreachable",
+                detail=f"0/{len(results)} TCP handshakes completed",
+                elapsed_s=elapsed)
         else:
-            access = GeoSatComAccess(seed=self.run_seed,
-                                     epoch_t=self.epoch)
-            warmup = cfg.satcom_warmup_s
-        server = access.add_remote_host("ookla", "62.4.0.10",
-                                        OOKLA_BRUSSELS)
-        access.finalize()
-        result = run_speedtest(
-            access.client, server, self.direction,
-            connections=cfg.speedtest_connections,
-            warmup_s=warmup, measure_s=cfg.speedtest_measure_s)
+            outcome = MeasurementOutcome(
+                "stalled",
+                detail="connections established but no byte delivered "
+                       "inside the measurement window",
+                elapsed_s=elapsed)
+        merged = SpeedtestResult(
+            direction=self.direction, connections=len(results),
+            measured_bytes=total,
+            measure_window_s=cfg.speedtest_measure_s,
+            handshake_rtts=handshakes, outcome=outcome)
         return SpeedtestSample(t=self.epoch, network=self.network,
                                direction=self.direction,
-                               throughput_mbps=result.throughput_mbps,
-                               outcome=result.outcome)
+                               throughput_mbps=merged.throughput_mbps,
+                               outcome=merged.outcome)
+
+    def run(self) -> SpeedtestSample:
+        return self.merge_atoms(self.run_atoms(0, self.n_atoms()))
 
 
 @dataclass(frozen=True)
 class BulkUnit:
-    """One H3 bulk transfer: a single session x direction x epoch."""
+    """One H3 bulk transfer: a single session x direction x epoch.
+
+    Atoms are back-to-back payload segments of
+    ``config.bulk_segment_bytes``; segment ``i`` transfers on its own
+    access instance seeded ``stable_seed(run_seed, "bulk-seg", i)``.
+    The merge splices segments into one transfer record: RTT-sample
+    and loss-event clocks shift by the cumulative segment duration,
+    receiver packet numbers by the cumulative packet count, so the
+    per-transfer loss ratio and Fig. 3 RTT series read exactly as one
+    long transfer would.
+    """
 
     config: "CampaignConfig"
     session: int
@@ -267,21 +368,85 @@ class BulkUnit:
     def label(self) -> str:
         return f"bulk:s{self.session}:{self.direction}:{self.run_seed}"
 
-    def run(self) -> BulkSample:
+    def _segment_sizes(self) -> list[int]:
         cfg = self.config
-        access = _starlink_access(cfg, self.epoch, self.run_seed)
-        server = access.add_remote_host("campus", "130.104.1.1",
-                                        CAMPUS_SERVER)
-        access.finalize()
-        result = run_bulk_transfer(access.client, server, self.direction,
-                                   payload_bytes=cfg.bulk_bytes)
+        seg = cfg.bulk_segment_bytes
+        n = max(1, -(-cfg.bulk_bytes // seg))
+        return [seg] * (n - 1) + [cfg.bulk_bytes - seg * (n - 1)]
+
+    def n_atoms(self) -> int:
+        return len(self._segment_sizes())
+
+    def cost_hint(self) -> float:
+        return self.config.bulk_bytes / 1e6
+
+    def run_atoms(self, start: int, stop: int
+                  ) -> list[BulkTransferResult]:
+        cfg = self.config
+        sizes = self._segment_sizes()
+        results = []
+        for seg in range(start, stop):
+            access = _starlink_access(
+                cfg, self.epoch,
+                stable_seed(self.run_seed, "bulk-seg", seg))
+            server = access.add_remote_host("campus", "130.104.1.1",
+                                            CAMPUS_SERVER)
+            access.finalize()
+            results.append(run_bulk_transfer(
+                access.client, server, self.direction,
+                payload_bytes=sizes[seg]))
+        return results
+
+    def merge_atoms(self, results) -> BulkSample:
+        cfg = self.config
+        completed = all(r.completed for r in results)
+        merged = BulkTransferResult(
+            direction=self.direction, payload_bytes=cfg.bulk_bytes,
+            completed=completed,
+            duration_s=(sum(r.duration_s for r in results)
+                        if completed else None),
+            handshake_rtt_s=results[0].handshake_rtt_s)
+        t_off = 0.0
+        pn_off = 0
+        elapsed = 0.0
+        first_bad = None
+        for r in results:
+            merged.rtt_samples.extend(
+                (t_off + t, rtt) for t, rtt in r.rtt_samples)
+            merged.receiver_lost_pns.extend(
+                pn_off + pn for pn in r.receiver_lost_pns)
+            merged.loss_event_durations_s.extend(
+                r.loss_event_durations_s)
+            merged.loss_burst_lengths.extend(r.loss_burst_lengths)
+            merged.loss_event_times_s.extend(
+                t_off + t for t in r.loss_event_times_s)
+            pn_off += r.receiver_max_pn + 1
+            t_off += (r.duration_s if r.duration_s is not None
+                      else r.outcome.elapsed_s)
+            elapsed += r.outcome.elapsed_s
+            if first_bad is None and not r.outcome.is_ok:
+                first_bad = r.outcome
+        merged.receiver_max_pn = pn_off - 1
+        if first_bad is None:
+            merged.outcome = MeasurementOutcome(elapsed_s=elapsed)
+        else:
+            merged.outcome = MeasurementOutcome(
+                first_bad.status, detail=first_bad.detail,
+                elapsed_s=elapsed)
         return BulkSample(t=self.epoch, direction=self.direction,
-                          session=self.session, result=result)
+                          session=self.session, result=merged)
+
+    def run(self) -> BulkSample:
+        return self.merge_atoms(self.run_atoms(0, self.n_atoms()))
 
 
 @dataclass(frozen=True)
 class MessagesUnit:
-    """One low-bitrate message run: a single direction x epoch."""
+    """One low-bitrate message run: a single direction x epoch.
+
+    Deliberately unsplittable: the workload is one ordered message
+    stream over one connection, so it always dispatches whole.
+    """
 
     config: "CampaignConfig"
     direction: str
@@ -294,6 +459,9 @@ class MessagesUnit:
     @property
     def label(self) -> str:
         return f"messages:{self.direction}:{self.run_seed}"
+
+    def cost_hint(self) -> float:
+        return self.config.messages_duration_s * 0.1
 
     def run(self) -> MessagesSample:
         cfg = self.config
@@ -328,7 +496,16 @@ class WebRoundUnit:
     def label(self) -> str:
         return f"web:{self.network}:v{self.visit_id}"
 
-    def run(self) -> list[VisitSample]:
+    def n_atoms(self) -> int:
+        return max(1, self.config.web_sites)
+
+    def cost_hint(self) -> float:
+        return self.config.web_sites * 0.5
+
+    def run_atoms(self, start: int, stop: int) -> list[VisitSample]:
+        # One atom per corpus page. The engine draws each visit's RNG
+        # from (seed, profile, url, visit_id) with no cross-visit
+        # state, so per-page shards are bit-identical to a full round.
         cfg = self.config
         corpus = build_corpus(cfg.web_sites, seed=cfg.seed)
         profile = _WEB_PROFILES[self.network](epoch_t=self.epoch,
@@ -336,7 +513,7 @@ class WebRoundUnit:
         engine = BrowserEngine(profile, seed=cfg.seed + self.visit_id,
                                visit_deadline_s=cfg.web_visit_deadline_s)
         visits = []
-        for page in corpus:
+        for page in corpus[start:stop]:
             result = engine.visit(page, visit_id=self.visit_id)
             visits.append(VisitSample(
                 t=self.epoch, network=self.network, url=page.url,
@@ -346,6 +523,12 @@ class WebRoundUnit:
                 connection_setup_s=result.connection_setup_s,
                 outcome=result.outcome))
         return visits
+
+    def merge_atoms(self, payloads) -> list[VisitSample]:
+        return list(payloads)
+
+    def run(self) -> list[VisitSample]:
+        return self.merge_atoms(self.run_atoms(0, self.n_atoms()))
 
 
 #: Everything the executor accepts.

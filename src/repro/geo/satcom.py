@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.rng import make_rng
+from repro.errors import ConfigurationError
 from repro.geo.pep import PepBox, PepPolicy
 from repro.leo.channel import CapacityProcess
 from repro.leo.geometry import (
@@ -146,19 +147,34 @@ class GeoSatComAccess:
 
     def __init__(self, params: GeoParams | None = None, seed: int = 0,
                  epoch_t: float = 0.0, pep_enabled: bool = True,
-                 pep_policy: PepPolicy | None = None):
+                 pep_policy: PepPolicy | None = None,
+                 capacity_share: float = 1.0):
+        if not 0.0 < capacity_share <= 1.0:
+            raise ConfigurationError(
+                f"capacity_share must be within (0, 1], "
+                f"got {capacity_share!r}")
         self.params = params or GeoParams()
         self.seed = seed
         self.epoch_t = epoch_t
         self.pep_enabled = pep_enabled
         self.pep_policy = pep_policy or PepPolicy()
+        #: Fraction of the terminal's bandwidth-on-demand allocation
+        #: this access instance models. Per-connection work-unit
+        #: shards set ``1/N`` so N single-flow accesses stand in for
+        #: N flows contending on one terminal; capacity means, their
+        #: clamps, and the bufferbloat queues scale together so each
+        #: flow sees its fair share of both rate and buffer.
+        self.capacity_share = capacity_share
         self.path_model = GeoPathModel(self.params, seed=seed)
+        share = capacity_share
         self.downlink = CapacityProcess(
-            self.params.down_mean_bps, slot_cv=0.10, seed=seed * 11 + 3,
-            min_rate=mbps(35), max_rate=mbps(100))
+            self.params.down_mean_bps * share, slot_cv=0.10,
+            seed=seed * 11 + 3,
+            min_rate=mbps(35) * share, max_rate=mbps(100) * share)
         self.uplink = CapacityProcess(
-            self.params.up_mean_bps, slot_cv=0.35, seed=seed * 11 + 4,
-            min_rate=mbps(0.8), max_rate=mbps(10))
+            self.params.up_mean_bps * share, slot_cv=0.35,
+            seed=seed * 11 + 4,
+            min_rate=mbps(0.8) * share, max_rate=mbps(10) * share)
         self.net = Network(Simulator(start_time=epoch_t))
         self._build()
 
@@ -196,12 +212,15 @@ class GeoSatComAccess:
         def down_delay(now: float) -> float:
             return self.path_model.one_way_delay(now, down_rng, "down")
 
+        share = self.capacity_share
         self.space_link = self.net.connect(
             "modem", "hub",
             rate_ab=self.uplink.rate_at, rate_ba=self.downlink.rate_at,
             delay=up_delay, delay_ba=down_delay,
-            queue_ab=DropTailQueue(capacity_bytes=p.up_queue_bytes),
-            queue_ba=DropTailQueue(capacity_bytes=p.down_queue_bytes),
+            queue_ab=DropTailQueue(
+                capacity_bytes=max(1, int(p.up_queue_bytes * share))),
+            queue_ba=DropTailQueue(
+                capacity_bytes=max(1, int(p.down_queue_bytes * share))),
             loss_ab=self._loss_model("up"), loss_ba=self._loss_model("down"))
 
         if self.pep_enabled:

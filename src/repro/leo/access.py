@@ -259,17 +259,24 @@ class StarlinkAccess:
                  seed: int = 0, epoch_t: float = 0.0,
                  timeline: CampaignTimeline | None = None,
                  constellation: Constellation | None = None,
-                 path_model: StarlinkPathModel | None = None):
+                 path_model: StarlinkPathModel | None = None,
+                 capacity_share: float = 1.0):
         self.params = params or StarlinkParams()
         self.seed = seed
         self.epoch_t = epoch_t
+        #: Fraction of the terminal's capacity this access models (a
+        #: per-connection shard of a multi-connection experiment runs
+        #: at ``1/N``); rates and queue depth scale with it, latency
+        #: and loss do not.
+        self.capacity_share = capacity_share
         self.timeline = timeline or CampaignTimeline()
         self.path_model = path_model or StarlinkPathModel(
             params=self.params, constellation=constellation,
             timeline=self.timeline, seed=seed)
         self.channel = StarlinkChannel(
             down_mean=self.params.down_mean_bps,
-            up_mean=self.params.up_mean_bps, seed=seed)
+            up_mean=self.params.up_mean_bps, seed=seed,
+            share=capacity_share)
         self.channel.downlink.scale = self.timeline.capacity_scale(epoch_t)
 
         # The simulator clock runs at campaign time so geometry and
@@ -307,13 +314,16 @@ class StarlinkAccess:
         def down_delay(now: float) -> float:
             return self.path_model.one_way_delay(now, down_rng, "down")
 
+        share = self.capacity_share
         space = self.net.connect(
             "dish", "cgnat",
             rate_ab=self.channel.uplink.rate_at,
             rate_ba=self._scaled_downlink_rate,
             delay=up_delay, delay_ba=down_delay,
-            queue_ab=DropTailQueue(capacity_bytes=p.up_queue_bytes),
-            queue_ba=DropTailQueue(capacity_bytes=p.down_queue_bytes),
+            queue_ab=DropTailQueue(
+                capacity_bytes=max(1, int(p.up_queue_bytes * share))),
+            queue_ba=DropTailQueue(
+                capacity_bytes=max(1, int(p.down_queue_bytes * share))),
             loss_ab=self.channel.make_loss_model("up"),
             loss_ba=self.channel.make_loss_model("down"))
         self.space_link = space

@@ -134,19 +134,32 @@ class ChannelParams:
 
 
 class StarlinkChannel:
-    """Bundles capacity processes and loss models for both directions."""
+    """Bundles capacity processes and loss models for both directions.
+
+    ``share`` scales the granted capacity (mean and clamps alike) to a
+    fraction of the subscriber terminal's allocation. Per-connection
+    work-unit shards use it to model one TCP flow's fair share of the
+    dish: N single-connection channels at ``share=1/N`` stand in for N
+    flows contending on one full-capacity channel. Loss is a property
+    of the medium, not of the share, so the loss models are unscaled.
+    """
 
     def __init__(self, down_mean: float = mbps(210),
                  up_mean: float = mbps(19),
                  params: ChannelParams | None = None,
-                 seed: int = 0):
+                 seed: int = 0, share: float = 1.0):
+        if not 0.0 < share <= 1.0:
+            raise ConfigurationError(
+                f"share must be within (0, 1], got {share!r}")
         self.params = params or ChannelParams()
+        self.share = share
         self.downlink = CapacityProcess(
-            down_mean, slot_cv=0.22, seed=seed * 7 + 1,
-            min_rate=mbps(90), max_rate=mbps(400))
+            down_mean * share, slot_cv=0.22, seed=seed * 7 + 1,
+            min_rate=mbps(90) * share, max_rate=mbps(400) * share)
         self.uplink = CapacityProcess(
-            up_mean, slot_cv=0.25, fast_sigma=0.04, seed=seed * 7 + 2,
-            min_rate=mbps(6), max_rate=mbps(70))
+            up_mean * share, slot_cv=0.25, fast_sigma=0.04,
+            seed=seed * 7 + 2,
+            min_rate=mbps(6) * share, max_rate=mbps(70) * share)
         self._seed = seed
 
     def make_loss_model(self, direction: str) -> CompositeLoss:

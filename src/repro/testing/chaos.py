@@ -31,9 +31,10 @@ import os
 import re
 import signal
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ChaosError, ConfigurationError
+from repro.exec.sharding import atom_count, shard_label
 from repro.rng import make_rng
 
 
@@ -99,11 +100,19 @@ class ChaosInjection:
 
 @dataclass(frozen=True)
 class ChaosUnit:
-    """A work unit that sabotages chosen attempts, then delegates."""
+    """A work unit that sabotages chosen attempts, then delegates.
+
+    Splittable inner units stay splittable: the wrapper delegates the
+    atoms contract, claims each *shard's* attempts under the shard
+    label (``label#s<start>-<stop>``), and strikes a shard only when
+    ``shard_specs`` names it — so a test can SIGKILL one shard of one
+    unit and prove the others were never re-run.
+    """
 
     inner: object
     spec: ChaosSpec
     state_dir: str
+    shard_specs: dict = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -117,32 +126,60 @@ class ChaosUnit:
     def config(self):
         return self.inner.config
 
+    def _strike(self, spec: ChaosSpec, attempt: int,
+                label: str) -> None:
+        if attempt in spec.kill_on:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if attempt in spec.hang_on:
+            time.sleep(spec.hang_s)
+        if attempt in spec.interrupt_on:
+            raise KeyboardInterrupt
+        if attempt in spec.raise_on:
+            raise ChaosError(f"{spec.message} "
+                             f"(unit {label!r}, attempt {attempt})")
+
     def run(self):
         attempt = claim_attempt(self.state_dir, self.label)
-        if attempt in self.spec.kill_on:
-            os.kill(os.getpid(), signal.SIGKILL)
-        if attempt in self.spec.hang_on:
-            time.sleep(self.spec.hang_s)
-        if attempt in self.spec.interrupt_on:
-            raise KeyboardInterrupt
-        if attempt in self.spec.raise_on:
-            raise ChaosError(f"{self.spec.message} "
-                             f"(unit {self.label!r}, attempt {attempt})")
+        self._strike(self.spec, attempt, self.label)
         return self.inner.run()
+
+    # -- atoms contract (delegated, per-shard sabotage) --------------------
+
+    def n_atoms(self) -> int:
+        return atom_count(self.inner)
+
+    def run_atoms(self, start: int, stop: int):
+        label = shard_label(self.inner.label, start, stop)
+        attempt = claim_attempt(self.state_dir, label)
+        spec = self.shard_specs.get(label)
+        if spec is not None:
+            self._strike(spec, attempt, label)
+        return self.inner.run_atoms(start, stop)
+
+    def merge_atoms(self, payloads):
+        return self.inner.merge_atoms(payloads)
 
 
 def wrap_units(units, state_dir: str | os.PathLike,
                specs: dict[str, ChaosSpec] | None = None,
-               default: ChaosSpec | None = None) -> list[ChaosUnit]:
+               default: ChaosSpec | None = None,
+               shard_specs: dict[str, dict[str, ChaosSpec]] | None = None
+               ) -> list[ChaosUnit]:
     """Wrap every unit; ``specs`` maps labels to their sabotage.
 
     Units without a spec get ``default`` (calm by default), so attempt
-    counting stays uniform across the whole run.
+    counting stays uniform across the whole run. ``shard_specs`` maps
+    a *unit* label to a dict of *shard* labels
+    (``label#s<start>-<stop>``, see
+    :func:`repro.exec.sharding.shard_label`) and strikes only those
+    shards when the unit runs split.
     """
     specs = specs or {}
     default = default or ChaosSpec()
+    shard_specs = shard_specs or {}
     return [ChaosUnit(unit, specs.get(unit.label, default),
-                      str(state_dir))
+                      str(state_dir),
+                      shard_specs=shard_specs.get(unit.label, {}))
             for unit in units]
 
 

@@ -107,6 +107,29 @@ def test_default_workers_is_positive():
     assert default_workers() >= 1
 
 
+def test_sharded_run_all_is_bit_identical_to_serial():
+    serial = Campaign(tiny_config(seed=0)).run_all(workers=1)
+    sharded = Campaign(tiny_config(seed=0)).run_all(workers=4,
+                                                    granularity=4)
+    assert digest_dataset(serial) == digest_dataset(sharded)
+
+
+def test_config_granularity_is_the_default():
+    config = tiny_config(seed=2)
+    config.shard_granularity = 3
+    from_config = Campaign(config).run_pings(workers=2)
+    explicit = Campaign(tiny_config(seed=2)).run_pings(workers=2,
+                                                       granularity=3)
+    serial = Campaign(tiny_config(seed=2)).run_pings(workers=1)
+    assert digest_value(from_config.series) \
+        == digest_value(explicit.series) == digest_value(serial.series)
+
+
+def test_config_rejects_bad_granularity():
+    with pytest.raises(ConfigurationError, match="shard_granularity"):
+        CampaignConfig(shard_granularity=0)
+
+
 def test_ping_unit_is_self_contained():
     # A unit run in isolation must equal the same unit run through
     # the campaign (shared caches are pure memos, order-independent).
