@@ -22,12 +22,22 @@ honest number on single-CPU CI runners, where N processes time-slice
 one core and the *measured* parallel wall clock can never beat ~1x;
 the per-shard costs feeding the model are real measurements.
 
+The ``cc_matrix`` section crosses congestion controllers with the
+adverse-conditions scenarios: every controller runs the same
+single-epoch Ookla-style download under ``clear_sky``, ``rain_fade``
+and ``sat_outage``, plus a PEP-vs-BBR comparison on the GEO path
+(split-TCP proxy with Cubic endpoints against a PEP-less path with
+Cubic and with BBR). The hard gate mirrors "Unveiling TCP BBR
+Dominance in Starlink Internet": BBR must sustain higher mean
+goodput than Cubic under ``rain_fade`` random loss.
+
 Not a pytest module on purpose — run it directly::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py --workers 4
 
 ``REPRO_BENCH_SMOKE=1`` trims the campaign further so CI smoke runs
-finish in seconds.
+finish in seconds (the cc_matrix keeps only its ``rain_fade`` rows —
+the gate — and records which rows were skipped).
 """
 
 from __future__ import annotations
@@ -39,13 +49,18 @@ import pathlib
 import sys
 import time
 
+from repro.apps.speedtest import run_speedtest
 from repro.core.campaign import Campaign, CampaignConfig, quick_config
 from repro.exec.runner import (
     UnitTiming,
     default_workers,
     timing_breakdown,
 )
+from repro.exec.units import OOKLA_BRUSSELS, SpeedtestUnit
+from repro.geo.satcom import GeoSatComAccess
 from repro.testing.digest import digest_dataset
+from repro.transport.cc import CC_KINDS
+from repro.transport.tcp import TcpConfig
 from repro.units import minutes
 
 OUTPUT_PATH = pathlib.Path(__file__).parent / "output" \
@@ -64,14 +79,22 @@ OUTPUT_PATH = pathlib.Path(__file__).parent / "output" \
 #: is a deliberate byte-level change to the dataset -- the old digest
 #: (``6bd854c021a0ab1e...``, threaded per-unit streams) is
 #: unreachable by construction. The digest below is what the sharded
-#: executor produces serially, deterministically, and is the new
+#: executor produces serially, deterministically, and is the
 #: bit-identical contract: any perf work must reproduce it exactly
 #: while cutting the wall clock, so a mismatch fails the run.
+#:
+#: Re-recorded for the CC-matrix PR's HyStart bugfixes: QUIC now
+#: feeds the controller the *latest* RTT sample instead of the
+#: smoothed EWMA, and loss/RTO clears stale HyStart round state —
+#: both legitimately move slow-start exit timing, so the previous
+#: digest (``4f9b48614b4dfe98...``) is unreachable. The default
+#: ``cc="cubic"`` plumbing itself is byte-neutral (verified cell by
+#: cell in scripts/cc_matrix_smoke.py).
 PRE_FASTPATH_REFERENCE = {
     "commit": "9910dfe",
     "serial_wall_s": 72.184,
-    "dataset_digest": "4f9b48614b4dfe989eb3cf2fdb0f385a"
-                      "22a2a93714d5e0e56a1121efa37665b0",
+    "dataset_digest": "055a1e38075fe0b51d71235a8587a9da"
+                      "470dbd191f01dcf0eb782502b4e31ac3",
 }
 
 
@@ -189,6 +212,148 @@ def before_after(serial_digest: str, serial_s: float,
     }
 
 
+#: CC x scenario axes. Scenarios come from PR 5's disruption
+#: subsystem; controllers from the transport layer's registry.
+CC_MATRIX_SCENARIOS = ("clear_sky", "rain_fade", "sat_outage")
+CC_MATRIX_SEEDS = (0, 1)
+#: Single-epoch download placed mid-campaign; matches the seeds the
+#: campaign itself derives for its first speedtest unit.
+CC_MATRIX_EPOCH = 3600.0
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def cc_cell_config(scenario: str, cc: str) -> CampaignConfig:
+    """One matrix cell: a micro campaign config for a speedtest unit.
+
+    The smoke trim cuts connections and the measurement window so the
+    gate rows finish in well under a second each; the ordering BBR >
+    Cubic under rain_fade holds for both shapes (the fade's 18 %
+    random loss dominates either way).
+    """
+    if _smoke():
+        connections, measure_s, warmup_s = 2, 4.0, 1.0
+    else:
+        connections, measure_s, warmup_s = 4, 8.0, 2.0
+    return CampaignConfig(
+        seed=0, scenario=scenario, cc=cc,
+        ping_days=1.0, ping_interval_s=minutes(60),
+        speedtest_epochs=1, speedtest_connections=connections,
+        speedtest_measure_s=measure_s, speedtest_warmup_s=warmup_s,
+        bulk_per_direction=1, bulk_bytes=500_000,
+        messages_per_direction=1, messages_duration_s=1.5,
+        web_sites=3, web_visits_per_site=1)
+
+
+def cc_matrix_cell(scenario: str, cc: str) -> dict:
+    """Mean download goodput over the fixed seeds (deterministic)."""
+    config = cc_cell_config(scenario, cc)
+    began = time.perf_counter()
+    values = []
+    for seed in CC_MATRIX_SEEDS:
+        sample = SpeedtestUnit(config, "starlink", "down",
+                               CC_MATRIX_EPOCH, 1000 + seed).run()
+        values.append(sample.throughput_mbps)
+    return {
+        "scenario": scenario,
+        "cc": cc,
+        "seeds": list(CC_MATRIX_SEEDS),
+        "throughput_mbps": [round(v, 3) for v in values],
+        "mean_mbps": round(sum(values) / len(values), 3),
+        "wall_s": round(time.perf_counter() - began, 3),
+    }
+
+
+def geo_pep_cell(pep_enabled: bool, cc: str) -> dict:
+    """One GEO download: split-TCP PEP on/off x endpoint controller.
+
+    Full capacity share on purpose — the PEP's space-segment sender
+    paces at the provisioned plan rate, so a scaled-down link would
+    just measure the proxy overrunning it. One seed, short window:
+    the GEO + BBR simulation is the most expensive cell of the bench
+    (600 ms RTT keeps a ~5 MB flight in the event loop).
+    """
+    began = time.perf_counter()
+    access = GeoSatComAccess(seed=3000, epoch_t=CC_MATRIX_EPOCH,
+                             pep_enabled=pep_enabled)
+    server = access.add_remote_host("ookla", "62.4.0.10",
+                                    OOKLA_BRUSSELS)
+    access.finalize()
+    result = run_speedtest(access.client, server, "down",
+                           connections=1, warmup_s=5.0, measure_s=8.0,
+                           config=TcpConfig(cc=cc))
+    return {
+        "pep": pep_enabled,
+        "cc": cc,
+        "throughput_mbps": round(result.throughput_mbps, 3),
+        "wall_s": round(time.perf_counter() - began, 3),
+    }
+
+
+def cc_matrix() -> dict:
+    """CC x scenario goodput matrix plus the GEO PEP-vs-BBR rows.
+
+    Smoke mode keeps only the rain_fade rows (the gate) and names
+    every skipped row — a trimmed matrix must not read as a full one.
+    """
+    smoke = _smoke()
+    scenarios = ("rain_fade",) if smoke else CC_MATRIX_SCENARIOS
+    skipped = []
+    rows = [cc_matrix_cell(scenario, cc)
+            for scenario in scenarios for cc in CC_KINDS]
+    if smoke:
+        skipped += [f"starlink:{s}:{cc}"
+                    for s in CC_MATRIX_SCENARIOS if s not in scenarios
+                    for cc in CC_KINDS]
+
+    # GEO PEP interaction: the operator's split-TCP proxy (Cubic
+    # endpoints) against a PEP-less path with Cubic and with BBR.
+    # The pep+bbr cell is deliberately absent: the proxy terminates
+    # the subscriber connection, so the endpoint controller never
+    # drives the space segment — it would re-measure the pep+cubic
+    # row at ~20x the cost.
+    geo_rows = []
+    if smoke:
+        skipped += ["geo:pep:cubic", "geo:nopep:cubic",
+                    "geo:nopep:bbr"]
+    else:
+        geo_rows = [geo_pep_cell(True, "cubic"),
+                    geo_pep_cell(False, "cubic"),
+                    geo_pep_cell(False, "bbr")]
+
+    def mean(scenario: str, cc: str) -> float | None:
+        for row in rows:
+            if row["scenario"] == scenario and row["cc"] == cc:
+                return row["mean_mbps"]
+        return None
+
+    gate = {
+        "criterion": "rain_fade: mean goodput bbr > cubic",
+        "bbr_mean_mbps": mean("rain_fade", "bbr"),
+        "cubic_mean_mbps": mean("rain_fade", "cubic"),
+    }
+    gate["passed"] = (gate["bbr_mean_mbps"] or 0.0) \
+        > (gate["cubic_mean_mbps"] or 0.0)
+
+    section = {
+        "controllers": list(CC_KINDS),
+        "rows": rows,
+        "geo_pep_rows": geo_rows,
+        "skipped_rows": skipped,
+        "rain_fade_gate": gate,
+    }
+    if geo_rows:
+        pep_cubic = geo_rows[0]["throughput_mbps"]
+        nopep_bbr = geo_rows[2]["throughput_mbps"]
+        # How much of the proxy's benefit plain BBR recovers without
+        # any middlebox — the paper-adjacent headline number.
+        section["bbr_pep_recovery_fraction"] = round(
+            nopep_bbr / pep_cubic, 3) if pep_cubic > 0 else None
+    return section
+
+
 def run_bench(workers: int, seed: int) -> dict:
     config = bench_config(seed)
     serial_shards: list[UnitTiming] = []
@@ -209,6 +374,7 @@ def run_bench(workers: int, seed: int) -> dict:
         "before_after": before_after(serial_digest, serial_s, seed),
         "shard_sweep": shard_sweep(config, serial_digest, serial_s,
                                    serial_shards),
+        "cc_matrix": cc_matrix(),
         "unit_breakdown": [
             {key: round(val, 4) if isinstance(val, float) else val
              for key, val in row.items()}
@@ -244,6 +410,11 @@ def main(argv: list[str] | None = None) -> int:
     if ba is not None and not ba["digest_match_vs_before"]:
         print("FATAL: dataset digest diverged from the pre-fast-path "
               "reference", file=sys.stderr)
+        return 1
+    if not report["cc_matrix"]["rain_fade_gate"]["passed"]:
+        print("FATAL: BBR did not beat Cubic under rain_fade — the "
+              "CC matrix lost the paper's qualitative ordering",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -65,12 +65,16 @@ def run_messages_workload(client: Host, server: Host, direction: str,
                           duration_s: float = DEFAULT_DURATION_S,
                           rate_per_s: float = MESSAGES_PER_SECOND,
                           port: int = 4433, seed: int = 0,
-                          tail_s: float = 3.0) -> MessagesResult:
+                          tail_s: float = 3.0,
+                          config: QuicConfig | None = None
+                          ) -> MessagesResult:
     """Run the 25 msg/s workload in one direction.
 
     For downloads the server emits the messages (triggered by a tiny
     client request); for uploads the client does. Drives the
-    simulator for ``duration_s`` plus a drain tail.
+    simulator for ``duration_s`` plus a drain tail. ``config``
+    applies to both endpoints (arrival recording is forced on — the
+    loss analysis needs it).
     """
     if direction not in ("down", "up"):
         raise MeasurementError(
@@ -78,7 +82,8 @@ def run_messages_workload(client: Host, server: Host, direction: str,
             f"got {direction!r}")
     sim = client.sim
     rng = make_rng((seed, "messages", direction))
-    config = QuicConfig(record_arrivals=True)
+    config = config or QuicConfig()
+    config.record_arrivals = True
 
     state = {"sender": None, "receiver": None, "server_conn": None}
     completions: dict[int, float] = {}

@@ -43,13 +43,16 @@ class SpeedtestResult:
 def run_speedtest(client: Host, server: Host, direction: str,
                   connections: int = 4, warmup_s: float = 2.0,
                   measure_s: float = 5.0, port: int = 8080,
-                  payload_bytes: int = mb(400)) -> SpeedtestResult:
+                  payload_bytes: int = mb(400),
+                  config: TcpConfig | None = None) -> SpeedtestResult:
     """Run one Ookla-like test in one direction.
 
     Opens ``connections`` parallel TCP flows; the measurement window
     starts after ``warmup_s`` (excluding the slow-start ramp the way
     Ookla discards initial samples) and lasts ``measure_s``. Drives
-    the host's simulator.
+    the host's simulator. ``config`` applies to both endpoints, so
+    the bulk sender (server for ``down``, client for ``up``) uses its
+    congestion controller.
     """
     sim = client.sim
     counters = {"bytes": 0, "counting": False}
@@ -63,20 +66,24 @@ def run_speedtest(client: Host, server: Host, direction: str,
         def on_server_conn(conn):
             conn.on_established = lambda: conn.send(payload_bytes)
         server_app = TcpServer(server, port,
-                               on_connection=on_server_conn)
+                               on_connection=on_server_conn,
+                               config=config)
         clients = []
         for _ in range(connections):
-            conn = tcp_connect(client, server.address, port)
+            conn = tcp_connect(client, server.address, port,
+                               config=config)
             conn.on_bytes_delivered = count
             clients.append(conn)
     elif direction == "up":
         def on_server_conn(conn):
             conn.on_bytes_delivered = count
         server_app = TcpServer(server, port,
-                               on_connection=on_server_conn)
+                               on_connection=on_server_conn,
+                               config=config)
         clients = []
         for _ in range(connections):
-            conn = tcp_connect(client, server.address, port)
+            conn = tcp_connect(client, server.address, port,
+                               config=config)
             conn.on_established = (
                 lambda c=None, conn=None: None)  # placeholder
             clients.append(conn)

@@ -72,6 +72,7 @@ from repro.core.rtt import (
 )
 from repro.core.throughput import figure5_throughput
 from repro.disrupt.scenarios import scenario_names
+from repro.transport.cc import CC_KINDS
 from repro.errors import JournalError
 from repro.exec.journal import Journal
 from repro.exec.runner import FAILURE_POLICIES, UnitTiming, render_timings
@@ -110,6 +111,8 @@ def _build_config(args: argparse.Namespace) -> CampaignConfig:
         config.web_sites = args.sites
     if args.scenario is not None:
         config.scenario = args.scenario
+    if args.cc is not None:
+        config.cc = args.cc
     return config
 
 
@@ -237,6 +240,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="adverse-conditions scenario the campaign "
                              "runs under (default clear_sky: disrupt "
                              "nothing)")
+    parser.add_argument("--cc", choices=CC_KINDS, default=None,
+                        help="congestion controller for the bulk "
+                             "senders of every measurement app "
+                             "(default cubic; cross with --scenario "
+                             "for the CC x conditions matrix)")
     parser.add_argument("--workers", type=int, default=1,
                         help="campaign worker processes (default 1; "
                              "results are identical for any value)")

@@ -60,6 +60,7 @@ from repro.leo.access import StarlinkAccess, StarlinkPathModel
 from repro.leo.constellation import Constellation
 from repro.leo.events import CampaignTimeline, date_to_t
 from repro.rng import make_rng
+from repro.transport.cc import CC_KINDS
 from repro.units import mb, minutes
 
 from datetime import datetime
@@ -128,6 +129,12 @@ class CampaignConfig:
     #: ``"clear_sky"`` is guaranteed to disrupt nothing: datasets are
     #: bit-identical to a build without the disrupt subsystem.
     scenario: str = "clear_sky"
+    #: Congestion controller used by every measurement app's bulk
+    #: senders ("cubic", "newreno" or "bbr"); ``"cubic"`` keeps
+    #: datasets bit-identical to earlier builds. Cross with
+    #: ``scenario`` for the CC x conditions matrix (BBR's loss-blind
+    #: model is the interesting cell under ``rain_fade``).
+    cc: str = "cubic"
 
     def __post_init__(self) -> None:
         for name in ("ping_days", "ping_interval_s",
@@ -156,6 +163,10 @@ class CampaignConfig:
             raise ConfigurationError(
                 f"CampaignConfig.ping_loss_prob must be within "
                 f"[0, 1], got {self.ping_loss_prob!r}")
+        if self.cc not in CC_KINDS:
+            raise ConfigurationError(
+                f"CampaignConfig.cc must be one of {CC_KINDS}, "
+                f"got {self.cc!r}")
         if self.scenario not in scenario_names():
             raise ConfigurationError(
                 f"CampaignConfig.scenario must be one of "

@@ -53,6 +53,8 @@ from repro.leo.constellation import Constellation
 from repro.leo.events import CampaignTimeline
 from repro.leo.geometry import GeoPoint
 from repro.rng import make_rng, stable_seed
+from repro.transport.quic import QuicConfig
+from repro.transport.tcp import TcpConfig
 from repro.units import days
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -306,7 +308,8 @@ class SpeedtestUnit:
             access.finalize()
             results.append(run_speedtest(
                 access.client, server, self.direction, connections=1,
-                warmup_s=warmup, measure_s=cfg.speedtest_measure_s))
+                warmup_s=warmup, measure_s=cfg.speedtest_measure_s,
+                config=TcpConfig(cc=cfg.cc)))
         return results
 
     def merge_atoms(self, results) -> SpeedtestSample:
@@ -394,7 +397,8 @@ class BulkUnit:
             access.finalize()
             results.append(run_bulk_transfer(
                 access.client, server, self.direction,
-                payload_bytes=sizes[seg]))
+                payload_bytes=sizes[seg],
+                config=QuicConfig(cc=cfg.cc)))
         return results
 
     def merge_atoms(self, results) -> BulkSample:
@@ -471,7 +475,8 @@ class MessagesUnit:
         access.finalize()
         result = run_messages_workload(
             access.client, server, self.direction,
-            duration_s=cfg.messages_duration_s, seed=self.workload_seed)
+            duration_s=cfg.messages_duration_s, seed=self.workload_seed,
+            config=QuicConfig(cc=cfg.cc))
         return MessagesSample(t=self.epoch, direction=self.direction,
                               result=result)
 

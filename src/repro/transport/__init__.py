@@ -2,18 +2,29 @@
 
 Shared machinery lives at this level: :mod:`rangeset` (interval
 bookkeeping for ACKs and reassembly), :mod:`rtt` (RFC 6298 smoothing)
-and :mod:`cc` (NewReno and Cubic congestion control, both used by TCP
-and QUIC). The protocol stacks are in :mod:`repro.transport.tcp` and
-:mod:`repro.transport.quic`.
+and :mod:`cc` (NewReno, Cubic and BBR congestion control, all usable
+by both TCP and QUIC). The protocol stacks are in
+:mod:`repro.transport.tcp` and :mod:`repro.transport.quic`.
 """
 
 from repro.transport.rangeset import RangeSet
 from repro.transport.rtt import RttEstimator
-from repro.transport.cc import CubicController, NewRenoController
+from repro.transport.cc import (
+    CC_KINDS,
+    BBRController,
+    CubicController,
+    DeliveryRateSample,
+    NewRenoController,
+    make_controller,
+)
 
 __all__ = [
+    "CC_KINDS",
     "RangeSet",
     "RttEstimator",
+    "BBRController",
     "CubicController",
+    "DeliveryRateSample",
     "NewRenoController",
+    "make_controller",
 ]

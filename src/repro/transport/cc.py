@@ -1,23 +1,89 @@
-"""Congestion control: NewReno and Cubic.
+"""Congestion control: NewReno, Cubic and BBR.
 
-Both controllers work in bytes and are transport-agnostic; TCP and
+All controllers work in bytes and are transport-agnostic; TCP and
 QUIC drive them with ``on_ack`` / ``on_congestion_event`` /
 ``on_timeout``. Cubic follows RFC 8312 (the kernel and quiche default
-during the paper's campaign); NewReno exists for the ablation bench.
+during the paper's campaign); NewReno exists for the ablation bench;
+BBR is the model-based controller of "Unveiling TCP BBR Dominance in
+Starlink Internet" — it builds a bottleneck-bandwidth / min-RTT model
+from per-ACK :class:`DeliveryRateSample` records and paces to the
+model instead of reacting to loss, which is what lets it ride out the
+random loss bursts of the ``rain_fade``/``sat_outage`` scenarios.
+
+Loss-based controllers ignore the optional ``sample``/``in_flight``
+arguments of ``on_ack``, so transports can always pass them; BBR also
+exposes ``pacing_rate_bps`` (``None`` until the model has a bandwidth
+estimate), which the transports' pacing pumps consult per segment.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
 #: Default initial window, segments (RFC 6928).
 INITIAL_WINDOW_SEGMENTS = 10
 
+#: Controller names :func:`make_controller` accepts.
+CC_KINDS = ("cubic", "newreno", "bbr")
+
+
+@dataclass(frozen=True)
+class DeliveryRateSample:
+    """Per-ACK delivery-rate sample (rate-estimation draft style).
+
+    ``prior_delivered``/``prior_delivered_time`` are the connection's
+    delivered-byte counter and its timestamp *when the newly ACKed
+    packet was sent*; together with the totals at ACK time they give
+    the delivery rate over exactly one flight. ``app_limited`` marks
+    samples taken while the sender had too little data queued to fill
+    the window — they may understate the path and only raise, never
+    cap, the model.
+
+    ``sent_time``/``first_sent_time`` bound the *send side* of the
+    sample period (the acked packet's transmit time and the transmit
+    time of the first packet of its sample period). The effective
+    interval is the longer of the ACK-side and send-side spans, the
+    ``tcp_rate.c`` guard against ACK compression: link schedulers
+    that batch ACKs (Starlink's 15 ms frames) otherwise produce
+    tiny ACK intervals whose inflated instantaneous rates latch into
+    BBR's windowed-max filter. Both default to 0, which degrades to
+    the plain ACK-interval rate.
+    """
+
+    delivered: int              # delivered total at ACK receipt, bytes
+    delivered_time: float       # when the ACK arrived
+    prior_delivered: int        # delivered total at send time
+    prior_delivered_time: float
+    in_flight: int              # bytes left in flight after this ACK
+    app_limited: bool = False
+    sent_time: float = 0.0      # when the acked packet left
+    first_sent_time: float = 0.0  # sample period's first transmit
+
+    @property
+    def interval_s(self) -> float:
+        """Sampling interval, seconds."""
+        ack_span = self.delivered_time - self.prior_delivered_time
+        send_span = self.sent_time - self.first_sent_time
+        return max(ack_span, send_span)
+
+    @property
+    def delivery_rate_bps(self) -> float:
+        """Estimated delivery rate, bit/s (0 when degenerate)."""
+        if self.interval_s <= 0:
+            return 0.0
+        return (self.delivered - self.prior_delivered) * 8.0 \
+            / self.interval_s
+
 
 class NewRenoController:
     """Classic AIMD congestion control in bytes."""
+
+    #: Loss-based controllers do not drive the pacing pump.
+    pacing_rate_bps: float | None = None
 
     def __init__(self, mss: int, initial_window: int | None = None):
         if mss <= 0:
@@ -34,7 +100,9 @@ class NewRenoController:
         """Whether the controller is in slow start."""
         return self.cwnd < self.ssthresh
 
-    def on_ack(self, bytes_acked: int, now: float, rtt: float) -> None:
+    def on_ack(self, bytes_acked: int, now: float, rtt: float,
+               sample: DeliveryRateSample | None = None,
+               in_flight: int = 0) -> None:
         """Grow the window for newly acknowledged bytes."""
         if now < self._recovery_until:
             return
@@ -89,6 +157,9 @@ class CubicController:
     HYSTART_MIN_SAMPLES = 8
     HYSTART_CONFIRM_ROUNDS = 2
 
+    #: Loss-based controllers do not drive the pacing pump.
+    pacing_rate_bps: float | None = None
+
     def __init__(self, mss: int, initial_window: int | None = None,
                  hystart: bool = True):
         if mss <= 0:
@@ -108,7 +179,6 @@ class CubicController:
         self._epoch_start: float | None = None
         self._k = 0.0
         self._w_est = 0.0
-        self._acked_in_epoch = 0.0
         self._recovery_until = -1.0
         self.congestion_events = 0
 
@@ -117,7 +187,9 @@ class CubicController:
         """Whether the controller is in slow start."""
         return self.cwnd < self.ssthresh
 
-    def on_ack(self, bytes_acked: int, now: float, rtt: float) -> None:
+    def on_ack(self, bytes_acked: int, now: float, rtt: float,
+               sample: DeliveryRateSample | None = None,
+               in_flight: int = 0) -> None:
         """Window growth per RFC 8312 (``rtt`` = latest sample)."""
         if now < self._recovery_until:
             return
@@ -142,9 +214,9 @@ class CubicController:
         w_cubic_seg = (self.C * (t - self._k) ** 3
                        + self._w_max / self.mss)
         w_cubic = w_cubic_seg * self.mss
-        # TCP-friendly estimate (standard AIMD rate).
-        self._acked_in_epoch += bytes_acked
-        rtt = max(rtt, 1e-4)
+        # TCP-friendly estimate: the RFC 8312 Sec. 4.2 per-ACK form
+        # of W_est, which needs only the ACKed byte count (the RTT
+        # cancels out of the AIMD increment).
         self._w_est += (3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
                         * self.mss * bytes_acked / self.cwnd)
         target = max(w_cubic, self._w_est)
@@ -195,7 +267,17 @@ class CubicController:
             self._k = 0.0
             self._w_max = self.cwnd
         self._w_est = self.cwnd
-        self._acked_in_epoch = 0.0
+
+    def _reset_hystart_round(self) -> None:
+        # Loss and RTO both invalidate the HyStart round in progress:
+        # slow start re-entered after an RTO must not inherit a
+        # pre-RTO flagged round (or its _bad_rounds streak) and exit
+        # prematurely off stale delay evidence.
+        self._round_end = 0.0
+        self._round_min = float("inf")
+        self._round_samples = 0
+        self._round_flagged = False
+        self._bad_rounds = 0
 
     def on_congestion_event(self, now: float) -> None:
         """Loss: multiplicative decrease with fast convergence."""
@@ -210,6 +292,7 @@ class CubicController:
         self.cwnd = max(2 * self.mss, self.cwnd * self.BETA)
         self.ssthresh = self.cwnd
         self._epoch_start = None
+        self._reset_hystart_round()
         self._recovery_until = now
 
     def set_recovery(self, until: float) -> None:
@@ -223,6 +306,7 @@ class CubicController:
         self.ssthresh = max(2 * self.mss, self.cwnd * self.BETA)
         self.cwnd = self.mss
         self._epoch_start = None
+        self._reset_hystart_round()
 
     @property
     def name(self) -> str:
@@ -230,11 +314,278 @@ class CubicController:
         return "cubic"
 
 
+class BBRController:
+    """Model-based congestion control (BBR v1, bytes).
+
+    The controller keeps a two-parameter model of the path — the
+    bottleneck bandwidth (windowed max of delivery-rate samples over
+    the last :data:`BW_WINDOW_ROUNDS` packet-timed rounds) and the
+    round-trip propagation delay (windowed min over
+    :data:`MIN_RTT_WINDOW_S`) — and derives both the congestion
+    window (``cwnd_gain * BDP``) and a pacing rate
+    (``pacing_gain * bw``) from it. The state machine is the standard
+    STARTUP (2/ln2 gain until the bandwidth filter plateaus for
+    :data:`FULL_BW_ROUNDS` rounds) -> DRAIN (inverse gain until the
+    queue built during STARTUP empties) -> PROBE_BW (eight-phase
+    pacing-gain cycle) loop, with PROBE_RTT visited whenever the
+    min-RTT estimate goes :data:`MIN_RTT_WINDOW_S` without a refresh.
+
+    Loss is *not* a model input: ``on_congestion_event`` only counts
+    the event, which is exactly why BBR sustains goodput through the
+    random loss of the ``rain_fade`` scenario where Cubic collapses
+    (the BBR-dominance paper's core result). An RTO still collapses
+    the window conservatively, like the other controllers.
+    """
+
+    STARTUP_GAIN = 2.0 / math.log(2.0)      # 2/ln2 ~ 2.885
+    DRAIN_GAIN = math.log(2.0) / 2.0
+    CWND_GAIN = 2.0
+    #: PROBE_BW pacing-gain cycle (RFC-draft phase order).
+    PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    BW_WINDOW_ROUNDS = 10
+    FULL_BW_ROUNDS = 3
+    FULL_BW_GROWTH = 1.25
+    MIN_RTT_WINDOW_S = 10.0
+    PROBE_RTT_DURATION_S = 0.2
+    MIN_CWND_SEGMENTS = 4
+
+    def __init__(self, mss: int, initial_window: int | None = None):
+        if mss <= 0:
+            raise ConfigurationError(f"mss must be positive, got {mss}")
+        self.mss = mss
+        self.cwnd = (initial_window if initial_window is not None
+                     else INITIAL_WINDOW_SEGMENTS * mss)
+        self.ssthresh = float("inf")    # unused; kept for the CC API
+        self.congestion_events = 0
+        self.state = "STARTUP"
+        self.pacing_gain = self.STARTUP_GAIN
+        self.cwnd_gain = self.STARTUP_GAIN
+        # Path model. The bandwidth filter is a sliding-window
+        # maximum over the last BW_WINDOW_ROUNDS packet-timed rounds,
+        # kept as a monotonic deque of (round, bps) with decreasing
+        # bps: the head is always the windowed max, and every sample
+        # is pushed/popped at most once — fast-RTT paths deliver
+        # thousands of samples per round window, so a plain list
+        # re-scanned per ACK turns the pump quadratic.
+        self._bw_filter: deque[tuple[int, float]] = deque()
+        self._min_rtt = float("inf")
+        self._min_rtt_stamp = 0.0
+        # Packet-timed round counting off the delivered counter.
+        self._round_count = 0
+        self._next_round_delivered = 0
+        # STARTUP plateau detection.
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self.filled_pipe = False
+        # PROBE_BW cycle / PROBE_RTT bookkeeping.
+        self._cycle_index = 0
+        self._cycle_stamp = 0.0
+        self._probe_rtt_done_at: float | None = None
+        self._saved_cwnd = 0.0
+        self._recovery_until = -1.0
+
+    # -- model ----------------------------------------------------------
+
+    @property
+    def bottleneck_bw_bps(self) -> float:
+        """Windowed-max bottleneck-bandwidth estimate, bit/s."""
+        if not self._bw_filter:
+            return 0.0
+        return self._bw_filter[0][1]
+
+    @property
+    def min_rtt_s(self) -> float | None:
+        """Windowed-min round-trip estimate, or None before a sample."""
+        return None if math.isinf(self._min_rtt) else self._min_rtt
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the current model, bytes."""
+        if not self._bw_filter or math.isinf(self._min_rtt):
+            return 0.0
+        return self.bottleneck_bw_bps / 8.0 * self._min_rtt
+
+    @property
+    def pacing_rate_bps(self) -> float | None:
+        """Model-driven pacing rate; None until bandwidth is known."""
+        bw = self.bottleneck_bw_bps
+        if bw <= 0.0:
+            return None
+        return self.pacing_gain * bw
+
+    @property
+    def in_slow_start(self) -> bool:
+        """STARTUP is BBR's slow-start analogue."""
+        return self.state == "STARTUP"
+
+    def _min_cwnd(self) -> float:
+        return self.MIN_CWND_SEGMENTS * self.mss
+
+    def _update_round(self, sample: DeliveryRateSample) -> bool:
+        if sample.prior_delivered >= self._next_round_delivered:
+            self._round_count += 1
+            self._next_round_delivered = sample.delivered
+            return True
+        return False
+
+    def _update_bw(self, sample: DeliveryRateSample) -> None:
+        rate = sample.delivery_rate_bps
+        if rate <= 0.0:
+            return
+        # App-limited samples understate the path: only keep them
+        # when they still beat the current estimate.
+        if sample.app_limited and rate <= self.bottleneck_bw_bps:
+            return
+        # Monotonic-deque insert: older entries that this sample
+        # dominates can never be the windowed max again.
+        while self._bw_filter and self._bw_filter[-1][1] <= rate:
+            self._bw_filter.pop()
+        self._bw_filter.append((self._round_count, rate))
+        horizon = self._round_count - self.BW_WINDOW_ROUNDS
+        while self._bw_filter and self._bw_filter[0][0] <= horizon:
+            self._bw_filter.popleft()
+
+    def _update_min_rtt(self, now: float, rtt: float) -> None:
+        if rtt <= 0.0:
+            return
+        if rtt <= self._min_rtt \
+                or now - self._min_rtt_stamp > self.MIN_RTT_WINDOW_S:
+            self._min_rtt = rtt
+            self._min_rtt_stamp = now
+
+    # -- state machine --------------------------------------------------
+
+    def _check_full_pipe(self, round_start: bool,
+                         sample: DeliveryRateSample) -> None:
+        if self.filled_pipe or not round_start or sample.app_limited:
+            return
+        if self.bottleneck_bw_bps >= self._full_bw * self.FULL_BW_GROWTH:
+            self._full_bw = self.bottleneck_bw_bps
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= self.FULL_BW_ROUNDS:
+            self.filled_pipe = True
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self.state = "PROBE_BW"
+        self.cwnd_gain = self.CWND_GAIN
+        # Start past the 1.25 probe phase so DRAIN's work is not
+        # immediately undone.
+        self._cycle_index = 2
+        self._cycle_stamp = now
+        self.pacing_gain = self.PROBE_BW_GAINS[self._cycle_index]
+
+    def _advance_machine(self, now: float, round_start: bool,
+                         in_flight: int, min_rtt_expired: bool) -> None:
+        if self.state == "STARTUP" and self.filled_pipe:
+            self.state = "DRAIN"
+            self.pacing_gain = self.DRAIN_GAIN
+            self.cwnd_gain = self.STARTUP_GAIN
+        if self.state == "DRAIN" and in_flight <= self.bdp_bytes:
+            self._enter_probe_bw(now)
+        elif self.state == "PROBE_BW" and round_start \
+                and not math.isinf(self._min_rtt) \
+                and now - self._cycle_stamp > self._min_rtt:
+            self._cycle_index = (self._cycle_index + 1) \
+                % len(self.PROBE_BW_GAINS)
+            self._cycle_stamp = now
+            self.pacing_gain = self.PROBE_BW_GAINS[self._cycle_index]
+        # PROBE_RTT entry: the min-RTT estimate expired. Expiry is
+        # judged *before* this ACK refreshed the filter — the refresh
+        # itself would otherwise mask every expiry.
+        if self.state != "PROBE_RTT" and min_rtt_expired:
+            self.state = "PROBE_RTT"
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+            self._saved_cwnd = max(self._saved_cwnd, self.cwnd)
+            self._probe_rtt_done_at = now + self.PROBE_RTT_DURATION_S
+        if self.state == "PROBE_RTT":
+            self.cwnd = self._min_cwnd()
+            if self._probe_rtt_done_at is not None \
+                    and now >= self._probe_rtt_done_at:
+                self._min_rtt_stamp = now
+                self._probe_rtt_done_at = None
+                self.cwnd = max(self._saved_cwnd, self._min_cwnd())
+                self._saved_cwnd = 0.0
+                if self.filled_pipe:
+                    self._enter_probe_bw(now)
+                else:
+                    self.state = "STARTUP"
+                    self.pacing_gain = self.STARTUP_GAIN
+                    self.cwnd_gain = self.STARTUP_GAIN
+
+    def _update_cwnd(self, bytes_acked: int) -> None:
+        if self.state == "PROBE_RTT":
+            return
+        target = self.cwnd_gain * self.bdp_bytes
+        if target <= 0.0:
+            # No model yet (handshake, or a sample-less driver):
+            # grow like slow start so the pipe can fill.
+            self.cwnd += bytes_acked
+        elif self.filled_pipe:
+            self.cwnd = min(self.cwnd + bytes_acked, target)
+        else:
+            if self.cwnd < target:
+                self.cwnd += bytes_acked
+        self.cwnd = max(self.cwnd, self._min_cwnd())
+
+    # -- CC API ----------------------------------------------------------
+
+    def on_ack(self, bytes_acked: int, now: float, rtt: float,
+               sample: DeliveryRateSample | None = None,
+               in_flight: int = 0) -> None:
+        """Feed one ACK into the model and update cwnd/pacing."""
+        min_rtt_expired = (not math.isinf(self._min_rtt)
+                           and now - self._min_rtt_stamp
+                           > self.MIN_RTT_WINDOW_S)
+        self._update_min_rtt(now, rtt)
+        round_start = False
+        if sample is not None:
+            round_start = self._update_round(sample)
+            self._update_bw(sample)
+            self._check_full_pipe(round_start, sample)
+            in_flight = sample.in_flight
+        self._advance_machine(now, round_start, in_flight, min_rtt_expired)
+        self._update_cwnd(bytes_acked)
+
+    def on_congestion_event(self, now: float) -> None:
+        """Packet loss: counted, but not a model input (BBR v1)."""
+        if now < self._recovery_until:
+            return
+        self.congestion_events += 1
+        self._recovery_until = now
+
+    def set_recovery(self, until: float) -> None:
+        """Ignore further congestion signals until ``until``."""
+        self._recovery_until = until
+
+    def on_timeout(self, now: float) -> None:
+        """RTO: collapse conservatively; the model survives."""
+        self.congestion_events += 1
+        self._saved_cwnd = max(self._saved_cwnd, self.cwnd)
+        self.cwnd = self._min_cwnd()
+
+    @property
+    def name(self) -> str:
+        """Controller name for reports."""
+        return "bbr"
+
+
 def make_controller(kind: str, mss: int,
-                    initial_window: int | None = None):
-    """Factory: ``kind`` is "cubic" or "newreno"."""
+                    initial_window: int | None = None,
+                    hystart: bool = True):
+    """Factory: ``kind`` is "cubic", "newreno" or "bbr".
+
+    ``hystart`` is Cubic's slow-start exit heuristic knob; the other
+    controllers have no equivalent and ignore it.
+    """
     if kind == "cubic":
-        return CubicController(mss, initial_window)
+        return CubicController(mss, initial_window, hystart=hystart)
     if kind == "newreno":
         return NewRenoController(mss, initial_window)
-    raise ConfigurationError(f"unknown congestion controller {kind!r}")
+    if kind == "bbr":
+        return BBRController(mss, initial_window)
+    raise ConfigurationError(
+        f"unknown congestion controller {kind!r} "
+        f"(choose from {CC_KINDS})")

@@ -27,7 +27,7 @@ from repro.errors import FlowControlError, TransportError
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.packet import Packet
 from repro.transport.base import DatagramSocket
-from repro.transport.cc import make_controller
+from repro.transport.cc import DeliveryRateSample, make_controller
 from repro.transport.quic.frames import (
     AckFrame,
     HandshakeFrame,
@@ -51,6 +51,16 @@ class QuicConfig:
     """Endpoint configuration (quiche-flavoured defaults)."""
 
     cc: str = "cubic"
+    #: Initial congestion window, bytes; None = RFC 6928 (10 packets).
+    initial_window: int | None = None
+    #: Cubic's HyStart slow-start exit heuristic (other controllers
+    #: ignore the knob).
+    hystart: bool = True
+    #: Spread transmissions at this rate instead of bursting the
+    #: window (None = no pacing). A controller that publishes its own
+    #: ``pacing_rate_bps`` (BBR) overrides this static rate once its
+    #: model has a bandwidth estimate.
+    pacing_rate_bps: float | None = None
     initial_max_data: int = mb(10)
     initial_max_stream_data: int = mb(10)
     autotune: bool = True
@@ -96,6 +106,15 @@ class _SentPacket:
     time_sent: float
     frames: list
     ack_eliciting: bool
+    #: Delivery-rate sampling (rate-estimation draft): the delivered
+    #: counter and its timestamp when this packet left, plus whether
+    #: the sender was app-limited at that instant and the transmit
+    #: time of its sample period's first packet (for the send-side
+    #: interval bound that defeats ACK compression).
+    delivered: int = 0
+    delivered_time: float = 0.0
+    app_limited: bool = False
+    first_sent_time: float = 0.0
 
 
 class _SendStream:
@@ -156,8 +175,14 @@ class QuicConnection:
         self.config = config or QuicConfig()
         self.stats = QuicStats()
 
-        self.cc = make_controller(self.config.cc, MAX_PAYLOAD)
+        self.cc = make_controller(self.config.cc, MAX_PAYLOAD,
+                                  self.config.initial_window,
+                                  hystart=self.config.hystart)
         self.rtt = RttEstimator()
+        # Delivery-rate accounting (feeds model-based controllers).
+        self._delivered = 0
+        self._delivered_time = 0.0
+        self._first_sent_time = 0.0
 
         # send side
         self._next_pn = 0
@@ -172,6 +197,7 @@ class QuicConnection:
         self._pto_deadline: float | None = None
         self._pto_streak = 0
         self._pump_scheduled = False
+        self._next_pace_time = 0.0
 
         # receive side
         self.received_pns = RangeSet()
@@ -294,12 +320,26 @@ class QuicConnection:
             # now + 0.0 == now, so this is schedule(0.0, ...) exactly.
             self.sim.post(self.sim.now, self._pump)
 
+    def _pacing_rate(self) -> float | None:
+        """Effective pacing rate: the controller's model-driven rate
+        (BBR) once it exists, else the static config rate."""
+        rate = self.cc.pacing_rate_bps
+        return rate if rate is not None else self.config.pacing_rate_bps
+
     def _pump(self) -> None:
         self._pump_scheduled = False
         if self.closed or not self.established:
             return
         while True:
             if self.bytes_in_flight + MAX_DATAGRAM > self.cc.cwnd:
+                break
+            now = self.sim.now
+            # Re-read per packet: a model-based controller moves its
+            # pacing rate on every ACK that lands mid-pump.
+            pacing = self._pacing_rate()
+            if pacing is not None and now < self._next_pace_time:
+                self._pump_scheduled = True
+                self.sim.at(self._next_pace_time, self._pump)
                 break
             frame = self._next_stream_frame()
             if frame is None:
@@ -311,7 +351,10 @@ class QuicConnection:
                 if self._ack_timer is not None:
                     self._ack_timer.cancel()
                     self._ack_timer = None
-            self._send_packet(frames, ack_eliciting=True)
+            size = self._send_packet(frames, ack_eliciting=True)
+            if pacing is not None:
+                self._next_pace_time = max(now, self._next_pace_time) \
+                    + size * 8.0 / pacing
 
     def _next_stream_frame(self) -> StreamFrame | None:
         budget = MAX_PAYLOAD - 8  # stream frame header
@@ -345,7 +388,7 @@ class QuicConnection:
         return None
 
     def _send_packet(self, frames: list, ack_eliciting: bool,
-                     pad_to: int = 0) -> None:
+                     pad_to: int = 0) -> int:
         payload_size = sum(f.wire_size() for f in frames)
         size = max(WIRE_OVERHEAD + payload_size, pad_to)
         pn = self._next_pn
@@ -358,11 +401,22 @@ class QuicConnection:
         self.stats.bytes_sent += size
         if ack_eliciting:
             self.stats.ack_eliciting_sent += 1
-            self._sent[pn] = _SentPacket(pn, size, self.sim.now,
-                                         list(frames), ack_eliciting)
+            now = self.sim.now
+            if self.bytes_in_flight == 0:
+                # Pipe was empty: this transmit starts a fresh
+                # delivery-rate sample period.
+                self._first_sent_time = now
+            self._sent[pn] = _SentPacket(
+                pn, size, now, list(frames), ack_eliciting,
+                delivered=self._delivered,
+                delivered_time=(self._delivered_time
+                                if self._delivered else now),
+                app_limited=self.pending_send_bytes == 0,
+                first_sent_time=self._first_sent_time or now)
             heapq.heappush(self._sent_heap, pn)
             self.bytes_in_flight += size
             self._arm_pto()
+        return size
 
     # -- receiving -----------------------------------------------------
 
@@ -483,7 +537,26 @@ class QuicConnection:
             self.stats.acked_packets += 1
             self.stats.acked_packet_rtts.append(
                 (now, now - sent.time_sent))
-            self.cc.on_ack(sent.size, now, self.rtt.smoothed)
+            self._delivered += sent.size
+            self._delivered_time = now
+            sample = DeliveryRateSample(
+                delivered=self._delivered, delivered_time=now,
+                prior_delivered=sent.delivered,
+                prior_delivered_time=sent.delivered_time,
+                in_flight=self.bytes_in_flight,
+                app_limited=sent.app_limited,
+                sent_time=sent.time_sent,
+                first_sent_time=sent.first_sent_time)
+            # The delivered packet's transmit time starts the next
+            # sample period (tcp_rate.c semantics).
+            self._first_sent_time = sent.time_sent
+            # Latest RTT sample (not the smoothed EWMA): HyStart's
+            # per-round delay-increase detection needs fresh samples,
+            # same as the TCP path.
+            self.cc.on_ack(sent.size, now,
+                           self.rtt.latest or self.rtt.smoothed,
+                           sample=sample,
+                           in_flight=self.bytes_in_flight)
         self._pto_streak = 0
         self._detect_losses(largest)
         self._compact_heap()

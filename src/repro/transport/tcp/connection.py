@@ -25,7 +25,7 @@ from repro.errors import TransportError
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.packet import Packet
 from repro.transport.base import DatagramSocket
-from repro.transport.cc import make_controller
+from repro.transport.cc import DeliveryRateSample, make_controller
 from repro.transport.rangeset import RangeSet
 from repro.transport.rtt import RttEstimator
 
@@ -45,6 +45,9 @@ class TcpConfig:
 
     cc: str = "cubic"
     initial_window: int | None = None   # bytes; None = RFC 6928 (10 MSS)
+    #: Cubic's HyStart slow-start exit heuristic (other controllers
+    #: ignore the knob).
+    hystart: bool = True
     rwnd_default: int = DEFAULT_RWND
     rwnd_max: int = MAX_RWND
     autotune: bool = True
@@ -58,7 +61,9 @@ class TcpConfig:
     sack_blocks: int = 4
     #: Spread transmissions at this rate instead of bursting the
     #: window (None = no pacing). Split-TCP PEPs pace the space
-    #: segment at the provisioned plan rate.
+    #: segment at the provisioned plan rate. A controller that
+    #: publishes its own ``pacing_rate_bps`` (BBR) overrides this
+    #: static rate once its model has a bandwidth estimate.
     pacing_rate_bps: float | None = None
 
 
@@ -96,6 +101,15 @@ class _Segment:
     retransmitted: bool = False
     sacked: bool = False
     retx_epoch: int = -1  # recovery epoch of the last retransmission
+    #: Delivery-rate sampling (rate-estimation draft): the delivered
+    #: counter and its timestamp when this segment first left, plus
+    #: whether the sender was app-limited at that instant and the
+    #: transmit time of its sample period's first segment (for the
+    #: send-side interval bound that defeats ACK compression).
+    delivered: int = 0
+    delivered_time: float = 0.0
+    app_limited: bool = False
+    first_sent_time: float = 0.0
 
     @property
     def seq_end(self) -> int:
@@ -117,8 +131,13 @@ class TcpConnection:
         self.stats = TcpStats()
 
         self.cc = make_controller(self.config.cc, MSS,
-                                  self.config.initial_window)
+                                  self.config.initial_window,
+                                  hystart=self.config.hystart)
         self.rtt = RttEstimator()
+        # Delivery-rate accounting (feeds model-based controllers).
+        self._delivered = 0
+        self._delivered_time = 0.0
+        self._first_sent_time = 0.0
 
         # sender state (byte offsets; ISN fixed at 0 for clarity)
         self.snd_una = 0
@@ -250,13 +269,21 @@ class TcpConnection:
             # now + 0.0 == now, so this is schedule(0.0, ...) exactly.
             self.sim.post(self.sim.now, self._pump)
 
+    def _pacing_rate(self) -> float | None:
+        """Effective pacing rate: the controller's model-driven rate
+        (BBR) once it exists, else the static config rate."""
+        rate = self.cc.pacing_rate_bps
+        return rate if rate is not None else self.config.pacing_rate_bps
+
     def _pump(self) -> None:
         self._pump_scheduled = False
         if self.closed or not self.established:
             return
-        pacing = self.config.pacing_rate_bps
         while self._can_send_new():
             now = self.sim.now
+            # Re-read per segment: a model-based controller moves its
+            # pacing rate on every ACK that lands mid-pump.
+            pacing = self._pacing_rate()
             if pacing is not None and now < self._next_pace_time:
                 self._pump_scheduled = True
                 self.sim.at(self._next_pace_time, self._pump)
@@ -267,7 +294,18 @@ class TcpConnection:
             if length <= 0 and not fin:
                 break
             span = length + (1 if fin else 0)
-            segment = _Segment(self.snd_nxt, length, span, now, fin=fin)
+            if self.bytes_in_flight == 0:
+                # Pipe was empty: this transmit starts a fresh
+                # delivery-rate sample period.
+                self._first_sent_time = now
+            segment = _Segment(
+                self.snd_nxt, length, span, now, fin=fin,
+                delivered=self._delivered,
+                delivered_time=(self._delivered_time
+                                if self._delivered else now),
+                app_limited=(self.send_total - self.snd_nxt
+                             - length <= 0),
+                first_sent_time=self._first_sent_time or now)
             self._segments.append(segment)
             self.snd_nxt += span
             if fin:
@@ -402,9 +440,26 @@ class TcpConnection:
             self.snd_una = ack_no
             self._dupacks = 0
             self._rto_backoff = 0
-            acked_units = self._pop_acked(ack_no, now)
+            acked_units, sample_seg = self._pop_acked(ack_no, now)
+            self._delivered += acked_units
+            self._delivered_time = now
+            sample = None
+            if sample_seg is not None:
+                sample = DeliveryRateSample(
+                    delivered=self._delivered, delivered_time=now,
+                    prior_delivered=sample_seg.delivered,
+                    prior_delivered_time=sample_seg.delivered_time,
+                    in_flight=self.bytes_in_flight,
+                    app_limited=sample_seg.app_limited,
+                    sent_time=sample_seg.time_sent,
+                    first_sent_time=sample_seg.first_sent_time)
+                # The delivered segment's transmit time starts the
+                # next sample period (tcp_rate.c semantics).
+                self._first_sent_time = sample_seg.time_sent
             self.cc.on_ack(acked_units, now,
-                           self.rtt.latest or self.rtt.smoothed)
+                           self.rtt.latest or self.rtt.smoothed,
+                           sample=sample,
+                           in_flight=self.bytes_in_flight)
             if self._in_recovery and ack_no >= self._recover:
                 self._in_recovery = False
             if (self.fin_sent and self.snd_una >= self._fin_span_total
@@ -424,18 +479,21 @@ class TcpConnection:
             self._arm_rto()
             self._schedule_pump()
 
-    def _pop_acked(self, ack_no: int, now: float) -> int:
+    def _pop_acked(self, ack_no: int,
+                   now: float) -> tuple[int, _Segment | None]:
         units = 0
         newest_sample: float | None = None
+        newest_segment: _Segment | None = None
         while self._segments and self._segments[0].seq_end <= ack_no:
             segment = self._segments.popleft()
             units += segment.span
             if not segment.retransmitted:
                 newest_sample = now - segment.time_sent
+                newest_segment = segment
         if newest_sample is not None:
             self.rtt.update(newest_sample)
             self.stats.rtt_samples.append((now, newest_sample))
-        return units
+        return units, newest_segment
 
     def _apply_sacks(self, sacks: tuple) -> None:
         if not sacks:

@@ -1,0 +1,235 @@
+"""Unit tests for the BBR congestion controller.
+
+The tests drive the controller with synthetic
+:class:`DeliveryRateSample` streams modelling a path of known
+bandwidth and RTT: the delivered counter advances at the path rate,
+each ACKed packet's ``prior_delivered`` is the counter one RTT ago, so
+every sample measures exactly the true rate and rounds advance once
+per RTT — the same shape the real transports produce.
+"""
+
+import math
+
+import pytest
+
+from repro.transport.cc import BBRController, DeliveryRateSample
+
+MSS = 1400
+
+
+def feed(cc, bw_bps, rtt, n_acks, start=0.0, app_limited=False):
+    """ACK ``n_acks`` MSS-sized packets delivered at ``bw_bps``."""
+    dt = cc.mss * 8.0 / bw_bps        # ACK spacing at the path rate
+    byps = bw_bps / 8.0
+    t = start
+    for _ in range(n_acks):
+        t += dt
+        sample = DeliveryRateSample(
+            delivered=int(byps * t),
+            delivered_time=t,
+            prior_delivered=max(0, int(byps * (t - rtt))),
+            prior_delivered_time=max(0.0, t - rtt),
+            in_flight=int(byps * rtt),
+            app_limited=app_limited)
+        cc.on_ack(cc.mss, now=t, rtt=rtt, sample=sample)
+    return t
+
+
+BW = 20e6        # 20 Mbit/s
+RTT = 0.040      # 40 ms — Starlink-ish
+
+
+def converged(bw_bps=BW, rtt=RTT):
+    cc = BBRController(MSS)
+    t = feed(cc, bw_bps, rtt, 2000)
+    return cc, t
+
+
+def test_startup_drain_probe_bw_progression():
+    cc, _ = converged()
+    assert cc.filled_pipe
+    assert cc.state == "PROBE_BW"
+    assert cc.bottleneck_bw_bps == pytest.approx(BW, rel=0.10)
+    assert cc.min_rtt_s == pytest.approx(RTT)
+    assert cc.pacing_gain in BBRController.PROBE_BW_GAINS
+
+
+def test_model_properties_before_any_sample():
+    cc = BBRController(MSS)
+    assert cc.bottleneck_bw_bps == 0.0
+    assert cc.min_rtt_s is None
+    assert cc.bdp_bytes == 0.0
+    assert cc.pacing_rate_bps is None
+    assert cc.in_slow_start
+
+
+def test_sampleless_acks_grow_like_slow_start():
+    """Generic drivers that never pass samples still get a usable
+    window: with no model the window grows by the ACKed bytes."""
+    cc = BBRController(MSS)
+    start = cc.cwnd
+    for _ in range(10):
+        cc.on_ack(MSS, now=0.01, rtt=0.001)
+    assert cc.cwnd == start + 10 * MSS
+    assert cc.pacing_rate_bps is None
+
+
+def test_pacing_rate_is_gain_times_bw():
+    cc, _ = converged()
+    assert cc.pacing_rate_bps == pytest.approx(
+        cc.pacing_gain * cc.bottleneck_bw_bps)
+
+
+def test_cwnd_tracks_cwnd_gain_times_bdp():
+    cc, _ = converged()
+    bdp = BW / 8.0 * RTT
+    assert cc.bdp_bytes == pytest.approx(bdp, rel=0.10)
+    assert cc.cwnd <= BBRController.CWND_GAIN * cc.bdp_bytes + MSS
+    assert cc.cwnd >= cc.bdp_bytes
+
+
+def test_loss_does_not_shrink_the_window():
+    """BBR v1's defining trait: loss is counted, not acted on."""
+    cc, t = converged()
+    before = cc.cwnd
+    cc.on_congestion_event(now=t)
+    assert cc.cwnd == before
+    assert cc.congestion_events == 1
+
+
+def test_recovery_window_suppresses_repeat_counts():
+    cc, t = converged()
+    cc.on_congestion_event(now=t)
+    cc.set_recovery(until=t + 1.0)
+    cc.on_congestion_event(now=t + 0.5)
+    assert cc.congestion_events == 1
+    cc.on_congestion_event(now=t + 1.5)
+    assert cc.congestion_events == 2
+
+
+def test_timeout_collapses_to_min_cwnd_then_recovers():
+    cc, t = converged()
+    before = cc.cwnd
+    cc.on_timeout(now=t)
+    assert cc.cwnd == BBRController.MIN_CWND_SEGMENTS * MSS
+    # The model survives the RTO, so the window climbs straight back
+    # to the BDP target instead of re-probing from scratch.
+    feed(cc, BW, RTT, 500, start=t)
+    assert cc.cwnd == pytest.approx(before, rel=0.15)
+
+
+def test_probe_bw_gain_cycle_advances_and_averages_to_one():
+    assert sum(BBRController.PROBE_BW_GAINS) == pytest.approx(
+        len(BBRController.PROBE_BW_GAINS) * 1.0, rel=0.07)
+    cc, t = converged()
+    # Observe the gain after every ACK — sampling at coarser intervals
+    # can alias with the phase period.
+    seen = set()
+    for _ in range(5000):
+        t = feed(cc, BW, RTT, 1, start=t)
+        seen.add(cc.pacing_gain)
+    assert {1.25, 0.75, 1.0} <= seen
+
+
+def test_probe_rtt_visited_when_estimate_goes_stale():
+    cc, t = converged()
+    states = set()
+    # The floor rises (queue or path change): the old 40 ms minimum can
+    # only age out via PROBE_RTT once the 10 s window expires.
+    rtt = RTT + 0.02
+    for _ in range(260):
+        # Chunks shorter than PROBE_RTT_DURATION_S so the dip is
+        # always observable at a chunk boundary.
+        t = feed(cc, BW, rtt, 100, start=t)
+        states.add(cc.state)
+        if "PROBE_RTT" in states and cc.state == "PROBE_BW":
+            break
+    assert "PROBE_RTT" in states
+    assert cc.min_rtt_s == pytest.approx(rtt)
+    # And it left PROBE_RTT for PROBE_BW with a restored window.
+    assert cc.state == "PROBE_BW"
+    assert cc.cwnd > BBRController.MIN_CWND_SEGMENTS * MSS
+
+
+def test_app_limited_samples_never_lower_the_estimate():
+    cc, t = converged()
+    bw = cc.bottleneck_bw_bps
+    feed(cc, BW / 4.0, RTT, 1000, start=t, app_limited=True)
+    assert cc.bottleneck_bw_bps == bw
+
+
+def test_non_app_limited_slowdown_ages_out_of_the_filter():
+    cc, t = converged()
+    feed(cc, BW / 4.0, RTT, 2000, start=t)
+    assert cc.bottleneck_bw_bps == pytest.approx(BW / 4.0, rel=0.10)
+
+
+def test_startup_gain_constant():
+    assert BBRController.STARTUP_GAIN == pytest.approx(2.0 / math.log(2.0))
+    assert BBRController.DRAIN_GAIN == pytest.approx(math.log(2.0) / 2.0)
+
+
+def test_delivery_rate_sample_math():
+    s = DeliveryRateSample(
+        delivered=200_000, delivered_time=1.5,
+        prior_delivered=100_000, prior_delivered_time=1.0,
+        in_flight=50_000)
+    assert s.interval_s == pytest.approx(0.5)
+    assert s.delivery_rate_bps == pytest.approx(100_000 * 8 / 0.5)
+    degenerate = DeliveryRateSample(
+        delivered=1, delivered_time=1.0,
+        prior_delivered=0, prior_delivered_time=1.0,
+        in_flight=0)
+    assert degenerate.delivery_rate_bps == 0.0
+
+
+def test_ack_compression_does_not_inflate_delivery_rate():
+    # A scheduler that batches ACKs (Starlink's 15 ms frames) can
+    # deliver a whole flight's ACKs microseconds apart. The sample
+    # must fall back to the send-side span (tcp_rate.c's
+    # max(snd_interval, ack_interval)) instead of reporting an
+    # absurd instantaneous rate that would latch into BBR's
+    # windowed-max filter.
+    compressed = DeliveryRateSample(
+        delivered=200_000, delivered_time=1.0001,
+        prior_delivered=100_000, prior_delivered_time=1.0,
+        in_flight=50_000,
+        sent_time=0.96, first_sent_time=0.5)
+    assert compressed.interval_s == pytest.approx(0.46)
+    assert compressed.delivery_rate_bps == pytest.approx(
+        100_000 * 8 / 0.46)
+    # With no send-side stamps (defaults), the ACK span still rules.
+    plain = DeliveryRateSample(
+        delivered=200_000, delivered_time=1.5,
+        prior_delivered=100_000, prior_delivered_time=1.0,
+        in_flight=50_000)
+    assert plain.interval_s == pytest.approx(0.5)
+
+
+def test_bbr_survives_ack_compressed_feed():
+    # Feed a BBR whose ACKs arrive in slot-aligned bursts: rates
+    # derived from send-side spans must keep the bw estimate near the
+    # true rate rather than the burst rate.
+    cc = BBRController(mss=MSS)
+    bw = 20e6
+    byps = bw / 8.0
+    rtt = 0.040
+    slot = 0.015
+    t, sent_t = 0.0, -rtt
+    for burst in range(400):
+        t += slot
+        # One slot's worth of data, acked as a single burst of
+        # samples 1 us apart.
+        n = max(1, int(byps * slot / MSS))
+        for k in range(n):
+            ack_t = t + k * 1e-6
+            sample = DeliveryRateSample(
+                delivered=int(byps * ack_t),
+                delivered_time=ack_t,
+                prior_delivered=max(0, int(byps * (ack_t - rtt))),
+                prior_delivered_time=max(0.0, ack_t - rtt),
+                in_flight=int(byps * rtt),
+                sent_time=ack_t - rtt,
+                first_sent_time=ack_t - rtt - slot)
+            cc.on_ack(MSS, now=ack_t, rtt=rtt, sample=sample)
+    assert cc.bottleneck_bw_bps < bw * 1.6

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.transport.cc import (
+    BBRController,
     CubicController,
     NewRenoController,
     make_controller,
@@ -16,10 +17,26 @@ LOW_RTT = 0.001   # fast path: never triggers HyStart
 def test_factory():
     assert make_controller("cubic", MSS).name == "cubic"
     assert make_controller("newreno", MSS).name == "newreno"
+    assert make_controller("bbr", MSS).name == "bbr"
     with pytest.raises(ConfigurationError):
-        make_controller("bbr", MSS)
+        make_controller("vegas", MSS)
     with pytest.raises(ConfigurationError):
         make_controller("cubic", 0)
+
+
+def test_factory_threads_hystart_flag():
+    """Regression: the factory used to drop the ``hystart`` knob, so
+    HyStart could never be disabled from TcpConfig/QuicConfig."""
+    assert make_controller("cubic", MSS).hystart is True
+    assert make_controller("cubic", MSS, hystart=False).hystart is False
+    # Controllers without the heuristic accept and ignore the knob.
+    make_controller("newreno", MSS, hystart=False)
+    make_controller("bbr", MSS, hystart=False)
+
+
+def test_factory_passes_initial_window_to_every_kind():
+    for kind in ("cubic", "newreno", "bbr"):
+        assert make_controller(kind, MSS, 77_777).cwnd == 77_777
 
 
 def test_initial_window_default_and_custom():
@@ -134,6 +151,61 @@ def test_hystart_ignores_single_jitter_spike():
         for _ in range(10):
             cc.on_ack(MSS, now=t, rtt=0.041)
             t += 0.005
+    assert cc.in_slow_start
+
+
+def _flag_hystart_round(cc, t=0.0):
+    """Drive the controller until the current HyStart round is flagged
+    (one bad round on the books, awaiting confirmation)."""
+    for _ in range(30):
+        cc.on_ack(MSS, now=t, rtt=0.040)
+        t += 0.005
+    # Sustained +60 ms inside fresh rounds: first spends the remainder
+    # of the low-RTT round, then flags the next one.
+    for _ in range(30):
+        cc.on_ack(MSS, now=t, rtt=0.100)
+        t += 0.001
+        if cc._round_flagged:
+            break
+    assert cc._round_flagged and cc._bad_rounds == 1
+    assert cc.in_slow_start
+    return t
+
+
+@pytest.mark.parametrize("trigger", ["on_timeout", "on_congestion_event"])
+def test_hystart_round_state_cleared_on_loss_and_rto(trigger):
+    """Regression: loss/RTO used to leave the in-progress HyStart round
+    (and its ``_bad_rounds`` streak) intact, so slow start re-entered
+    after an RTO could exit immediately off stale pre-loss delay
+    evidence."""
+    cc = CubicController(MSS)
+    t = _flag_hystart_round(cc)
+    getattr(cc, trigger)(now=t)
+    assert cc._bad_rounds == 0
+    assert not cc._round_flagged
+    assert cc._round_min == float("inf")
+    assert cc._round_samples == 0
+    assert cc._round_end == 0.0
+
+
+def test_post_rto_slow_start_not_poisoned_by_stale_round():
+    """Behavioural face of the same bug: after an RTO, one flagged
+    round must not complete a pre-RTO confirmation streak and exit
+    slow start a full round early."""
+    cc = CubicController(MSS)
+    t = _flag_hystart_round(cc)
+    cc.on_timeout(now=t)
+    assert cc.in_slow_start
+    # Idle past any stale round boundary, then ack densely enough that
+    # everything below lands inside a single fresh round.
+    t += 1.0
+    for _ in range(80):
+        cc.on_ack(MSS, now=t, rtt=0.100)
+        t += 0.0005
+    # That single round may flag (the RTT genuinely rose), but a lone
+    # flagged round is not confirmation: exit takes
+    # HYSTART_CONFIRM_ROUNDS rounds counted from the RTO.
+    assert cc._bad_rounds <= 1
     assert cc.in_slow_start
 
 

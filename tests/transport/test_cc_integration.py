@@ -1,0 +1,226 @@
+"""Congestion-control plumbing through the real transports.
+
+Regression coverage for the CC-matrix PR: the config knobs
+(``cc``/``initial_window``/``hystart``) must actually reach the
+controller on both stacks, the controllers must be fed the *latest*
+RTT sample plus a live delivery-rate sample, and BBR must complete
+transfers end to end.
+"""
+
+import pytest
+
+from repro.netsim import Network
+from repro.netsim.loss import BernoulliLoss
+from repro.netsim.queues import DropTailQueue
+from repro.rng import make_rng
+from repro.transport.quic import (
+    H3Client,
+    H3Server,
+    QuicConfig,
+    open_connection,
+)
+from repro.transport.tcp import TcpConfig, TcpServer, tcp_connect
+from repro.units import mb, mbps, ms
+
+
+def make_net(rate=mbps(100), delay=ms(10), qbytes=None, loss=None):
+    net = Network()
+    net.add_host("client", "10.0.0.1")
+    net.add_host("server", "10.0.1.1")
+    queue_a = DropTailQueue(capacity_bytes=qbytes) if qbytes else None
+    queue_b = DropTailQueue(capacity_bytes=qbytes) if qbytes else None
+    net.connect("client", "server", rate_ab=rate, rate_ba=rate,
+                delay=delay, queue_ab=queue_a, queue_ba=queue_b,
+                loss_ab=loss, loss_ba=loss)
+    net.finalize()
+    return net
+
+
+# -- config knobs reach the controller ---------------------------------
+
+
+def test_tcp_config_knobs_reach_controller():
+    net = make_net()
+    TcpServer(net.host("server"), 5001)
+    conn = tcp_connect(
+        net.host("client"), "10.0.1.1", 5001,
+        config=TcpConfig(cc="cubic", initial_window=42_000,
+                         hystart=False))
+    assert conn.cc.name == "cubic"
+    assert conn.cc.cwnd == 42_000
+    assert conn.cc.hystart is False
+
+
+def test_quic_config_knobs_reach_controller():
+    """Regression: QUIC used to ignore ``initial_window`` entirely
+    (and there was no ``hystart`` knob to drop)."""
+    net = make_net()
+    conn = open_connection(
+        net.host("client"), "10.0.1.1", 443,
+        config=QuicConfig(cc="cubic", initial_window=42_000,
+                          hystart=False))
+    assert conn.cc.name == "cubic"
+    assert conn.cc.cwnd == 42_000
+    assert conn.cc.hystart is False
+
+
+@pytest.mark.parametrize("kind", ["cubic", "newreno", "bbr"])
+def test_every_cc_kind_instantiates_on_both_stacks(kind):
+    net = make_net()
+    TcpServer(net.host("server"), 5001)
+    tconn = tcp_connect(net.host("client"), "10.0.1.1", 5001,
+                        config=TcpConfig(cc=kind))
+    qconn = open_connection(net.host("client"), "10.0.1.1", 443,
+                            config=QuicConfig(cc=kind))
+    assert tconn.cc.name == kind
+    assert qconn.cc.name == kind
+
+
+# -- what the controllers are fed --------------------------------------
+
+
+def _spy_on_ack(conn):
+    calls = []
+    orig = conn.cc.on_ack
+
+    def spy(bytes_acked, now, rtt, sample=None, in_flight=0):
+        calls.append({"rtt": rtt,
+                      "latest": conn.rtt.latest,
+                      "smoothed": conn.rtt.smoothed,
+                      "sample": sample,
+                      "in_flight": in_flight})
+        return orig(bytes_acked, now, rtt,
+                    sample=sample, in_flight=in_flight)
+
+    conn.cc.on_ack = spy
+    return calls
+
+
+def test_tcp_feeds_latest_rtt_and_delivery_samples():
+    net = make_net(rate=mbps(20), qbytes=60_000)
+    received = {"n": 0}
+
+    def on_conn(conn):
+        conn.on_bytes_delivered = (
+            lambda n: received.__setitem__("n", received["n"] + n))
+
+    TcpServer(net.host("server"), 5001, on_connection=on_conn)
+    client = tcp_connect(net.host("client"), "10.0.1.1", 5001)
+    calls = _spy_on_ack(client)
+    client.on_established = lambda: client.send(mb(2), fin=True)
+    net.sim.run(until=30.0)
+    assert received["n"] == mb(2)
+    assert calls
+    for c in calls:
+        assert c["rtt"] == c["latest"]
+    # The queue makes the RTT move, so latest and smoothed genuinely
+    # differ somewhere — i.e. the assertion above discriminates.
+    assert any(c["latest"] != c["smoothed"] for c in calls)
+    samples = [c["sample"] for c in calls if c["sample"] is not None]
+    assert samples
+    assert any(s.delivery_rate_bps > 0 for s in samples)
+    assert all(s.interval_s > 0 for s in samples)
+
+
+def test_quic_feeds_latest_rtt_and_delivery_samples():
+    """Regression: the QUIC ACK path used to hand ``rtt.smoothed`` to
+    the controller, so HyStart saw pre-averaged delay and reacted a
+    round late (or not at all)."""
+    net = make_net(rate=mbps(20), qbytes=60_000)
+    H3Server(net.host("server"), 443)
+    cli = H3Client(net.host("client"), "10.0.1.1", 443)
+    # Upload: the client connection is the bulk *sender*, so its
+    # controller is the one fed data ACKs.
+    calls = _spy_on_ack(cli.connection)
+    result = cli.post(mb(2))
+    net.sim.run(until=30.0)
+    assert result.complete
+    assert calls
+    for c in calls:
+        assert c["rtt"] == c["latest"]
+    assert any(c["latest"] != c["smoothed"] for c in calls)
+    samples = [c["sample"] for c in calls if c["sample"] is not None]
+    assert samples
+    assert any(s.delivery_rate_bps > 0 for s in samples)
+
+
+# -- BBR end to end ----------------------------------------------------
+
+
+def test_tcp_bbr_transfer_completes_and_builds_model():
+    net = make_net(rate=mbps(50), delay=ms(20))
+    received = {"n": 0}
+
+    def on_conn(conn):
+        conn.on_bytes_delivered = (
+            lambda n: received.__setitem__("n", received["n"] + n))
+
+    TcpServer(net.host("server"), 5001, on_connection=on_conn)
+    client = tcp_connect(net.host("client"), "10.0.1.1", 5001,
+                         config=TcpConfig(cc="bbr"))
+    client.on_established = lambda: client.send(mb(4), fin=True)
+    net.sim.run(until=30.0)
+    assert received["n"] == mb(4)
+    assert client.cc.bottleneck_bw_bps == pytest.approx(
+        mbps(50), rel=0.25)
+    assert client.cc.min_rtt_s == pytest.approx(0.04, rel=0.15)
+    assert client.cc.pacing_rate_bps is not None
+
+
+def test_quic_bbr_transfer_completes_and_builds_model():
+    net = make_net(rate=mbps(50), delay=ms(20))
+    H3Server(net.host("server"), 443, resource_bytes=mb(4))
+    cli = H3Client(net.host("client"), "10.0.1.1", 443,
+                   config=QuicConfig(cc="bbr"))
+    result = cli.get(mb(4))
+    net.sim.run(until=30.0)
+    assert result.complete
+    assert result.goodput_bps() > 0.5 * mbps(50)
+
+
+def test_bbr_rides_out_random_loss_better_than_cubic():
+    """The acceptance-shaping micro-version of the BBR-dominance
+    claim: under ~2% random loss the loss-blind model keeps the pipe
+    full while Cubic's multiplicative decreases starve it."""
+    goodput = {}
+    for kind in ("cubic", "bbr"):
+        net = make_net(
+            rate=mbps(40), delay=ms(20),
+            loss=BernoulliLoss(0.02, rng=make_rng(("ccmx", kind))))
+        received = {"n": 0}
+        done = {}
+
+        def on_conn(conn):
+            conn.on_bytes_delivered = (
+                lambda n: received.__setitem__("n", received["n"] + n))
+            conn.on_fin = lambda t: done.setdefault("t", t)
+
+        TcpServer(net.host("server"), 5001, on_connection=on_conn)
+        client = tcp_connect(net.host("client"), "10.0.1.1", 5001,
+                             config=TcpConfig(cc=kind))
+        client.on_established = lambda: client.send(mb(3), fin=True)
+        net.sim.run(until=60.0)
+        assert received["n"] == mb(3)
+        goodput[kind] = received["n"] / done["t"]
+    assert goodput["bbr"] > goodput["cubic"]
+
+
+def test_bbr_pacing_overrides_static_rate():
+    """Once BBR has a bandwidth estimate, its model-driven pacing rate
+    takes precedence over the configured static rate."""
+    net = make_net(rate=mbps(50), delay=ms(20))
+    done = {}
+
+    def on_conn(conn):
+        conn.on_fin = lambda t: done.setdefault("t", t)
+
+    TcpServer(net.host("server"), 5001, on_connection=on_conn)
+    client = tcp_connect(
+        net.host("client"), "10.0.1.1", 5001,
+        config=TcpConfig(cc="bbr", pacing_rate_bps=mbps(1)))
+    client.on_established = lambda: client.send(mb(2), fin=True)
+    net.sim.run(until=30.0)
+    # At a static 1 Mbit/s pace 2 MB would need >16 s; the model pace
+    # must have taken over for the transfer to finish sooner.
+    assert done.get("t") is not None
+    assert done["t"] < 10.0

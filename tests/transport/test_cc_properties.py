@@ -1,0 +1,96 @@
+"""Property-based invariants over all congestion controllers.
+
+Random operation sequences against every controller kind: whatever
+the interleaving of ACKs, losses and RTOs, a controller must keep a
+positive, finite window above its floor; loss-free ACK streams must
+never shrink the window; and leaving slow start must be permanent for
+the loss-based controllers.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transport.cc import CC_KINDS, make_controller
+
+MSS = 1400
+
+_ack = st.tuples(st.just("ack"),
+                 st.integers(min_value=1, max_value=4 * MSS),
+                 st.floats(min_value=1e-4, max_value=1.0))
+_loss = st.tuples(st.just("loss"))
+_timeout = st.tuples(st.just("timeout"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(kind=st.sampled_from(CC_KINDS),
+       ops=st.lists(st.one_of(_ack, _loss, _timeout), max_size=60),
+       gap=st.floats(min_value=1e-4, max_value=0.05))
+def test_property_cwnd_stays_positive_finite_and_floored(kind, ops, gap):
+    cc = make_controller(kind, MSS)
+    floor = 4 * MSS if kind == "bbr" else MSS
+    t = 0.0
+    for op in ops:
+        t += gap
+        if op[0] == "ack":
+            cc.on_ack(op[1], now=t, rtt=op[2])
+        elif op[0] == "loss":
+            cc.on_congestion_event(now=t)
+        else:
+            cc.on_timeout(now=t)
+        assert math.isfinite(cc.cwnd)
+        assert cc.cwnd >= floor
+
+
+@settings(max_examples=60, deadline=None)
+@given(kind=st.sampled_from(CC_KINDS),
+       acks=st.lists(
+           st.tuples(st.integers(min_value=1, max_value=4 * MSS),
+                     st.floats(min_value=1e-4, max_value=1.0)),
+           max_size=80))
+def test_property_loss_free_acks_never_shrink_cwnd(kind, acks):
+    cc = make_controller(kind, MSS)
+    t, prev = 0.0, cc.cwnd
+    for nbytes, rtt in acks:
+        t += 0.001
+        cc.on_ack(nbytes, now=t, rtt=rtt)
+        assert cc.cwnd >= prev
+        prev = cc.cwnd
+
+
+@settings(max_examples=40, deadline=None)
+@given(kind=st.sampled_from(["cubic", "newreno"]),
+       pre=st.integers(min_value=0, max_value=200),
+       post=st.integers(min_value=1, max_value=200))
+def test_property_slow_start_exit_is_permanent(kind, pre, post):
+    cc = make_controller(kind, MSS)
+    t = 0.0
+    for _ in range(pre):
+        t += 0.001
+        cc.on_ack(MSS, now=t, rtt=0.001)
+    t += 0.001
+    cc.on_congestion_event(now=t)
+    assert not cc.in_slow_start
+    t += 1.0
+    for _ in range(post):
+        t += 0.001
+        cc.on_ack(MSS, now=t, rtt=0.001)
+        assert not cc.in_slow_start
+
+
+@settings(max_examples=40, deadline=None)
+@given(kind=st.sampled_from(CC_KINDS),
+       n=st.integers(min_value=2, max_value=10))
+def test_property_loss_burst_decreases_at_most_once(kind, n):
+    cc = make_controller(kind, MSS)
+    t = 0.0
+    for _ in range(50):
+        t += 0.001
+        cc.on_ack(MSS, now=t, rtt=0.001)
+    cc.on_congestion_event(now=t)
+    after = cc.cwnd
+    cc.set_recovery(until=t + 1.0)
+    for _ in range(n):
+        cc.on_congestion_event(now=t + 0.5)
+    assert cc.cwnd == after
+    assert cc.congestion_events == 1
