@@ -31,6 +31,14 @@ Cubic and with BBR). The hard gate mirrors "Unveiling TCP BBR
 Dominance in Starlink Internet": BBR must sustain higher mean
 goodput than Cubic under ``rain_fade`` random loss.
 
+The ``fleet_scaling`` section times per-terminal slot compute for
+the vectorized :class:`~repro.leo.fleet.FleetScheduler` against T
+independent scalar schedulers at fleet sizes 1/4/16/64, compares
+every snapshot pair for exact equality, and gates on the vectorized
+path being at least 5x faster per terminal-slot at the largest size
+— with zero mismatches, so the speedup is only ever reported over
+verified bit-identical output.
+
 Not a pytest module on purpose — run it directly::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py --workers 4
@@ -58,6 +66,15 @@ from repro.exec.runner import (
 )
 from repro.exec.units import OOKLA_BRUSSELS, SpeedtestUnit
 from repro.geo.satcom import GeoSatComAccess
+from repro.leo.constellation import Constellation
+from repro.leo.fleet import (
+    FleetScheduler,
+    FleetSpec,
+    build_fleet_terminals,
+    fleet_seeds,
+)
+from repro.leo.ground import STARLINK_GATEWAYS
+from repro.leo.scheduling import SLOT_DURATION, SatelliteScheduler
 from repro.testing.digest import digest_dataset
 from repro.transport.cc import CC_KINDS
 from repro.transport.tcp import TcpConfig
@@ -354,6 +371,83 @@ def cc_matrix() -> dict:
     return section
 
 
+#: Fleet-scaling axes: the vectorized FleetScheduler against T
+#: independent scalar schedulers, per terminal count.
+FLEET_SIZES = (1, 4, 16, 64)
+FLEET_GATE_SPEEDUP = 5.0
+
+
+def fleet_scaling_cell(terminals: int, n_slots: int) -> dict:
+    """Scalar-vs-fleet slot compute for one fleet size.
+
+    The scalar baseline is T fully independent schedulers, each with
+    its own constellation — exactly what a naive fleet campaign would
+    instantiate. Every snapshot pair is compared for exact dataclass
+    equality, so the speedup is only reported over verified
+    bit-identical output.
+    """
+    spec = FleetSpec(terminals=terminals, seed=0)
+    uts = build_fleet_terminals(spec)
+    seeds = fleet_seeds(0, terminals)
+    scalars = [SatelliteScheduler(Constellation(), uts[i],
+                                  STARLINK_GATEWAYS, seed=seeds[i])
+               for i in range(terminals)]
+    began = time.perf_counter()
+    expected = [[s.snapshot(slot * SLOT_DURATION) for s in scalars]
+                for slot in range(n_slots)]
+    scalar_s = time.perf_counter() - began
+
+    fleet = FleetScheduler(Constellation(), uts, STARLINK_GATEWAYS,
+                           seeds=seeds)
+    began = time.perf_counter()
+    got = [[fleet.snapshot_at(i, slot * SLOT_DURATION)
+            for i in range(terminals)]
+           for slot in range(n_slots)]
+    fleet_s = time.perf_counter() - began
+
+    mismatches = sum(
+        1 for slot in range(n_slots) for i in range(terminals)
+        if got[slot][i] != expected[slot][i])
+    per = terminals * n_slots
+    return {
+        "terminals": terminals,
+        "slots": n_slots,
+        "scalar_us_per_terminal_slot":
+            round(scalar_s / per * 1e6, 1),
+        "fleet_us_per_terminal_slot":
+            round(fleet_s / per * 1e6, 1),
+        "speedup": (round(scalar_s / fleet_s, 2)
+                    if fleet_s > 0 else None),
+        "mismatches": mismatches,
+    }
+
+
+def fleet_scaling() -> dict:
+    """Per-terminal slot-compute scaling of the fleet scheduler.
+
+    Smoke mode trims the slot horizon, not the fleet sizes — the
+    gate lives at T=64 and a trimmed size axis would silently gate
+    a different (easier) claim.
+    """
+    n_slots = 40 if _smoke() else 120
+    rows = [fleet_scaling_cell(t, n_slots) for t in FLEET_SIZES]
+    largest = rows[-1]
+    gate = {
+        "criterion": f"T={FLEET_SIZES[-1]}: per-terminal slot "
+                     f"compute speedup >= {FLEET_GATE_SPEEDUP} with "
+                     "zero snapshot mismatches",
+        "speedup_at_largest": largest["speedup"],
+        "mismatches": sum(row["mismatches"] for row in rows),
+    }
+    gate["passed"] = (largest["speedup"] or 0.0) \
+        >= FLEET_GATE_SPEEDUP and gate["mismatches"] == 0
+    return {
+        "sizes": list(FLEET_SIZES),
+        "rows": rows,
+        "gate": gate,
+    }
+
+
 def run_bench(workers: int, seed: int) -> dict:
     config = bench_config(seed)
     serial_shards: list[UnitTiming] = []
@@ -375,6 +469,7 @@ def run_bench(workers: int, seed: int) -> dict:
         "shard_sweep": shard_sweep(config, serial_digest, serial_s,
                                    serial_shards),
         "cc_matrix": cc_matrix(),
+        "fleet_scaling": fleet_scaling(),
         "unit_breakdown": [
             {key: round(val, 4) if isinstance(val, float) else val
              for key, val in row.items()}
@@ -415,6 +510,13 @@ def main(argv: list[str] | None = None) -> int:
         print("FATAL: BBR did not beat Cubic under rain_fade — the "
               "CC matrix lost the paper's qualitative ordering",
               file=sys.stderr)
+        return 1
+    if not report["fleet_scaling"]["gate"]["passed"]:
+        print("FATAL: fleet scheduler missed the scaling gate — "
+              "either the vectorized path fell under "
+              f"{FLEET_GATE_SPEEDUP}x per-terminal slot compute at "
+              f"T={FLEET_SIZES[-1]} or a snapshot mismatched the "
+              "scalar reference", file=sys.stderr)
         return 1
     return 0
 

@@ -61,6 +61,7 @@ from repro.core.reporting import (
     render_figure4,
     render_figure5,
     render_figure6,
+    render_fleet,
     render_middlebox,
     render_table1,
     render_table2,
@@ -80,7 +81,7 @@ from repro.units import minutes
 
 ARTEFACTS = ("table1", "fig1", "fig2", "fig3", "table2", "fig4",
              "fig5", "fig6", "middlebox", "errant", "availability",
-             "all")
+             "fleet", "all")
 
 #: Which campaign datasets each artefact is derived from (for the
 #: per-figure unit-coverage note of degraded runs).
@@ -97,7 +98,12 @@ ARTEFACT_DATASETS = {
     "errant": ("pings", "speedtests", "messages"),
     "availability": ("pings", "speedtests", "bulk", "messages",
                      "visits"),
+    "fleet": ("fleet",),
 }
+
+#: Terminals the ``fleet`` artefact runs when fleet mode is enabled
+#: without an explicit ``--terminals``.
+DEFAULT_FLEET_TERMINALS = 16
 
 
 def _build_config(args: argparse.Namespace) -> CampaignConfig:
@@ -113,6 +119,11 @@ def _build_config(args: argparse.Namespace) -> CampaignConfig:
         config.scenario = args.scenario
     if args.cc is not None:
         config.cc = args.cc
+    if args.terminals is not None:
+        config.fleet_terminals = args.terminals
+    if (args.fleet or args.artefact == "fleet") \
+            and config.fleet_terminals < 1:
+        config.fleet_terminals = DEFAULT_FLEET_TERMINALS
     return config
 
 
@@ -173,6 +184,14 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
                                                **exec_kwargs)
         return cache["visits"]
 
+    def fleet():
+        if "fleet" not in cache:
+            cache["fleet"] = campaign.run_fleet(workers=workers,
+                                                timings=timings,
+                                                profile_dir=profile_dir,
+                                                **exec_kwargs)
+        return cache["fleet"]
+
     if name == "table1":
         data = CampaignDatasets(pings=pings(), bulk=bulk(),
                                 messages=messages(),
@@ -200,6 +219,8 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
                                 visits=visits())
         _emit(render_availability(analyze_availability(
             data, scenario=campaign.config.scenario)))
+    elif name == "fleet":
+        _emit(render_fleet(fleet()))
     elif name == "middlebox":
         _emit(render_middlebox(run_middlebox_study(
             seed=campaign.config.seed)))
@@ -245,6 +266,15 @@ def main(argv: list[str] | None = None) -> int:
                              "senders of every measurement app "
                              "(default cubic; cross with --scenario "
                              "for the CC x conditions matrix)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="enable fleet mode: N terminals sharing "
+                             "one constellation; adds the 'fleet' "
+                             "artefact to 'all'")
+    parser.add_argument("--terminals", type=int, default=None,
+                        metavar="N",
+                        help="fleet size (implies nothing on its own; "
+                             f"default {DEFAULT_FLEET_TERMINALS} when "
+                             "fleet mode is enabled)")
     parser.add_argument("--workers", type=int, default=1,
                         help="campaign worker processes (default 1; "
                              "results are identical for any value)")
@@ -291,6 +321,8 @@ def main(argv: list[str] | None = None) -> int:
             and args.shard_granularity < 1:
         parser.error(f"--shard-granularity must be >= 1, got "
                      f"{args.shard_granularity}")
+    if args.terminals is not None and args.terminals < 1:
+        parser.error(f"--terminals must be >= 1, got {args.terminals}")
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.resume and args.journal is None:
@@ -317,8 +349,14 @@ def main(argv: list[str] | None = None) -> int:
         "failure_policy": args.failure_policy,
         "granularity": args.shard_granularity,
     }
-    names = [a for a in ARTEFACTS if a != "all"] \
-        if args.artefact == "all" else [args.artefact]
+    if args.artefact == "all":
+        # Fleet mode is opt-in: 'all' keeps its historical output
+        # unless --fleet asks for the extra artefact.
+        names = [a for a in ARTEFACTS if a not in ("all", "fleet")]
+        if args.fleet:
+            names.append("fleet")
+    else:
+        names = [args.artefact]
     for name in names:
         run_artefact(name, campaign, cache, workers=args.workers,
                      timings=timings, profile_dir=args.profile,

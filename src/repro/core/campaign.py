@@ -31,6 +31,7 @@ from repro.core.anchors import ANCHORS
 from repro.core.datasets import (
     BulkSample,
     CampaignDatasets,
+    FleetDataset,
     MessagesSample,
     PingDataset,
     SpeedtestSample,
@@ -50,6 +51,7 @@ from repro.exec.units import (
     CAMPUS_SERVER,
     OOKLA_BRUSSELS,
     BulkUnit,
+    FleetTerminalUnit,
     MessagesUnit,
     PingSeriesUnit,
     SpeedtestUnit,
@@ -135,6 +137,19 @@ class CampaignConfig:
     #: ``scenario`` for the CC x conditions matrix (BBR's loss-blind
     #: model is the interesting cell under ``rain_fade``).
     cc: str = "cubic"
+    #: Fleet campaign mode: terminals sharing one constellation
+    #: (0 disables the mode; the classic single-dish datasets are
+    #: untouched either way).
+    fleet_terminals: int = 0
+    #: Latitude bands terminals are spread over round-robin.
+    fleet_lat_bands: tuple[tuple[float, float], ...] = (
+        (40.0, 44.0), (48.5, 52.5), (54.0, 56.0))
+    #: Longitude range shared by every band.
+    fleet_lon_range: tuple[float, float] = (2.0, 7.0)
+    #: Contended single-connection speed tests per terminal, run at
+    #: fleet-wide shared epochs with the terminal's fair capacity
+    #: share of its serving satellite.
+    fleet_speedtest_epochs: int = 1
 
     def __post_init__(self) -> None:
         for name in ("ping_days", "ping_interval_s",
@@ -159,6 +174,11 @@ class CampaignConfig:
                     f"{value!r} (a non-positive count silently yields "
                     "an empty unit list; shrink the other scale knobs "
                     "instead)")
+        for name in ("fleet_terminals", "fleet_speedtest_epochs"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"CampaignConfig.{name} must be >= 0, got {value!r}")
         if not 0.0 <= self.ping_loss_prob <= 1.0:
             raise ConfigurationError(
                 f"CampaignConfig.ping_loss_prob must be within "
@@ -263,6 +283,17 @@ class Campaign:
                              workload_seed=cfg.seed * 13 + i)
                 for i, epoch in enumerate(epochs)
                 for direction in ("down", "up")]
+
+    def fleet_units(self) -> list[FleetTerminalUnit]:
+        """One unit per fleet terminal (fleet mode only)."""
+        cfg = self.config
+        if cfg.fleet_terminals < 1:
+            raise ConfigurationError(
+                "fleet mode is disabled: set "
+                "CampaignConfig.fleet_terminals >= 1 (CLI: --fleet / "
+                "--terminals N)")
+        return [FleetTerminalUnit(cfg, i)
+                for i in range(cfg.fleet_terminals)]
 
     def web_units(self) -> list[WebRoundUnit]:
         """One unit per network x visit round over the corpus."""
@@ -383,6 +414,22 @@ class Campaign:
             failure_policy, granularity)
         return [visit for round_visits in rounds
                 for visit in round_visits]
+
+    def run_fleet(self, workers: int = 1,
+                  timings: list[UnitTiming] | None = None,
+                  profile_dir: str | None = None, *,
+                  journal: Journal | None = None, retries: int = 0,
+                  retry_backoff_s: float = 0.0,
+                  unit_timeout: float | None = None,
+                  failure_policy: str = "raise",
+                  granularity: int | None = None) -> FleetDataset:
+        """Fleet campaign: per-terminal series on one constellation."""
+        kept = self._execute(
+            "fleet", self.fleet_units(), workers, timings, profile_dir,
+            journal, retries, retry_backoff_s, unit_timeout,
+            failure_policy, granularity)
+        return FleetDataset(
+            terminals=sorted(kept, key=lambda r: r.index))
 
     @staticmethod
     def _merge_pings(payloads) -> PingDataset:

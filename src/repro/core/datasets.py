@@ -127,6 +127,76 @@ class VisitSample:
 
 
 @dataclass
+class FleetTerminalResult:
+    """One fleet terminal's campaign record.
+
+    ``times``/``rtts`` are the terminal's idle-latency series to its
+    PoP (NaN for lost probes, exactly like :class:`PingDataset`);
+    ``shares`` holds the per-round fair capacity share (1 / terminals
+    served by the same satellite), NaN where the terminal was
+    unservable that slot.
+    """
+
+    index: int
+    name: str
+    lat_deg: float
+    lon_deg: float
+    times: np.ndarray
+    rtts: np.ndarray
+    shares: np.ndarray
+    speedtests: list[SpeedtestSample] = field(default_factory=list)
+    outcome: MeasurementOutcome = outcome_field()
+
+    def ok_rtts(self) -> np.ndarray:
+        """Successful RTT samples, seconds."""
+        return self.rtts[~np.isnan(self.rtts)]
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of probes lost."""
+        if self.rtts.size == 0:
+            return 0.0
+        return float(np.isnan(self.rtts).mean())
+
+    @property
+    def mean_share(self) -> float:
+        """Mean fair capacity share over servable rounds."""
+        ok = self.shares[~np.isnan(self.shares)]
+        return float(ok.mean()) if ok.size else float("nan")
+
+
+@dataclass
+class FleetDataset:
+    """Per-terminal datasets of one fleet campaign."""
+
+    terminals: list[FleetTerminalResult] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of terminals."""
+        return len(self.terminals)
+
+    @property
+    def total_samples(self) -> int:
+        """Ping probes across the whole fleet."""
+        return sum(t.rtts.size for t in self.terminals)
+
+    def oversubscription(self) -> float:
+        """Fleet-wide mean terminals-per-serving-satellite.
+
+        The reciprocal of the mean fair share: 1.0 means every
+        terminal had its satellite to itself, higher means contention.
+        """
+        shares = np.concatenate(
+            [t.shares for t in self.terminals]) if self.terminals \
+            else np.array([])
+        ok = shares[~np.isnan(shares)]
+        if ok.size == 0:
+            return float("nan")
+        return float(1.0 / ok.mean())
+
+
+@dataclass
 class CampaignDatasets:
     """Everything Table 1 inventories."""
 

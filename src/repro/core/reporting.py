@@ -238,6 +238,41 @@ def render_figure6(stats: dict[str, BrowsingStats]) -> str:
     return "\n".join(lines)
 
 
+def render_fleet(dataset, max_rows: int = 24) -> str:
+    """Fleet campaign: per-terminal latency, loss, share, throughput.
+
+    ``dataset`` is a :class:`repro.core.datasets.FleetDataset`; large
+    fleets are subsampled to ``max_rows`` listed terminals (the
+    summary lines always cover the whole fleet).
+    """
+    import numpy as np
+
+    lines = [f"Fleet campaign: {dataset.size} terminals on one "
+             "constellation.", _rule(78),
+             (f"{'terminal':<14}{'lat':>7}{'lon':>7}{'med RTT':>9}"
+              f"{'loss':>7}{'share':>7}{'down':>9}{'n':>8}"),
+             _rule(78)]
+    terminals = dataset.terminals
+    stride = max(1, len(terminals) // max_rows)
+    for term in terminals[::stride]:
+        ok = term.ok_rtts()
+        med = float(np.median(ok)) * 1e3 if ok.size else float("nan")
+        downs = [s.throughput_mbps for s in term.speedtests
+                 if s.outcome.is_ok]
+        down = (f"{np.median(downs):>8.1f}M" if downs else
+                f"{'-':>9}")
+        lines.append(
+            f"{term.name:<14}{term.lat_deg:>7.2f}{term.lon_deg:>7.2f}"
+            f"{med:>9.1f}{100 * term.loss_ratio:>6.1f}%"
+            f"{term.mean_share:>7.2f}{down}{term.rtts.size:>8}")
+    lines.append(_rule(78))
+    lines.append(f"fleet oversubscription: "
+                 f"{dataset.oversubscription():.2f} terminals per "
+                 f"serving satellite (mean); "
+                 f"{dataset.total_samples} probes total")
+    return "\n".join(lines)
+
+
 def render_availability(report: AvailabilityReport) -> str:
     """Availability under the active disruption scenario.
 

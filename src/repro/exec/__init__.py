@@ -39,12 +39,14 @@ from repro.exec.runner import (
 from repro.exec.units import (
     BulkUnit,
     CampaignUnit,
+    FleetTerminalUnit,
     MessagesUnit,
     PingSeriesUnit,
     SpeedtestUnit,
     WebRoundUnit,
     WorkUnit,
     context_for,
+    fleet_context_for,
 )
 
 __all__ = [
@@ -52,6 +54,7 @@ __all__ = [
     "CampaignUnit",
     "DegradationReport",
     "FAILURE_POLICIES",
+    "FleetTerminalUnit",
     "Journal",
     "MessagesUnit",
     "PingSeriesUnit",
@@ -65,6 +68,7 @@ __all__ = [
     "atom_count",
     "context_for",
     "default_workers",
+    "fleet_context_for",
     "execute_units",
     "plan_shards",
     "render_timings",

@@ -22,7 +22,7 @@ clear-sky unit must never see a scheduler another scenario poked.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
@@ -41,6 +41,7 @@ from repro.core.anchors import anchor_by_name
 from repro.apps.outcome import MeasurementOutcome
 from repro.core.datasets import (
     BulkSample,
+    FleetTerminalResult,
     MessagesSample,
     SpeedtestSample,
     VisitSample,
@@ -48,10 +49,18 @@ from repro.core.datasets import (
 from repro.disrupt.apply import apply_to_access, apply_to_scheduler
 from repro.disrupt.scenarios import Scenario, build_scenario
 from repro.geo.satcom import GeoSatComAccess
+from repro.errors import ConfigurationError
 from repro.leo.access import StarlinkAccess, StarlinkPathModel
 from repro.leo.constellation import Constellation
 from repro.leo.events import CampaignTimeline
+from repro.leo.fleet import (
+    FleetScheduler,
+    FleetSpec,
+    FleetTerminalView,
+    build_fleet_terminals,
+)
 from repro.leo.geometry import GeoPoint
+from repro.leo.ground import STARLINK_GATEWAYS
 from repro.rng import make_rng, stable_seed
 from repro.transport.quic import QuicConfig
 from repro.transport.tcp import TcpConfig
@@ -153,6 +162,75 @@ def _starlink_access(config: "CampaignConfig", epoch: float,
     # neither RNG streams nor the event queue.
     apply_to_access(access, ctx.scenario.experiment_schedule(epoch))
     return access
+
+
+@dataclass
+class FleetContext:
+    """Per-process shared fleet state for one (seed, scenario, spec).
+
+    One :class:`FleetScheduler` serves every terminal unit the
+    process executes, so a slot's batched geometry is computed once
+    no matter how many terminals sample it. Path models are built
+    lazily per terminal around a :class:`FleetTerminalView`, each
+    seeded with that terminal's scheduler seed.
+    """
+
+    timeline: CampaignTimeline
+    constellation: Constellation
+    fleet: FleetScheduler
+    scenario: Scenario
+    models: dict[int, StarlinkPathModel] = field(default_factory=dict)
+
+    def model_for(self, index: int) -> StarlinkPathModel:
+        """The path model of terminal ``index`` (memoised)."""
+        model = self.models.get(index)
+        if model is None:
+            model = StarlinkPathModel(
+                timeline=self.timeline,
+                seed=self.fleet.seeds[index],
+                scheduler=FleetTerminalView(self.fleet, index))
+            self.models[index] = model
+        return model
+
+
+_FLEET_CONTEXTS: dict[tuple, FleetContext] = {}
+
+
+def fleet_spec_for(config: "CampaignConfig") -> FleetSpec:
+    """The terminal-placement spec a campaign config describes."""
+    return FleetSpec(terminals=config.fleet_terminals,
+                     lat_bands=config.fleet_lat_bands,
+                     lon_range=config.fleet_lon_range,
+                     seed=config.seed)
+
+
+def fleet_context_for(config: "CampaignConfig") -> FleetContext:
+    """The process-local :class:`FleetContext` for a campaign config.
+
+    Memoised like :func:`context_for`; the key additionally covers
+    the fleet shape so two configs that place terminals differently
+    never share a scheduler.
+    """
+    key = (config.seed, config.scenario, config.ping_days,
+           config.ping_interval_s, config.pings_per_round,
+           config.fleet_terminals, config.fleet_lat_bands,
+           config.fleet_lon_range)
+    ctx = _FLEET_CONTEXTS.get(key)
+    if ctx is None:
+        timeline = CampaignTimeline()
+        constellation = Constellation()
+        terminals = build_fleet_terminals(fleet_spec_for(config))
+        fleet = FleetScheduler(constellation, terminals,
+                               STARLINK_GATEWAYS, seed=config.seed)
+        scenario = build_scenario(config.scenario, config)
+        # Campaign-scale gateway outages are fleet-wide, exactly as
+        # they are for the single-dish scheduler.
+        apply_to_scheduler(fleet, scenario.campaign)
+        ctx = FleetContext(timeline=timeline,
+                           constellation=constellation,
+                           fleet=fleet, scenario=scenario)
+        _FLEET_CONTEXTS[key] = ctx
+    return ctx
 
 
 @dataclass(frozen=True)
@@ -536,6 +614,179 @@ class WebRoundUnit:
         return self.merge_atoms(self.run_atoms(0, self.n_atoms()))
 
 
+@dataclass(frozen=True)
+class FleetTerminalUnit:
+    """One fleet terminal's campaign: idle-latency series plus
+    contended speed tests.
+
+    Atoms are ping-round chunks (chunk ``k`` draws from the stream
+    seeded ``(config.seed, "fleet-ping", index, "chunk", k)``)
+    followed by ``config.fleet_speedtest_epochs`` single-connection
+    speed tests whose ``capacity_share`` is the terminal's fair share
+    of its serving satellite at the epoch — the oversubscription
+    mechanism from the fleet scheduler feeding the PR-6 fair-share
+    knob. Every atom derives its own RNG stream, so any contiguous
+    shard grouping reproduces the same bytes.
+
+    Ping RTTs are measured to the terminal's PoP (``remote_rtt_s=0``):
+    the fleet mode studies the access network under contention, not
+    anchor geography.
+    """
+
+    config: "CampaignConfig"
+    index: int
+
+    kind = "fleet"
+
+    @property
+    def label(self) -> str:
+        return f"fleet:ut{self.index:04d}"
+
+    def _round_times(self) -> np.ndarray:
+        cfg = self.config
+        return np.arange(0.0, days(cfg.ping_days), cfg.ping_interval_s)
+
+    def _n_ping_atoms(self) -> int:
+        chunk = self.config.ping_shard_rounds
+        return max(1, -(-len(self._round_times()) // chunk))
+
+    def n_atoms(self) -> int:
+        return self._n_ping_atoms() + self.config.fleet_speedtest_epochs
+
+    def cost_hint(self) -> float:
+        cfg = self.config
+        return (len(self._round_times()) * cfg.pings_per_round * 1e-3
+                + cfg.fleet_speedtest_epochs
+                * (cfg.speedtest_warmup_s + cfg.speedtest_measure_s))
+
+    def _speedtest_epochs(self) -> list[float]:
+        """Fleet-wide speed-test epochs (shared by every terminal, so
+        the fleet contends at the same instants)."""
+        cfg = self.config
+        rng = make_rng((cfg.seed, "fleet-st-epochs"))
+        return sorted(rng.random() * days(cfg.ping_days)
+                      for _ in range(cfg.fleet_speedtest_epochs))
+
+    def run_atoms(self, start: int, stop: int) -> list[tuple]:
+        n_ping = self._n_ping_atoms()
+        payloads: list[tuple] = []
+        for atom in range(start, stop):
+            if atom < n_ping:
+                payloads.append(("ping", self._ping_chunk(atom)))
+            else:
+                payloads.append(
+                    ("speedtest", self._speedtest(atom - n_ping)))
+        return payloads
+
+    def _ping_chunk(self, atom: int) -> tuple[list[float], list[float],
+                                              list[float]]:
+        cfg = self.config
+        ctx = fleet_context_for(cfg)
+        model = ctx.model_for(self.index)
+        disruption = ctx.scenario.campaign
+        chunk = cfg.ping_shard_rounds
+        rng = make_rng((cfg.seed, "fleet-ping", self.index,
+                        "chunk", atom))
+        times: list[float] = []
+        rtts: list[float] = []
+        shares: list[float] = []
+        for t in self._round_times()[atom * chunk:(atom + 1) * chunk]:
+            try:
+                shares.append(
+                    ctx.fleet.capacity_share(self.index, float(t)))
+            except ConfigurationError:
+                shares.append(math.nan)
+            for probe in range(cfg.pings_per_round):
+                probe_t = float(t) + probe * 1.0
+                times.append(probe_t)
+                if disruption.blackout_at(probe_t):
+                    rtts.append(math.nan)
+                    continue
+                if rng.random() < cfg.ping_loss_prob:
+                    rtts.append(math.nan)
+                    continue
+                extra = disruption.extra_loss_prob(probe_t)
+                if extra > 0.0 and rng.random() < extra:
+                    rtts.append(math.nan)
+                    continue
+                try:
+                    rtts.append(model.idle_rtt(probe_t, rng))
+                except ConfigurationError:
+                    # Unservable slot (e.g. a polar-band terminal):
+                    # the probe is simply lost.
+                    rtts.append(math.nan)
+        return times, rtts, shares
+
+    def _speedtest(self, epoch_idx: int) -> SpeedtestSample:
+        cfg = self.config
+        ctx = fleet_context_for(cfg)
+        epoch = self._speedtest_epochs()[epoch_idx]
+        run_seed = stable_seed(cfg.seed, "fleet-st", self.index,
+                               epoch_idx)
+        try:
+            share = ctx.fleet.capacity_share(self.index, epoch)
+        except ConfigurationError as exc:
+            return SpeedtestSample(
+                t=epoch, network="starlink", direction="down",
+                throughput_mbps=0.0,
+                outcome=MeasurementOutcome(
+                    "unreachable", detail=str(exc)))
+        access = StarlinkAccess(seed=run_seed, epoch_t=epoch,
+                                timeline=ctx.timeline,
+                                path_model=ctx.model_for(self.index),
+                                capacity_share=share)
+        apply_to_access(access, ctx.scenario.experiment_schedule(epoch))
+        server = access.add_remote_host("ookla", "62.4.0.10",
+                                        OOKLA_BRUSSELS)
+        access.finalize()
+        result = run_speedtest(
+            access.client, server, "down", connections=1,
+            warmup_s=cfg.speedtest_warmup_s,
+            measure_s=cfg.speedtest_measure_s,
+            config=TcpConfig(cc=cfg.cc))
+        return SpeedtestSample(t=epoch, network="starlink",
+                               direction="down",
+                               throughput_mbps=result.throughput_mbps,
+                               outcome=result.outcome)
+
+    def merge_atoms(self, payloads) -> FleetTerminalResult:
+        cfg = self.config
+        times: list[float] = []
+        rtts: list[float] = []
+        shares: list[float] = []
+        speedtests: list[SpeedtestSample] = []
+        for tag, payload in payloads:
+            if tag == "ping":
+                chunk_times, chunk_rtts, chunk_shares = payload
+                times.extend(chunk_times)
+                rtts.extend(chunk_rtts)
+                shares.extend(chunk_shares)
+            else:
+                speedtests.append(payload)
+        # Placement is a pure function of the config, so the merge can
+        # rebuild it without shipping coordinates through every atom.
+        site = build_fleet_terminals(fleet_spec_for(cfg))[self.index]
+        rtts_arr = np.array(rtts)
+        lost = int(np.isnan(rtts_arr).sum()) if rtts_arr.size else 0
+        if rtts_arr.size and lost == rtts_arr.size:
+            outcome = MeasurementOutcome(
+                "unreachable",
+                detail=f"all {lost} probes from {site.name} lost")
+        else:
+            outcome = MeasurementOutcome(
+                detail=f"{lost}/{rtts_arr.size} probes lost")
+        return FleetTerminalResult(
+            index=self.index, name=site.name,
+            lat_deg=site.location.lat_deg,
+            lon_deg=site.location.lon_deg,
+            times=np.array(times), rtts=rtts_arr,
+            shares=np.array(shares), speedtests=speedtests,
+            outcome=outcome)
+
+    def run(self) -> FleetTerminalResult:
+        return self.merge_atoms(self.run_atoms(0, self.n_atoms()))
+
+
 #: Everything the executor accepts.
 WorkUnit = (PingSeriesUnit | SpeedtestUnit | BulkUnit
-            | MessagesUnit | WebRoundUnit)
+            | MessagesUnit | WebRoundUnit | FleetTerminalUnit)

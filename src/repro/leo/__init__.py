@@ -22,6 +22,13 @@ from repro.leo.ground import (
     STARLINK_POPS,
 )
 from repro.leo.scheduling import SatelliteScheduler, PathSnapshot
+from repro.leo.fleet import (
+    FleetScheduler,
+    FleetSpec,
+    FleetTerminalView,
+    build_fleet_terminals,
+    fleet_seeds,
+)
 from repro.leo.channel import CapacityProcess, StarlinkChannel
 from repro.leo.events import CampaignTimeline
 from repro.leo.access import StarlinkAccess, StarlinkParams, StarlinkPathModel
@@ -39,6 +46,11 @@ __all__ = [
     "STARLINK_POPS",
     "SatelliteScheduler",
     "PathSnapshot",
+    "FleetScheduler",
+    "FleetSpec",
+    "FleetTerminalView",
+    "build_fleet_terminals",
+    "fleet_seeds",
     "CapacityProcess",
     "StarlinkChannel",
     "CampaignTimeline",

@@ -103,14 +103,24 @@ class StarlinkPathModel:
                  constellation: Constellation | None = None,
                  terminal: UserTerminal | None = None,
                  timeline: CampaignTimeline | None = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 scheduler: SatelliteScheduler | None = None):
         self.params = params or StarlinkParams()
-        self.constellation = constellation or Constellation()
-        self.terminal = terminal or default_terminal()
         self.timeline = timeline or CampaignTimeline()
         self.seed = seed
-        self.scheduler = SatelliteScheduler(
-            self.constellation, self.terminal, STARLINK_GATEWAYS, seed=seed)
+        if scheduler is not None:
+            # Injected scheduler (e.g. a FleetTerminalView sharing one
+            # FleetScheduler across terminals): the model follows its
+            # constellation/terminal instead of building its own.
+            self.scheduler = scheduler
+            self.constellation = scheduler.constellation
+            self.terminal = scheduler.terminal
+        else:
+            self.constellation = constellation or Constellation()
+            self.terminal = terminal or default_terminal()
+            self.scheduler = SatelliteScheduler(
+                self.constellation, self.terminal, STARLINK_GATEWAYS,
+                seed=seed)
         self._fiber_cache: dict[str, float] = {}
         self._jitter_cache: dict[tuple[str, int], float] = {}
         #: Slot -> slot-constant part of base_one_way; valid only

@@ -8,6 +8,7 @@ satellites of adjacent planes so coverage gaps do not line up.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,7 +16,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.leo.geometry import elevation_angle, slant_range
 from repro.leo.orbits import propagate_ecef
-from repro.units import km
+from repro.units import EARTH_RADIUS, km
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,11 @@ class Constellation:
         default_factory=lambda: [WalkerShell()])
     #: Minimum usable elevation for the user terminal, degrees.
     min_elevation_deg: float = 25.0
+    #: Distinct query times the position cache holds. One entry
+    #: suffices for a single scheduler, but a fleet interleaves
+    #: queries at alternating times (slot sweeps, handover scans) and
+    #: would thrash a single-entry cache.
+    position_cache_size: int = 8
 
     def __post_init__(self) -> None:
         arrays = [shell.element_arrays() for shell in self.shells]
@@ -77,35 +83,65 @@ class Constellation:
         self._inclinations = np.concatenate([a[1] for a in arrays])
         self._raans = np.concatenate([a[2] for a in arrays])
         self._arg_lats = np.concatenate([a[3] for a in arrays])
-        self._cache_time: float | None = None
-        self._cache_positions: np.ndarray | None = None
+        self._position_cache: OrderedDict[float, np.ndarray] = \
+            OrderedDict()
+        #: Position-cache effectiveness counters (observability for
+        #: the fleet access pattern; not part of any digest).
+        self.position_cache_hits = 0
+        self.position_cache_misses = 0
 
     @property
     def size(self) -> int:
         """Total number of satellites across all shells."""
         return int(self._altitudes.shape[0])
 
+    def orbit_radii(self) -> np.ndarray:
+        """(N,) orbit radii (Earth centre to satellite), metres.
+
+        Circular orbits: the radius is exactly altitude + Earth
+        radius at every instant, which makes unit direction vectors
+        cheap -- ``positions(t) / orbit_radii()[:, None]`` -- without
+        any per-time norm.
+        """
+        return self._altitudes + EARTH_RADIUS
+
     def positions(self, t: float) -> np.ndarray:
-        """(N, 3) ECEF positions at time ``t``, metres. Cached per t."""
-        if self._cache_time != t:
-            self._cache_positions = propagate_ecef(
-                self._altitudes, self._inclinations,
-                self._raans, self._arg_lats, t)
-            self._cache_time = t
-        return self._cache_positions
+        """(N, 3) ECEF positions at time ``t``, metres.
+
+        Cached per query time in a small LRU
+        (:attr:`position_cache_size` entries), so interleaved queries
+        at a handful of alternating times -- the multi-terminal access
+        pattern -- all hit.
+        """
+        cached = self._position_cache.get(t)
+        if cached is not None:
+            self._position_cache.move_to_end(t)
+            self.position_cache_hits += 1
+            return cached
+        self.position_cache_misses += 1
+        positions = propagate_ecef(
+            self._altitudes, self._inclinations,
+            self._raans, self._arg_lats, t)
+        self._position_cache[t] = positions
+        while len(self._position_cache) > self.position_cache_size:
+            self._position_cache.popitem(last=False)
+        return positions
 
     def visible_from(self, ground_ecef: np.ndarray, t: float,
-                     min_elevation_deg: float | None = None
+                     min_elevation_deg: float | None = None,
+                     up: np.ndarray | None = None
                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Satellites visible from a ground point at time ``t``.
 
         Returns ``(indices, elevations_deg, ranges_m)`` sorted by
-        descending elevation.
+        descending elevation. ``up`` optionally passes the
+        precomputed :func:`repro.leo.geometry.unit_up` of the ground
+        point through to :func:`elevation_angle` (bit-identical).
         """
         min_el = (self.min_elevation_deg if min_elevation_deg is None
                   else min_elevation_deg)
         positions = self.positions(t)
-        elevations = elevation_angle(ground_ecef, positions)
+        elevations = elevation_angle(ground_ecef, positions, up=up)
         mask = elevations >= min_el
         indices = np.nonzero(mask)[0]
         if indices.size == 0:

@@ -48,28 +48,69 @@ def slant_range(a: np.ndarray, b: np.ndarray) -> float | np.ndarray:
     """
     diff = np.asarray(b) - np.asarray(a)
     if diff.ndim == 1:
-        return float(np.linalg.norm(diff))
+        # sqrt(x . x) is exactly what np.linalg.norm computes for a
+        # 1-D real vector (after a no-op ravel); spelling it out
+        # skips the linalg dispatch on this per-satellite hot path.
+        return float(np.sqrt(diff.dot(diff)))
     return np.linalg.norm(diff, axis=1)
 
 
+def unit_up(ground: np.ndarray) -> np.ndarray:
+    """Local unit up-vector at an ECEF ground position.
+
+    Exactly the expression :func:`elevation_angle` evaluates
+    internally, split out so schedulers can precompute it once per
+    ground site and pass it back through ``up=`` — same bytes, one
+    norm instead of one per call.
+    """
+    ground = np.asarray(ground, dtype=float)
+    return ground / np.linalg.norm(ground)
+
+
 def elevation_angle(ground: np.ndarray,
-                    sat: np.ndarray) -> float | np.ndarray:
+                    sat: np.ndarray,
+                    up: np.ndarray | None = None) -> float | np.ndarray:
     """Elevation of ``sat`` above the local horizon at ``ground``, degrees.
 
     ``sat`` may be an (N, 3) array; an (N,) array is then returned.
     Negative values mean the satellite is below the horizon.
+    ``up`` optionally supplies the precomputed :func:`unit_up` of
+    ``ground`` (hot-path callers evaluate it once per site instead of
+    once per call; passing it never changes a single bit).
     """
     ground = np.asarray(ground, dtype=float)
     sat = np.asarray(sat, dtype=float)
-    up = ground / np.linalg.norm(ground)
+    if up is None:
+        up = ground / np.linalg.norm(ground)
     los = sat - ground
     if los.ndim == 1:
-        rng = np.linalg.norm(los)
+        # sqrt(x . x) == np.linalg.norm for 1-D real input, minus
+        # the dispatch overhead (see slant_range).
+        rng = np.sqrt(los.dot(los))
         sin_el = np.dot(los, up) / rng
         return float(np.degrees(np.arcsin(np.clip(sin_el, -1.0, 1.0))))
     rng = np.linalg.norm(los, axis=1)
     sin_el = los @ up / rng
     return np.degrees(np.arcsin(np.clip(sin_el, -1.0, 1.0)))
+
+
+def elevation_and_range(ground: np.ndarray, sat: np.ndarray,
+                        up: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """``(elevations_deg, ranges_m)`` for an (N, 3) satellite array.
+
+    One pass sharing the line-of-sight norm: the norm
+    :func:`elevation_angle` divides by *is* the slant range, so
+    separate calls compute it twice. Bit-identical to
+    ``(elevation_angle(ground, sat, up), slant_range(ground, sat))``
+    — both evaluate ``norm(sat - ground, axis=1)`` on the same rows.
+    """
+    ground = np.asarray(ground, dtype=float)
+    sat = np.asarray(sat, dtype=float)
+    los = sat - ground
+    rng = np.linalg.norm(los, axis=1)
+    sin_el = los @ up / rng
+    return np.degrees(np.arcsin(np.clip(sin_el, -1.0, 1.0))), rng
 
 
 def great_circle_distance(a: GeoPoint, b: GeoPoint) -> float:

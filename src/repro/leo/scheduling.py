@@ -16,6 +16,7 @@ time is reproducible no matter the query order.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,7 +24,7 @@ import numpy as np
 from repro.rng import make_rng
 from repro.errors import ConfigurationError
 from repro.leo.constellation import Constellation
-from repro.leo.geometry import elevation_angle, slant_range
+from repro.leo.geometry import elevation_angle, slant_range, unit_up
 from repro.leo.ground import GroundStation, UserTerminal
 from repro.units import SPEED_OF_LIGHT
 
@@ -32,6 +33,74 @@ SLOT_DURATION = 15.0
 
 #: Gateways track satellites down to lower elevations than dishes.
 GATEWAY_MIN_ELEVATION_DEG = 10.0
+
+#: Refuse to materialise an outage interval index covering more slots
+#: than this (a pathological years-long window would allocate a dict
+#: entry per slot); membership falls back to the linear window scan.
+MAX_INDEXED_OUTAGE_SLOTS = 250_000
+
+_NO_OUTAGES: frozenset[int] = frozenset()
+
+
+def build_outage_index(windows: list[tuple[int, int, int]]
+                       ) -> dict[int, frozenset[int]] | None:
+    """Interval index ``slot -> frozenset(out identifiers)``.
+
+    ``windows`` holds ``(identifier, start_slot, end_slot)`` triples.
+    Candidate selection probes outage membership once per candidate
+    per slot; the index turns the per-probe linear window scan into a
+    dict lookup. Returns ``None`` when the windows span more than
+    :data:`MAX_INDEXED_OUTAGE_SLOTS` slots (callers keep the scan).
+    """
+    total = sum(end - start for _, start, end in windows)
+    if total > MAX_INDEXED_OUTAGE_SLOTS:
+        return None
+    accum: dict[int, set[int]] = {}
+    for ident, start, end in windows:
+        for slot in range(start, end):
+            accum.setdefault(slot, set()).add(ident)
+    return {slot: frozenset(out) for slot, out in accum.items()}
+
+
+def gateway_geometry(gw_ecef: np.ndarray, gw_ups: list[np.ndarray],
+                     sat_pos: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-gateway ``(elevations_deg, ranges_m)`` of one satellite.
+
+    Deliberately evaluated with the scalar :func:`elevation_angle` /
+    :func:`slant_range` ops: these floats feed digest-pinned
+    :class:`PathSnapshot` fields, and the scalar BLAS kernels round
+    differently from their broadcast counterparts. The fleet layer
+    gets its speedup by *memoizing* this function per (slot,
+    satellite) across terminals, not by re-deriving it vectorised.
+    """
+    n = len(gw_ecef)
+    elevations = np.empty(n)
+    ranges = np.empty(n)
+    for i in range(n):
+        elevations[i] = elevation_angle(gw_ecef[i], sat_pos,
+                                        up=gw_ups[i])
+        ranges[i] = slant_range(gw_ecef[i], sat_pos)
+    return elevations, ranges
+
+
+def select_gateway(elevations: np.ndarray, ranges: np.ndarray,
+                   out: frozenset[int] = _NO_OUTAGES
+                   ) -> tuple[int, float] | None:
+    """Closest in-service gateway given per-gateway geometry.
+
+    ``out`` names gateway indices out of service for the slot under
+    consideration. Returns ``(gateway_index, range_m)`` or ``None``
+    when no usable gateway sees the satellite.
+    """
+    usable = np.nonzero(elevations >= GATEWAY_MIN_ELEVATION_DEG)[0]
+    if out:
+        usable = np.array([i for i in usable if int(i) not in out],
+                          dtype=int)
+    if usable.size == 0:
+        return None
+    best = int(usable[np.argmin(ranges[usable])])
+    return best, float(ranges[best])
 
 
 @dataclass(frozen=True)
@@ -59,6 +128,12 @@ class PathSnapshot:
 class SatelliteScheduler:
     """Chooses the serving satellite and gateway per 15 s slot."""
 
+    #: Bound on distinct slots the snapshot cache retains; beyond it
+    #: the least-recently-used slot is evicted (a wholesale clear
+    #: would make a long campaign's periodic revisits recompute the
+    #: whole working set).
+    snapshot_cache_slots = 10_000
+
     def __init__(self, constellation: Constellation,
                  terminal: UserTerminal,
                  gateways: list[GroundStation],
@@ -73,11 +148,22 @@ class SatelliteScheduler:
         self.candidate_pool = candidate_pool
         self._ut_ecef = terminal.ecef()
         self._gw_ecef = np.array([gw.ecef() for gw in self.gateways])
-        self._cache: dict[int, PathSnapshot] = {}
+        # Unit up-vectors, precomputed once per ground site and passed
+        # back through elevation_angle(up=...): same bytes, one norm
+        # per site instead of one per call on the hot path.
+        self._ut_up = unit_up(self._ut_ecef)
+        self._gw_ups = [unit_up(gw) for gw in self._gw_ecef]
+        self._cache: OrderedDict[int, PathSnapshot] = OrderedDict()
         #: Injected satellite outages: (sat_index, start_slot, end_slot).
         self._outages: list[tuple[int, int, int]] = []
         #: Injected gateway outages: (gw_index, start_slot, end_slot).
         self._gateway_outages: list[tuple[int, int, int]] = []
+        # Interval indices over the outage windows (slot -> frozenset
+        # of out identifiers), rebuilt lazily whenever ``version``
+        # moves; None means "too large to materialise, scan instead".
+        self._out_index: dict[int, frozenset[int]] | None = {}
+        self._gw_out_index: dict[int, frozenset[int]] | None = {}
+        self._index_version = 0
         #: Bumped whenever snapshots may change retroactively (outage
         #: injection); downstream per-slot caches key on it to
         #: invalidate without subscribing to individual slots.
@@ -88,14 +174,16 @@ class SatelliteScheduler:
         return int(t // SLOT_DURATION)
 
     def snapshot(self, t: float) -> PathSnapshot:
-        """The path in force at time ``t`` (cached per slot)."""
+        """The path in force at time ``t`` (cached per slot, LRU)."""
         slot = self.slot_of(t)
         cached = self._cache.get(slot)
         if cached is None:
             cached = self._compute_slot(slot)
-            if len(self._cache) > 10_000:
-                self._cache.clear()
             self._cache[slot] = cached
+            while len(self._cache) > self.snapshot_cache_slots:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(slot)
         return cached
 
     def add_outage(self, sat_index: int, start_slot: int,
@@ -139,26 +227,51 @@ class SatelliteScheduler:
         for slot in range(start_slot, end_slot):
             self._cache.pop(slot, None)
 
+    def _refresh_outage_index(self) -> None:
+        if self._index_version == self.version:
+            return
+        self._out_index = build_outage_index(self._outages)
+        self._gw_out_index = build_outage_index(self._gateway_outages)
+        self._index_version = self.version
+
+    def out_sats_at(self, slot: int) -> frozenset[int]:
+        """Satellite indices out of service during ``slot``."""
+        self._refresh_outage_index()
+        if self._out_index is None:
+            return frozenset(
+                sat for sat, start, end in self._outages
+                if start <= slot < end)
+        return self._out_index.get(slot, _NO_OUTAGES)
+
+    def out_gateways_at(self, slot: int) -> frozenset[int]:
+        """Gateway indices out of service during ``slot``."""
+        self._refresh_outage_index()
+        if self._gw_out_index is None:
+            return frozenset(
+                gw for gw, start, end in self._gateway_outages
+                if start <= slot < end)
+        return self._gw_out_index.get(slot, _NO_OUTAGES)
+
     def _is_out(self, sat_index: int, slot: int) -> bool:
-        return any(sat == sat_index and start <= slot < end
-                   for sat, start, end in self._outages)
+        return sat_index in self.out_sats_at(slot)
 
     def _gw_is_out(self, gw_index: int, slot: int) -> bool:
-        return any(gw == gw_index and start <= slot < end
-                   for gw, start, end in self._gateway_outages)
+        return gw_index in self.out_gateways_at(slot)
 
     def _compute_slot(self, slot: int) -> PathSnapshot:
         t = slot * SLOT_DURATION
         indices, elevations, ranges = self.constellation.visible_from(
-            self._ut_ecef, t)
+            self._ut_ecef, t, up=self._ut_up)
         if indices.size == 0:
             raise ConfigurationError(
                 f"no satellite visible from {self.terminal.name} at t={t}; "
                 "constellation too sparse for this latitude")
         positions = self.constellation.positions(t)
+        out_sats = (self.out_sats_at(slot) if self._outages
+                    else _NO_OUTAGES)
         candidates = []
         for idx, elev, rng_m in zip(indices, elevations, ranges):
-            if self._outages and self._is_out(int(idx), slot):
+            if int(idx) in out_sats:
                 continue
             gw_choice = self._best_gateway(positions[idx], slot)
             if gw_choice is None:
@@ -180,19 +293,12 @@ class SatelliteScheduler:
     def _best_gateway(self, sat_pos: np.ndarray, slot: int | None = None
                       ) -> tuple[int, float] | None:
         """Closest in-service gateway this satellite can serve."""
-        elevations = np.array([
-            elevation_angle(gw, sat_pos) for gw in self._gw_ecef])
-        usable = np.nonzero(elevations >= GATEWAY_MIN_ELEVATION_DEG)[0]
-        if self._gateway_outages and slot is not None:
-            usable = np.array(
-                [i for i in usable if not self._gw_is_out(int(i), slot)],
-                dtype=int)
-        if usable.size == 0:
-            return None
-        ranges = np.array([
-            slant_range(self._gw_ecef[i], sat_pos) for i in usable])
-        best = int(usable[np.argmin(ranges)])
-        return best, float(slant_range(self._gw_ecef[best], sat_pos))
+        elevations, ranges = gateway_geometry(
+            self._gw_ecef, self._gw_ups, sat_pos)
+        out = (self.out_gateways_at(slot)
+               if self._gateway_outages and slot is not None
+               else _NO_OUTAGES)
+        return select_gateway(elevations, ranges, out)
 
     def handover_times(self, start: float, end: float) -> list[float]:
         """Slot boundaries where the serving satellite changes."""

@@ -1,0 +1,151 @@
+"""Differential suite: FleetScheduler == per-terminal scalar scheduler.
+
+The fleet layer's load-bearing claim is *bit-identity*: terminal ``i``
+of a :class:`FleetScheduler` produces exactly the snapshot a scalar
+``SatelliteScheduler(seed=seeds[i])`` would — same satellite, same
+gateway, same floats byte for byte — across seeds, latitudes,
+candidate-pool sizes and outage windows, with the prefilter on or
+off. Hypothesis explores the space; any drift shrinks to a minimal
+counterexample.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.leo.constellation import Constellation
+from repro.leo.fleet import (
+    FleetScheduler,
+    FleetSpec,
+    build_fleet_terminals,
+    fleet_seeds,
+)
+from repro.leo.geometry import GeoPoint
+from repro.leo.ground import STARLINK_GATEWAYS, GroundStation
+from repro.leo.scheduling import SLOT_DURATION, SatelliteScheduler
+
+N_SLOTS = 8
+
+
+def _gateways_for(lat: float) -> list[GroundStation]:
+    """Gateways near a latitude band, so paths exist at any latitude
+    the strategy generates (the real Benelux gateways only serve
+    mid-latitude terminals)."""
+    return [
+        GroundStation(f"gw-a-{lat:.0f}", GeoPoint(lat, 6.5), pop="p1"),
+        GroundStation(f"gw-b-{lat:.0f}", GeoPoint(lat + 1.5, 2.5),
+                      pop="p2"),
+        GroundStation(f"gw-c-{lat:.0f}", GeoPoint(max(lat - 2.0, -60.0),
+                                                  4.0), pop="p1"),
+    ]
+
+
+def _compare(fleet: FleetScheduler,
+             scalars: list[SatelliteScheduler]) -> None:
+    for slot in range(N_SLOTS):
+        t = slot * SLOT_DURATION
+        for i, scalar in enumerate(scalars):
+            try:
+                expected = scalar.snapshot(t)
+            except ConfigurationError as exc:
+                with pytest.raises(ConfigurationError) as info:
+                    fleet.snapshot_at(i, t)
+                assert str(info.value) == str(exc)
+                continue
+            got = fleet.snapshot_at(i, t)
+            # Dataclass equality covers every float field exactly —
+            # bit-identity, not approximate agreement.
+            assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**20),
+       terminals=st.integers(1, 5),
+       base_lat=st.floats(0.0, 58.0),
+       pool=st.integers(1, 6),
+       prefilter=st.booleans())
+def test_fleet_matches_scalar(seed, terminals, base_lat, pool,
+                              prefilter):
+    spec = FleetSpec(terminals=terminals,
+                     lat_bands=((base_lat, base_lat + 2.0),),
+                     seed=seed)
+    uts = build_fleet_terminals(spec)
+    seeds = fleet_seeds(seed, terminals)
+    gateways = _gateways_for(base_lat)
+    fleet = FleetScheduler(Constellation(), uts, gateways,
+                           seeds=seeds, candidate_pool=pool,
+                           prefilter=prefilter)
+    scalars = [SatelliteScheduler(Constellation(), uts[i], gateways,
+                                  seed=seeds[i], candidate_pool=pool)
+               for i in range(terminals)]
+    _compare(fleet, scalars)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20),
+       terminals=st.integers(1, 4),
+       base_lat=st.floats(35.0, 55.0),
+       sat_index=st.integers(0, 1583),
+       start=st.integers(0, 4),
+       length=st.integers(1, 6),
+       gw_start=st.integers(0, 4),
+       gw_length=st.integers(1, 6),
+       prefilter=st.booleans())
+def test_fleet_matches_scalar_under_outages(seed, terminals, base_lat,
+                                            sat_index, start, length,
+                                            gw_start, gw_length,
+                                            prefilter):
+    spec = FleetSpec(terminals=terminals,
+                     lat_bands=((base_lat, base_lat + 2.0),),
+                     seed=seed)
+    uts = build_fleet_terminals(spec)
+    seeds = fleet_seeds(seed, terminals)
+    gateways = _gateways_for(base_lat)
+    fleet = FleetScheduler(Constellation(), uts, gateways,
+                           seeds=seeds, prefilter=prefilter)
+    scalars = [SatelliteScheduler(Constellation(), uts[i], gateways,
+                                  seed=seeds[i])
+               for i in range(terminals)]
+    fleet.add_outage(sat_index, start, start + length)
+    fleet.add_gateway_outage(gateways[0].name, gw_start,
+                             gw_start + gw_length)
+    for scalar in scalars:
+        scalar.add_outage(sat_index, start, start + length)
+        scalar.add_gateway_outage(gateways[0].name, gw_start,
+                                  gw_start + gw_length)
+    _compare(fleet, scalars)
+
+
+def test_fleet_matches_scalar_real_gateways():
+    """T=1 at the paper's vantage point against the real gateways."""
+    spec = FleetSpec(terminals=1, lat_bands=((50.0, 51.5),), seed=7)
+    uts = build_fleet_terminals(spec)
+    seeds = fleet_seeds(7, 1)
+    fleet = FleetScheduler(Constellation(), uts, STARLINK_GATEWAYS,
+                           seeds=seeds)
+    scalar = SatelliteScheduler(Constellation(), uts[0],
+                                STARLINK_GATEWAYS, seed=seeds[0])
+    for slot in range(40):
+        t = slot * SLOT_DURATION
+        assert fleet.snapshot_at(0, t) == scalar.snapshot(t)
+
+
+def test_prefilter_is_a_superset_of_visibility():
+    """Every satellite the exact pass keeps survives the prefilter."""
+    spec = FleetSpec(terminals=6, lat_bands=((30.0, 58.0),), seed=11)
+    uts = build_fleet_terminals(spec)
+    const = Constellation()
+    fleet = FleetScheduler(const, uts, STARLINK_GATEWAYS, seed=11)
+    for slot in (0, 3, 17):
+        t = slot * SLOT_DURATION
+        positions = const.positions(t)
+        sat_units = positions * fleet._inv_radii[:, None]
+        cos_angles = fleet._ut_units @ sat_units.T
+        keep = cos_angles >= fleet._thresholds(
+            const.min_elevation_deg)[:, None]
+        for i, ut in enumerate(uts):
+            visible, _, _ = const.visible_from(ut.ecef(), t)
+            kept = set(np.nonzero(keep[i])[0].tolist())
+            assert set(visible.tolist()) <= kept

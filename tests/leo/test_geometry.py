@@ -110,3 +110,44 @@ def test_property_great_circle_symmetric_and_bounded(lat1, lon1,
     d_ba = great_circle_distance(b, a)
     assert d_ab == pytest.approx(d_ba, abs=1.0)
     assert 0 <= d_ab <= np.pi * EARTH_RADIUS + 1.0
+
+
+def test_elevation_up_param_is_bit_identical():
+    """Passing the precomputed unit-up changes nothing, bitwise."""
+    from repro.leo.geometry import unit_up
+
+    ground = ecef(50.0, 4.0)
+    up = unit_up(ground)
+    sats = np.array([ecef(50.0 + d, 4.0 + d, km(550))
+                     for d in (0.0, 2.0, 7.0, 15.0)])
+    for sat in sats:
+        assert elevation_angle(ground, sat, up=up) == \
+            elevation_angle(ground, sat)
+    assert np.array_equal(elevation_angle(ground, sats, up=up),
+                          elevation_angle(ground, sats))
+
+
+def test_elevation_and_range_matches_separate_calls():
+    """The fused pass returns exactly what two passes would."""
+    from repro.leo.geometry import elevation_and_range, unit_up
+
+    ground = ecef(51.0, 5.0)
+    up = unit_up(ground)
+    sats = np.array([ecef(51.0 + d, 5.0 - d, km(550 + 20 * d))
+                     for d in (0.0, 1.0, 4.0, 12.0)])
+    elev, rng = elevation_and_range(ground, sats, up)
+    assert np.array_equal(elev, elevation_angle(ground, sats, up=up))
+    assert np.array_equal(rng, slant_range(ground, sats))
+
+
+def test_scalar_ops_match_row_subsets_bitwise():
+    """Scalar calls equal the vectorised rows, bit for bit -- the
+    invariant the fleet scheduler's bit-identity rests on."""
+    ground = ecef(50.668, 4.611)
+    sats = np.array([ecef(50.0 + d, 4.0 + 2 * d, km(540 + 5 * d))
+                     for d in range(8)])
+    vec_elev = elevation_angle(ground, sats)
+    vec_rng = slant_range(ground, sats)
+    for i in range(len(sats)):
+        assert elevation_angle(ground, sats[i]) == vec_elev[i]
+        assert slant_range(ground, sats[i]) == vec_rng[i]

@@ -121,3 +121,44 @@ def test_channel_loss_rate_in_band():
     # 3 Mbit/s message stream: ~280 packets/s for ~3.5 minutes.
     losses = sum(model.is_lost(i / 280.0) for i in range(n))
     assert 0.0005 <= losses / n <= 0.03
+
+
+def test_snapshot_cache_is_bounded_lru():
+    sched = SatelliteScheduler(Constellation(), default_terminal(),
+                               STARLINK_GATEWAYS, seed=1)
+    sched.snapshot_cache_slots = 6
+    for slot in range(20):
+        sched.snapshot(slot * SLOT_DURATION)
+    assert len(sched._cache) <= 6
+    # LRU, not wholesale clear: recent slots are still cached.
+    assert 19 in sched._cache and 0 not in sched._cache
+
+
+def test_outage_interval_index_matches_linear_scan():
+    sched = SatelliteScheduler(Constellation(), default_terminal(),
+                               STARLINK_GATEWAYS, seed=1)
+    sched.add_outage(7, 2, 6)
+    sched.add_outage(8, 4, 9)
+    sched.add_gateway_outage(STARLINK_GATEWAYS[1].name, 3, 5)
+    for slot in range(12):
+        expected_sats = frozenset(
+            s for s, a, b in sched._outages if a <= slot < b)
+        assert sched.out_sats_at(slot) == expected_sats
+        assert sched._is_out(7, slot) == (2 <= slot < 6)
+    assert sched._gw_is_out(1, 3) and not sched._gw_is_out(1, 5)
+
+
+def test_pathological_outage_window_falls_back_to_scan():
+    from repro.leo.scheduling import (
+        MAX_INDEXED_OUTAGE_SLOTS,
+        build_outage_index,
+    )
+
+    huge = [(3, 0, MAX_INDEXED_OUTAGE_SLOTS + 1)]
+    assert build_outage_index(huge) is None
+    sched = SatelliteScheduler(Constellation(), default_terminal(),
+                               STARLINK_GATEWAYS, seed=1)
+    sched.add_outage(3, 0, MAX_INDEXED_OUTAGE_SLOTS + 1)
+    # Membership still answers correctly through the linear scan.
+    assert sched._is_out(3, 123_456)
+    assert not sched._is_out(4, 123_456)
