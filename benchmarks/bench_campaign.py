@@ -31,6 +31,15 @@ Cubic and with BBR). The hard gate mirrors "Unveiling TCP BBR
 Dominance in Starlink Internet": BBR must sustain higher mean
 goodput than Cubic under ``rain_fade`` random loss.
 
+The ``longitudinal`` section is the month-scale memory story: the
+same budget-governed streaming ping campaign runs at a short and a 4x
+longer duration with ``tracemalloc`` around the whole pipeline, and
+the gate demands the traced peak grow by less than 2x (plus an exact
+streaming == batch digest check and, for the governed runs, that the
+assembled dataset's resident samples stay within the configured
+budget). A batch row per duration records the linear-growth
+counterpoint the streaming path exists to avoid.
+
 The ``fleet_scaling`` section times per-terminal slot compute for
 the vectorized :class:`~repro.leo.fleet.FleetScheduler` against T
 independent scalar schedulers at fleet sizes 1/4/16/64, compares
@@ -56,6 +65,7 @@ import os
 import pathlib
 import sys
 import time
+import tracemalloc
 
 from repro.apps.speedtest import run_speedtest
 from repro.core.campaign import Campaign, CampaignConfig, quick_config
@@ -371,6 +381,121 @@ def cc_matrix() -> dict:
     return section
 
 
+#: Longitudinal axes: the streaming ping campaign at a short and a
+#: 4x longer duration, one shared memory budget. The gate is peak
+#: traced memory growing by < LONGITUDINAL_GATE_FACTOR while the
+#: probe count grows 4x — the sublinearity claim of the streaming
+#: pipeline, measured rather than asserted.
+LONGITUDINAL_BUDGET_MB = 0.25
+LONGITUDINAL_GATE_FACTOR = 2.0
+
+
+def longitudinal_config(days_: float,
+                        budget_mb: float | None = None
+                        ) -> CampaignConfig:
+    return CampaignConfig(
+        seed=0, ping_days=days_, ping_interval_s=minutes(30),
+        ping_shard_rounds=16, memory_budget_mb=budget_mb,
+        speedtest_epochs=1, speedtest_measure_s=0.5,
+        speedtest_warmup_s=0.5, satcom_warmup_s=2.0,
+        bulk_per_direction=1, bulk_bytes=500_000,
+        messages_per_direction=1, messages_duration_s=1.5,
+        web_sites=3, web_visits_per_site=1)
+
+
+def _traced(fn):
+    """(result, wall_s, peak_kb) of ``fn()`` under tracemalloc."""
+    already = tracemalloc.is_tracing()
+    if already:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
+    began = time.perf_counter()
+    try:
+        result = fn()
+        wall_s = time.perf_counter() - began
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already:
+            tracemalloc.stop()
+    return result, wall_s, peak / 1024.0
+
+
+def longitudinal_cell(days_: float) -> dict:
+    """One duration: governed streaming run beside the batch run.
+
+    The governed run shards at atom granularity (one
+    ``ping_shard_rounds`` window per chunk), so chunk size stays
+    constant as the campaign stretches — the transient the governor
+    cannot shed is bounded by the chunk, not the month.
+    """
+    streaming = Campaign(longitudinal_config(
+        days_, LONGITUDINAL_BUDGET_MB))
+    dataset, stream_wall, stream_peak = _traced(
+        lambda: streaming.run_pings_streaming(granularity=10 ** 6))
+    batch = Campaign(longitudinal_config(days_))
+    _, batch_wall, batch_peak = _traced(batch.run_pings)
+    budget = streaming.streaming_budget()
+    return {
+        "ping_days": days_,
+        "total_probes": dataset.total_samples,
+        "streaming_peak_kb": round(stream_peak, 1),
+        "streaming_wall_s": round(stream_wall, 3),
+        "batch_peak_kb": round(batch_peak, 1),
+        "batch_wall_s": round(batch_wall, 3),
+        "stage": dataset.budget.stage,
+        "precision_notes": len(dataset.precision_notes()),
+        "resident_samples": dataset.resident_samples,
+        "resident_within_budget":
+            dataset.resident_samples <= budget.max_resident_samples,
+    }
+
+
+def longitudinal() -> dict:
+    """Peak-memory scaling of the streaming ping pipeline.
+
+    Smoke mode shortens both durations but keeps the 4x ratio — the
+    gate is about growth, not absolute scale. The digest row reruns
+    the short duration ungoverned (sharded, 2 workers) and compares
+    against the batch pipeline bit for bit, so the memory numbers are
+    only ever reported over verified-identical output.
+    """
+    short = 1.0 if _smoke() else 2.0
+    rows = [longitudinal_cell(short), longitudinal_cell(short * 4)]
+
+    digest_cfg = longitudinal_config(short)
+    streamed = Campaign(digest_cfg).run_pings_streaming(
+        workers=2, granularity=3)
+    batch_digest = digest_dataset(Campaign(digest_cfg).run_pings())
+    digest_match = digest_dataset(
+        streamed.to_ping_dataset()) == batch_digest
+
+    growth = (rows[1]["streaming_peak_kb"]
+              / rows[0]["streaming_peak_kb"]
+              if rows[0]["streaming_peak_kb"] > 0 else None)
+    probe_growth = (rows[1]["total_probes"] / rows[0]["total_probes"]
+                    if rows[0]["total_probes"] else None)
+    gate = {
+        "criterion": f"streaming peak growth < "
+                     f"{LONGITUDINAL_GATE_FACTOR}x while probes grow "
+                     f"{round(probe_growth or 0.0, 1)}x, digests "
+                     "identical, residency within budget",
+        "peak_growth_factor": (round(growth, 3)
+                               if growth is not None else None),
+        "digest_match": digest_match,
+        "passed": (growth is not None
+                   and growth < LONGITUDINAL_GATE_FACTOR
+                   and digest_match
+                   and all(r["resident_within_budget"]
+                           for r in rows)),
+    }
+    return {
+        "budget_mb": LONGITUDINAL_BUDGET_MB,
+        "rows": rows,
+        "gate": gate,
+    }
+
+
 #: Fleet-scaling axes: the vectorized FleetScheduler against T
 #: independent scalar schedulers, per terminal count.
 FLEET_SIZES = (1, 4, 16, 64)
@@ -469,6 +594,7 @@ def run_bench(workers: int, seed: int) -> dict:
         "shard_sweep": shard_sweep(config, serial_digest, serial_s,
                                    serial_shards),
         "cc_matrix": cc_matrix(),
+        "longitudinal": longitudinal(),
         "fleet_scaling": fleet_scaling(),
         "unit_breakdown": [
             {key: round(val, 4) if isinstance(val, float) else val
@@ -510,6 +636,13 @@ def main(argv: list[str] | None = None) -> int:
         print("FATAL: BBR did not beat Cubic under rain_fade — the "
               "CC matrix lost the paper's qualitative ordering",
               file=sys.stderr)
+        return 1
+    if not report["longitudinal"]["gate"]["passed"]:
+        print("FATAL: the streaming ping pipeline missed the "
+              "longitudinal gate — peak memory grew by >= "
+              f"{LONGITUDINAL_GATE_FACTOR}x over a 4x duration, a "
+              "digest diverged from the batch pipeline, or governed "
+              "residency escaped its budget", file=sys.stderr)
         return 1
     if not report["fleet_scaling"]["gate"]["passed"]:
         print("FATAL: fleet scheduler missed the scaling gate — "

@@ -33,11 +33,25 @@ aborting on the first exhausted unit.
 
 Adverse conditions: ``--scenario NAME`` runs the whole campaign under
 a named disruption scenario (rain fade, satellite outage, gateway
-flap, storm; see :mod:`repro.disrupt`), and the ``availability``
-artefact renders outage episodes, time-to-recovery, the availability
-percentage and slot-aligned loss-burst attribution::
+flap, storm, generated Markov weather; see :mod:`repro.disrupt`), and
+the ``availability`` artefact renders outage episodes,
+time-to-recovery, the availability percentage and slot-aligned
+loss-burst attribution::
 
     python -m repro availability --scenario sat_outage
+
+Longitudinal (month-scale) campaigns: ``--streaming`` routes the ping
+pipeline through constant-memory sinks (bit-identical to the batch
+path while exact), ``--duration-days D`` stretches the campaign,
+``--memory-budget-mb M`` arms the resource governor (degrade
+precision in recorded stages instead of OOMing; ``--resource-policy
+raise`` escalates the first breach instead) and ``--track-memory``
+adds per-unit peak-heap columns to ``--timing``. A run that exhausts
+every degradation stage exits with status 3, its completed units
+checkpointed in the journal for ``--resume``::
+
+    python -m repro availability --streaming --scenario wet_month \\
+        --duration-days 30 --memory-budget-mb 64 --journal DIR
 """
 
 from __future__ import annotations
@@ -55,6 +69,7 @@ from repro.core.reporting import (
     coverage_note,
     render_availability,
     render_degradation,
+    render_precision_notes,
     render_figure1,
     render_figure2,
     render_figure3,
@@ -74,8 +89,9 @@ from repro.core.rtt import (
 from repro.core.throughput import figure5_throughput
 from repro.disrupt.scenarios import scenario_names
 from repro.transport.cc import CC_KINDS
-from repro.errors import JournalError
+from repro.errors import JournalError, MemoryBudgetError
 from repro.exec.journal import Journal
+from repro.exec.resources import RESOURCE_POLICIES
 from repro.exec.runner import FAILURE_POLICIES, UnitTiming, render_timings
 from repro.units import minutes
 
@@ -110,8 +126,11 @@ def _build_config(args: argparse.Namespace) -> CampaignConfig:
     config = quick_config(seed=args.seed)
     if args.full:
         config = CampaignConfig(seed=args.seed)
-    if args.ping_days is not None:
-        config.ping_days = args.ping_days
+    ping_days = args.ping_days
+    if args.duration_days is not None:
+        ping_days = args.duration_days
+    if ping_days is not None:
+        config.ping_days = ping_days
         config.ping_interval_s = minutes(20)
     if args.sites is not None:
         config.web_sites = args.sites
@@ -124,6 +143,13 @@ def _build_config(args: argparse.Namespace) -> CampaignConfig:
     if (args.fleet or args.artefact == "fleet") \
             and config.fleet_terminals < 1:
         config.fleet_terminals = DEFAULT_FLEET_TERMINALS
+    if args.streaming:
+        config.streaming_pings = True
+    if args.memory_budget_mb is not None:
+        config.memory_budget_mb = args.memory_budget_mb
+        config.streaming_pings = True   # a budget implies the sinks
+    if args.resource_policy is not None:
+        config.resource_policy = args.resource_policy
     return config
 
 
@@ -146,12 +172,24 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
     """
     exec_kwargs = exec_kwargs or {}
 
+    def streaming_pings():
+        if "pings_streaming" not in cache:
+            cache["pings_streaming"] = campaign.run_pings_streaming(
+                workers=workers, timings=timings,
+                profile_dir=profile_dir, **exec_kwargs)
+        return cache["pings_streaming"]
+
     def pings():
         if "pings" not in cache:
-            cache["pings"] = campaign.run_pings(workers=workers,
-                                               timings=timings,
-                                               profile_dir=profile_dir,
-                                               **exec_kwargs)
+            if campaign.config.streaming_pings:
+                # Exact-mode reconstruction is bit-identical to the
+                # batch pipeline; once the budget has degraded a sink
+                # the raw series is gone and the sink says so.
+                cache["pings"] = streaming_pings().to_ping_dataset()
+            else:
+                cache["pings"] = campaign.run_pings(
+                    workers=workers, timings=timings,
+                    profile_dir=profile_dir, **exec_kwargs)
         return cache["pings"]
 
     def bulk():
@@ -213,12 +251,20 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
     elif name == "fig6":
         _emit(render_figure6(figure6_browsing(visits())))
     elif name == "availability":
-        data = CampaignDatasets(pings=pings(), bulk=bulk(),
-                                messages=messages(),
-                                speedtests=speedtests(),
-                                visits=visits())
-        _emit(render_availability(analyze_availability(
-            data, scenario=campaign.config.scenario)))
+        if campaign.config.streaming_pings:
+            # Streaming-native: incremental counts straight from the
+            # sinks, exact at every degradation stage. Bulk loss-burst
+            # attribution needs the batch datasets and is omitted.
+            _emit(render_availability(
+                streaming_pings().availability_report(
+                    scenario=campaign.config.scenario)))
+        else:
+            data = CampaignDatasets(pings=pings(), bulk=bulk(),
+                                    messages=messages(),
+                                    speedtests=speedtests(),
+                                    visits=visits())
+            _emit(render_availability(analyze_availability(
+                data, scenario=campaign.config.scenario)))
     elif name == "fleet":
         _emit(render_fleet(fleet()))
     elif name == "middlebox":
@@ -239,6 +285,12 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
         note = coverage_note(report, ARTEFACT_DATASETS.get(name, ()))
         if note:
             _emit(note)
+    streamed = cache.get("pings_streaming")
+    if streamed is not None \
+            and "pings" in ARTEFACT_DATASETS.get(name, ()):
+        notes = render_precision_notes(streamed.precision_notes())
+        if notes:
+            _emit(notes)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -254,6 +306,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench-scale campaign (slow)")
     parser.add_argument("--ping-days", type=float, default=None,
                         help="override the ping-campaign length")
+    parser.add_argument("--duration-days", type=float, default=None,
+                        metavar="D",
+                        help="campaign length in days (synonym of "
+                             "--ping-days, named for the month-scale "
+                             "longitudinal runs)")
     parser.add_argument("--sites", type=int, default=None,
                         help="override the web-corpus size")
     parser.add_argument("--scenario", choices=scenario_names(),
@@ -314,6 +371,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="'raise' aborts on the first exhausted "
                              "unit; 'degrade' finishes with partial "
                              "datasets plus a degradation report")
+    parser.add_argument("--streaming", action="store_true",
+                        help="run the ping campaign through constant-"
+                             "memory streaming sinks (bit-identical "
+                             "to the batch path while exact)")
+    parser.add_argument("--memory-budget-mb", type=float, default=None,
+                        metavar="M",
+                        help="memory budget for the streaming ping "
+                             "pipeline, MiB (implies --streaming); "
+                             "breaches degrade precision in recorded "
+                             "stages, the exhausted ladder exits with "
+                             "status 3")
+    parser.add_argument("--resource-policy", choices=RESOURCE_POLICIES,
+                        default=None,
+                        help="'degrade' (default) walks the precision "
+                             "ladder on a budget breach; 'raise' "
+                             "escalates the first breach")
+    parser.add_argument("--track-memory", action="store_true",
+                        help="measure each work unit's peak heap "
+                             "(tracemalloc) and add a peak column to "
+                             "--timing")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -327,6 +404,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal DIR")
+    if args.ping_days is not None and args.duration_days is not None \
+            and args.ping_days != args.duration_days:
+        parser.error(f"--ping-days {args.ping_days} and "
+                     f"--duration-days {args.duration_days} disagree; "
+                     "they are synonyms, give one")
+    if args.memory_budget_mb is not None \
+            and not args.memory_budget_mb > 0:
+        parser.error(f"--memory-budget-mb must be positive, got "
+                     f"{args.memory_budget_mb}")
 
     journal = None
     if args.journal is not None:
@@ -348,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "unit_timeout": args.unit_timeout,
         "failure_policy": args.failure_policy,
         "granularity": args.shard_granularity,
+        "track_memory": args.track_memory,
     }
     if args.artefact == "all":
         # Fleet mode is opt-in: 'all' keeps its historical output
@@ -357,10 +444,17 @@ def main(argv: list[str] | None = None) -> int:
             names.append("fleet")
     else:
         names = [args.artefact]
-    for name in names:
-        run_artefact(name, campaign, cache, workers=args.workers,
-                     timings=timings, profile_dir=args.profile,
-                     exec_kwargs=exec_kwargs)
+    try:
+        for name in names:
+            run_artefact(name, campaign, cache, workers=args.workers,
+                         timings=timings, profile_dir=args.profile,
+                         exec_kwargs=exec_kwargs)
+    except MemoryBudgetError as exc:
+        # The governor ran out of ladder (or policy='raise' chose to
+        # stop early). Completed units are already journaled, so the
+        # exit is clean and a --journal DIR --resume run continues.
+        print(f"memory budget exhausted: {exc}", file=sys.stderr)
+        return 3
     if args.timing:
         _emit(render_timings(timings))
     report = campaign.degradation_report()

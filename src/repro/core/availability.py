@@ -107,11 +107,19 @@ class AvailabilityReport:
 
 def _pooled_loss(pings: PingDataset
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(times, lost, total) per unique probe instant, anchor-pooled."""
+    """(times, lost, total) per unique probe instant, anchor-pooled.
+
+    Probes with a non-finite timestamp are dropped from the pooling:
+    they have no place on the campaign clock, and letting them through
+    used to poison episode boundaries (``end_t``/``duration_s`` of
+    NaN) and the adjacent-instant spacing that derives ``max_gap_s``.
+    """
     counts: dict[float, list[int]] = {}
     for times, rtts in pings.series.values():
         lost_mask = np.isnan(rtts)
-        for t, lost in zip(times.tolist(), lost_mask.tolist()):
+        finite = np.isfinite(times)
+        for t, lost in zip(times[finite].tolist(),
+                           lost_mask[finite].tolist()):
             entry = counts.setdefault(t, [0, 0])
             entry[0] += int(lost)
             entry[1] += 1
@@ -121,23 +129,18 @@ def _pooled_loss(pings: PingDataset
     return np.array(ordered), lost, total
 
 
-def detect_outage_episodes(pings: PingDataset,
-                           loss_threshold: float =
-                           DEFAULT_LOSS_THRESHOLD,
-                           min_probes_lost: int = 2,
-                           max_gap_s: float | None = None
-                           ) -> list[OutageEpisode]:
-    """Find contiguous correlated-loss intervals in the ping series.
+def _episodes_from_pooled(times: np.ndarray, lost: np.ndarray,
+                          total: np.ndarray,
+                          loss_threshold: float,
+                          min_probes_lost: int,
+                          max_gap_s: float | None
+                          ) -> list[OutageEpisode]:
+    """Episode detection over pooled per-instant loss counts.
 
-    A probe instant is *down* when at least ``loss_threshold`` of the
-    anchors lost their probe there. Down instants separated by no more
-    than ``max_gap_s`` belong to one episode (the default spans one
-    ping round, so an outage covering consecutive rounds coalesces
-    while rounds separated by healthy ones split). Episodes losing
-    fewer than ``min_probes_lost`` probes are discarded as
-    uncorrelated background loss.
+    Shared by the batch :func:`detect_outage_episodes` and the
+    streaming :class:`AvailabilityAccumulator`, which is what makes
+    the two paths identical by construction.
     """
-    times, lost, total = _pooled_loss(pings)
     if times.size == 0:
         return []
     down = (total > 0) & (lost / np.maximum(total, 1.0)
@@ -173,6 +176,163 @@ def detect_outage_episodes(pings: PingDataset,
             start_t=float(times[first]), end_t=float(times[last]),
             recovery_t=recovery_t, probes_lost=probes_lost))
     return episodes
+
+
+def detect_outage_episodes(pings: PingDataset,
+                           loss_threshold: float =
+                           DEFAULT_LOSS_THRESHOLD,
+                           min_probes_lost: int = 2,
+                           max_gap_s: float | None = None
+                           ) -> list[OutageEpisode]:
+    """Find contiguous correlated-loss intervals in the ping series.
+
+    A probe instant is *down* when at least ``loss_threshold`` of the
+    anchors lost their probe there. Down instants separated by no more
+    than ``max_gap_s`` belong to one episode (the default spans one
+    ping round, so an outage covering consecutive rounds coalesces
+    while rounds separated by healthy ones split). Episodes losing
+    fewer than ``min_probes_lost`` probes are discarded as
+    uncorrelated background loss.
+    """
+    times, lost, total = _pooled_loss(pings)
+    return _episodes_from_pooled(times, lost, total, loss_threshold,
+                                 min_probes_lost, max_gap_s)
+
+
+class AvailabilityAccumulator:
+    """Incremental, mergeable availability detection.
+
+    The streaming counterpart of :func:`analyze_availability`: ping
+    chunks feed loss counts per probe instant as they are produced,
+    partial accumulators merge in any order, and :meth:`report`
+    reproduces the batch analysis exactly (episode detection runs the
+    same :func:`_episodes_from_pooled` over the same pooled counts).
+
+    Memory is O(unique probe instants) — the campaign clock, not the
+    sample count: a 30-day campaign probing every 5 minutes from any
+    number of anchors pools into ~26k instants regardless of how many
+    probes each anchor sent. The pooled counts live in flat sorted
+    numpy arrays (~24 bytes per instant); incoming chunks park in a
+    pending list and fold in once they outgrow the resident set, so
+    compaction cost stays amortised O(n log n) over the campaign.
+    """
+
+    #: Pending instants tolerated before an eager compaction; below
+    #: this the merge sort costs more than the duplicates it removes.
+    COMPACT_PENDING_INSTANTS = 4096
+
+    def __init__(self) -> None:
+        self._times = np.empty(0, dtype=float)
+        self._lost = np.empty(0, dtype=np.int64)
+        self._total = np.empty(0, dtype=np.int64)
+        self._pending: list[tuple[np.ndarray, np.ndarray,
+                                  np.ndarray]] = []
+        self._pending_instants = 0
+        self.lost_probes = 0
+        self.total_probes = 0
+        self.outcome_counts: dict[str, int] = {}
+        self.total_bursts = 0
+        self.slot_aligned_bursts = 0
+
+    def add_probes(self, times, rtts) -> None:
+        """Fold one chunk of a ping series (NaN RTT == lost probe)."""
+        times = np.asarray(times, dtype=float)
+        rtts = np.asarray(rtts, dtype=float)
+        lost_mask = np.isnan(rtts)
+        self.total_probes += int(times.size)
+        self.lost_probes += int(lost_mask.sum())
+        finite = np.isfinite(times)
+        times, lost_mask = times[finite], lost_mask[finite]
+        if times.size == 0:
+            return
+        uniq, inverse = np.unique(times, return_inverse=True)
+        lost_sums = np.bincount(inverse, weights=lost_mask.astype(float),
+                                minlength=uniq.size)
+        totals = np.bincount(inverse, minlength=uniq.size)
+        self._push(uniq, lost_sums.astype(np.int64),
+                   totals.astype(np.int64))
+
+    def _push(self, times: np.ndarray, lost: np.ndarray,
+              total: np.ndarray) -> None:
+        self._pending.append((times, lost, total))
+        self._pending_instants += int(times.size)
+        if self._pending_instants >= max(self.COMPACT_PENDING_INSTANTS,
+                                         self._times.size):
+            self._compact()
+
+    def _compact(self) -> None:
+        if not self._pending:
+            return
+        times = np.concatenate(
+            [self._times] + [p[0] for p in self._pending])
+        lost = np.concatenate(
+            [self._lost] + [p[1] for p in self._pending])
+        total = np.concatenate(
+            [self._total] + [p[2] for p in self._pending])
+        uniq, inverse = np.unique(times, return_inverse=True)
+        pooled_lost = np.zeros(uniq.size, dtype=np.int64)
+        pooled_total = np.zeros(uniq.size, dtype=np.int64)
+        np.add.at(pooled_lost, inverse, lost)
+        np.add.at(pooled_total, inverse, total)
+        self._times, self._lost, self._total = (uniq, pooled_lost,
+                                                pooled_total)
+        self._pending = []
+        self._pending_instants = 0
+
+    def add_outcome(self, status: str, count: int = 1) -> None:
+        self.outcome_counts[status] = (self.outcome_counts.get(status, 0)
+                                       + count)
+
+    def add_burst_times(self, times,
+                        slot_duration_s: float = SLOT_DURATION_S,
+                        tolerance_s: float = DEFAULT_SLOT_TOLERANCE_S
+                        ) -> None:
+        """Fold bulk loss-burst start times for slot attribution."""
+        for t in times:
+            self.total_bursts += 1
+            offset = t % slot_duration_s
+            if min(offset, slot_duration_s - offset) <= tolerance_s:
+                self.slot_aligned_bursts += 1
+
+    def merge(self, other: "AvailabilityAccumulator") -> None:
+        other._compact()
+        if other._times.size:
+            self._push(other._times, other._lost, other._total)
+        self.lost_probes += other.lost_probes
+        self.total_probes += other.total_probes
+        for status, count in other.outcome_counts.items():
+            self.add_outcome(status, count)
+        self.total_bursts += other.total_bursts
+        self.slot_aligned_bursts += other.slot_aligned_bursts
+
+    @property
+    def resident_instants(self) -> int:
+        self._compact()
+        return int(self._times.size)
+
+    def episodes(self,
+                 loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+                 min_probes_lost: int = 2,
+                 max_gap_s: float | None = None) -> list[OutageEpisode]:
+        self._compact()
+        return _episodes_from_pooled(self._times,
+                                     self._lost.astype(float),
+                                     self._total.astype(float),
+                                     loss_threshold,
+                                     min_probes_lost, max_gap_s)
+
+    def report(self, scenario: str = "clear_sky",
+               loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+               min_probes_lost: int = 2) -> AvailabilityReport:
+        return AvailabilityReport(
+            scenario=scenario,
+            total_probes=self.total_probes,
+            lost_probes=self.lost_probes,
+            episodes=self.episodes(loss_threshold=loss_threshold,
+                                   min_probes_lost=min_probes_lost),
+            outcome_counts=dict(self.outcome_counts),
+            total_bursts=self.total_bursts,
+            slot_aligned_bursts=self.slot_aligned_bursts)
 
 
 def slot_aligned_bursts(bulk: list[BulkSample],

@@ -35,12 +35,14 @@ from repro.core.datasets import (
     MessagesSample,
     PingDataset,
     SpeedtestSample,
+    StreamingPingDataset,
     VisitSample,
 )
 from repro.disrupt.apply import apply_to_access, apply_to_scheduler
 from repro.disrupt.scenarios import build_scenario, scenario_names
 from repro.errors import ConfigurationError
 from repro.exec.journal import Journal
+from repro.exec.resources import RESOURCE_POLICIES, ResourceBudget
 from repro.exec.runner import (
     DegradationReport,
     UnitFailure,
@@ -55,6 +57,7 @@ from repro.exec.units import (
     MessagesUnit,
     PingSeriesUnit,
     SpeedtestUnit,
+    StreamingPingUnit,
     WebRoundUnit,
     WorkUnit,
 )
@@ -85,6 +88,11 @@ THROUGHPUT_END = date_to_t(datetime(2022, 4, 7))
 #: Second QUIC session start (paper: Apr 25).
 SESSION2_START = date_to_t(datetime(2022, 4, 25))
 SESSION2_END = date_to_t(datetime(2022, 5, 14))
+
+#: Conservative bytes one resident raw probe sample costs a streaming
+#: sink (two float64 columns plus reservoir/bookkeeping overhead);
+#: converts ``memory_budget_mb`` into deterministic sample budgets.
+BYTES_PER_RESIDENT_SAMPLE = 64
 
 
 @dataclass
@@ -150,6 +158,23 @@ class CampaignConfig:
     #: fleet-wide shared epochs with the terminal's fair capacity
     #: share of its serving satellite.
     fleet_speedtest_epochs: int = 1
+    #: Streaming ping pipeline: aggregate each anchor's series through
+    #: constant-memory sinks instead of materialised arrays (month-
+    #: scale campaigns; see :meth:`Campaign.run_pings_streaming`).
+    #: While no sink degrades, the streamed dataset reconstructs the
+    #: batch one bit for bit.
+    streaming_pings: bool = False
+    #: Memory budget for the streaming pipeline, MiB (None:
+    #: ungoverned). Sets the per-sink exact thresholds and arms the
+    #: :class:`~repro.exec.resources.ResourceBudget` the assembled
+    #: dataset degrades under.
+    memory_budget_mb: float | None = None
+    #: What a soft-budget breach does: ``"degrade"`` walks the
+    #: precision ladder (EXACT -> STREAMING -> SHRUNK_RESERVOIRS ->
+    #: SPILLED, each recorded as a PARTIAL-PRECISION note),
+    #: ``"raise"`` escalates the first breach to
+    #: :class:`~repro.errors.MemoryBudgetError`.
+    resource_policy: str = "degrade"
 
     def __post_init__(self) -> None:
         for name in ("ping_days", "ping_interval_s",
@@ -193,6 +218,15 @@ class CampaignConfig:
                 f"{scenario_names()}, got {self.scenario!r} (register "
                 "custom scenarios with repro.disrupt.register_scenario "
                 "before building the config)")
+        if self.memory_budget_mb is not None \
+                and not self.memory_budget_mb > 0:   # also rejects NaN
+            raise ConfigurationError(
+                f"CampaignConfig.memory_budget_mb must be positive, "
+                f"got {self.memory_budget_mb!r}")
+        if self.resource_policy not in RESOURCE_POLICIES:
+            raise ConfigurationError(
+                f"CampaignConfig.resource_policy must be one of "
+                f"{RESOURCE_POLICIES}, got {self.resource_policy!r}")
 
 
 @dataclass
@@ -245,6 +279,40 @@ class Campaign:
         """One unit per anchor: the full idle-latency series."""
         return [PingSeriesUnit(self.config, anchor.name)
                 for anchor in ANCHORS]
+
+    def streaming_ping_units(self) -> list[StreamingPingUnit]:
+        """Sink-emitting counterparts of :meth:`ping_units`.
+
+        With a ``memory_budget_mb`` the per-sink exact threshold is
+        the campaign's sample budget split evenly over the anchors, so
+        individual sinks hand themselves to streaming precision before
+        the campaign-level governor ever has to."""
+        samples = self._ping_sample_budget()
+        extra = {}
+        if samples is not None:
+            extra["exact_threshold"] = max(
+                1, samples // max(1, len(ANCHORS)))
+        return [StreamingPingUnit(self.config, anchor.name, **extra)
+                for anchor in ANCHORS]
+
+    def _ping_sample_budget(self) -> int | None:
+        """``memory_budget_mb`` as a resident-raw-sample count."""
+        if self.config.memory_budget_mb is None:
+            return None
+        budget_bytes = int(self.config.memory_budget_mb * 2 ** 20)
+        return max(1, budget_bytes // BYTES_PER_RESIDENT_SAMPLE)
+
+    def streaming_budget(self) -> ResourceBudget | None:
+        """The resource governor for one streaming ping run.
+
+        A fresh :class:`ResourceBudget` per call (events are per-run
+        state), or None when the config sets no ``memory_budget_mb``.
+        """
+        samples = self._ping_sample_budget()
+        if samples is None:
+            return None
+        return ResourceBudget(max_resident_samples=samples,
+                              policy=self.config.resource_policy)
 
     def speedtest_units(self) -> list[SpeedtestUnit]:
         """One unit per epoch x network x direction (Fig. 5a/5b)."""
@@ -326,7 +394,8 @@ class Campaign:
     def _execute(self, dataset: str, units, workers, timings,
                  profile_dir, journal, retries, retry_backoff_s,
                  unit_timeout, failure_policy,
-                 granularity=None, shard_timings=None) -> list:
+                 granularity=None, shard_timings=None,
+                 track_memory=False) -> list:
         failures: list[UnitFailure] = []
         payloads = execute_units(
             units, workers, timings, profile_dir, journal=journal,
@@ -334,7 +403,7 @@ class Campaign:
             unit_timeout=unit_timeout, failure_policy=failure_policy,
             failures=failures,
             granularity=self._granularity(granularity),
-            shard_timings=shard_timings)
+            shard_timings=shard_timings, track_memory=track_memory)
         kept = [p for p in payloads
                 if not isinstance(p, UnitFailure)]
         self._dataset_failures[dataset] = failures
@@ -348,12 +417,48 @@ class Campaign:
                   retry_backoff_s: float = 0.0,
                   unit_timeout: float | None = None,
                   failure_policy: str = "raise",
-                  granularity: int | None = None) -> PingDataset:
+                  granularity: int | None = None,
+                  track_memory: bool = False) -> PingDataset:
         """Five-month idle-latency series toward the 11 anchors."""
         return self._merge_pings(self._execute(
             "pings", self.ping_units(), workers, timings, profile_dir,
             journal, retries, retry_backoff_s, unit_timeout,
-            failure_policy, granularity))
+            failure_policy, granularity, track_memory=track_memory))
+
+    def run_pings_streaming(self, workers: int = 1,
+                            timings: list[UnitTiming] | None = None,
+                            profile_dir: str | None = None, *,
+                            journal: Journal | None = None,
+                            retries: int = 0,
+                            retry_backoff_s: float = 0.0,
+                            unit_timeout: float | None = None,
+                            failure_policy: str = "raise",
+                            granularity: int | None = None,
+                            track_memory: bool = False
+                            ) -> StreamingPingDataset:
+        """The ping campaign through constant-memory sinks.
+
+        Shard payloads are partial :class:`~repro.core.datasets.
+        PingAnchorSink` aggregates folded in shard order by the
+        executor; the per-anchor sinks then assemble into a
+        :class:`StreamingPingDataset` governed by
+        :meth:`streaming_budget`. While every sink stays exact,
+        ``.to_ping_dataset()`` reproduces :meth:`run_pings` bit for
+        bit at any ``workers`` x ``granularity``; past the budget the
+        dataset degrades in recorded PARTIAL-PRECISION stages instead
+        of OOMing, and the hard cap raises
+        :class:`~repro.errors.MemoryBudgetError` with every completed
+        unit already checkpointed in the journal.
+        """
+        sinks = self._execute(
+            "pings", self.streaming_ping_units(), workers, timings,
+            profile_dir, journal, retries, retry_backoff_s,
+            unit_timeout, failure_policy, granularity,
+            track_memory=track_memory)
+        dataset = StreamingPingDataset(budget=self.streaming_budget())
+        for sink in sinks:
+            dataset.add_sink(sink)
+        return dataset
 
     def run_speedtests(self, workers: int = 1,
                        timings: list[UnitTiming] | None = None,
@@ -362,13 +467,15 @@ class Campaign:
                        retries: int = 0, retry_backoff_s: float = 0.0,
                        unit_timeout: float | None = None,
                        failure_policy: str = "raise",
-                       granularity: int | None = None
+                       granularity: int | None = None,
+                       track_memory: bool = False
                        ) -> list[SpeedtestSample]:
         """Ookla-like tests on Starlink and SatCom (Fig. 5a/5b)."""
         return self._execute(
             "speedtests", self.speedtest_units(), workers, timings,
             profile_dir, journal, retries, retry_backoff_s,
-            unit_timeout, failure_policy, granularity)
+            unit_timeout, failure_policy, granularity,
+            track_memory=track_memory)
 
     def run_bulk(self, workers: int = 1,
                  timings: list[UnitTiming] | None = None,
@@ -377,12 +484,13 @@ class Campaign:
                  retry_backoff_s: float = 0.0,
                  unit_timeout: float | None = None,
                  failure_policy: str = "raise",
-                 granularity: int | None = None) -> list[BulkSample]:
+                 granularity: int | None = None,
+                 track_memory: bool = False) -> list[BulkSample]:
         """H3 transfers in both directions and both sessions."""
         return self._execute(
             "bulk", self.bulk_units(), workers, timings, profile_dir,
             journal, retries, retry_backoff_s, unit_timeout,
-            failure_policy, granularity)
+            failure_policy, granularity, track_memory=track_memory)
 
     def run_messages(self, workers: int = 1,
                      timings: list[UnitTiming] | None = None,
@@ -391,13 +499,15 @@ class Campaign:
                      retry_backoff_s: float = 0.0,
                      unit_timeout: float | None = None,
                      failure_policy: str = "raise",
-                     granularity: int | None = None
+                     granularity: int | None = None,
+                     track_memory: bool = False
                      ) -> list[MessagesSample]:
         """Low-bitrate message runs in both directions."""
         return self._execute(
             "messages", self.messages_units(), workers, timings,
             profile_dir, journal, retries, retry_backoff_s,
-            unit_timeout, failure_policy, granularity)
+            unit_timeout, failure_policy, granularity,
+            track_memory=track_memory)
 
     def run_web(self, workers: int = 1,
                 timings: list[UnitTiming] | None = None,
@@ -406,12 +516,13 @@ class Campaign:
                 retry_backoff_s: float = 0.0,
                 unit_timeout: float | None = None,
                 failure_policy: str = "raise",
-                granularity: int | None = None) -> list[VisitSample]:
+                granularity: int | None = None,
+                track_memory: bool = False) -> list[VisitSample]:
         """Browser visits over Starlink, SatCom and wired (Fig. 6)."""
         rounds = self._execute(
             "visits", self.web_units(), workers, timings, profile_dir,
             journal, retries, retry_backoff_s, unit_timeout,
-            failure_policy, granularity)
+            failure_policy, granularity, track_memory=track_memory)
         return [visit for round_visits in rounds
                 for visit in round_visits]
 
@@ -422,12 +533,13 @@ class Campaign:
                   retry_backoff_s: float = 0.0,
                   unit_timeout: float | None = None,
                   failure_policy: str = "raise",
-                  granularity: int | None = None) -> FleetDataset:
+                  granularity: int | None = None,
+                  track_memory: bool = False) -> FleetDataset:
         """Fleet campaign: per-terminal series on one constellation."""
         kept = self._execute(
             "fleet", self.fleet_units(), workers, timings, profile_dir,
             journal, retries, retry_backoff_s, unit_timeout,
-            failure_policy, granularity)
+            failure_policy, granularity, track_memory=track_memory)
         return FleetDataset(
             terminals=sorted(kept, key=lambda r: r.index))
 
@@ -465,7 +577,8 @@ class Campaign:
                 unit_timeout: float | None = None,
                 failure_policy: str = "raise",
                 granularity: int | None = None,
-                shard_timings: list[UnitTiming] | None = None
+                shard_timings: list[UnitTiming] | None = None,
+                track_memory: bool = False
                 ) -> CampaignDatasets:
         """Run every dataset of Table 1.
 
@@ -490,7 +603,7 @@ class Campaign:
             retries=retries, retry_backoff_s=retry_backoff_s,
             unit_timeout=unit_timeout, failure_policy=failure_policy,
             granularity=self._granularity(granularity),
-            shard_timings=shard_timings)
+            shard_timings=shard_timings, track_memory=track_memory)
         data = CampaignDatasets()
         cursor = 0
         for name, group in groups:

@@ -83,6 +83,22 @@ def coverage_note(report: DegradationReport | None,
     return f"[{prefix}: {', '.join(parts)}]"
 
 
+def render_precision_notes(notes: Sequence[str]) -> str:
+    """PARTIAL-PRECISION notes from a resource-governed run.
+
+    One line per degradation-ladder transition (see
+    :class:`repro.exec.resources.ResourceBudget`), printed after any
+    artefact derived from a streamed dataset so a figure computed at
+    reduced precision can never masquerade as an exact one. Empty
+    input renders empty (nothing was degraded, nothing to say).
+    """
+    if not notes:
+        return ""
+    lines = ["Precision notes (resource governance):"]
+    lines.extend(f"  {note}" for note in notes)
+    return "\n".join(lines)
+
+
 def render_table1(rows: list[dict]) -> str:
     """Table 1: dataset overview."""
     lines = ["Table 1: Overview of the datasets.", _rule(),
@@ -281,10 +297,17 @@ def render_availability(report: AvailabilityReport) -> str:
     the tally of structured measurement outcomes.
     """
     lines = [f"Availability report — scenario {report.scenario!r}.",
-             _rule(80),
-             f"probes: {report.total_probes} total, "
-             f"{report.lost_probes} lost -> availability "
-             f"{report.availability_pct:.2f}%"]
+             _rule(80)]
+    if report.total_probes == 0:
+        # A zero-duration campaign (or one whose ping series came back
+        # empty) has no evidence either way: flag it rather than
+        # claiming a vacuous 100%.
+        lines.append("probes: none recorded -> availability "
+                     "undetermined (no probe evidence)")
+    else:
+        lines.append(f"probes: {report.total_probes} total, "
+                     f"{report.lost_probes} lost -> availability "
+                     f"{report.availability_pct:.2f}%")
     if report.episodes:
         lines.append(f"outage episodes: {len(report.episodes)}")
         for i, ep in enumerate(report.episodes, 1):

@@ -1,13 +1,27 @@
-"""Statistics helpers used across the analysis pipeline."""
+"""Statistics helpers used across the analysis pipeline.
+
+Two families live here.  The top half is the exact, batch API the
+figures were built on (:func:`boxplot_stats`, :class:`Ecdf`,
+:func:`time_binned_percentiles`).  The bottom half is the streaming
+counterpart: mergeable, bounded-memory accumulators
+(:class:`StreamingMoments`, :class:`StreamingQuantiles`,
+:class:`TimeBinAggregate`, :class:`BottomKReservoir`) that month-scale
+campaigns aggregate into instead of materialising every sample.  Each
+streaming sink stays *exact* — bit-identical to the batch API — until
+it crosses a sample threshold, then compresses to a t-digest-style
+summary with documented rank-error bounds.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.errors import AnalysisError
+from repro.rng import stable_seed
 
 
 @dataclass(frozen=True)
@@ -149,3 +163,492 @@ def time_binned_percentiles(times, values, bin_width: float,
             row[f"p{p}"] = float(np.percentile(chunk, p))
         rows.append(row)
     return rows
+
+
+# --------------------------------------------------------------------
+# Streaming sinks
+# --------------------------------------------------------------------
+
+#: Below this many samples a :class:`StreamingQuantiles` keeps the raw
+#: buffer and answers queries exactly (bit-identical to the batch
+#: helpers above); beyond it the sink compresses to centroids.
+DEFAULT_EXACT_THRESHOLD = 4096
+
+#: Default centroid budget once compressed.  The merging t-digest with
+#: the k1 scale function keeps rank error near ``q*(1-q)/delta`` — a
+#: few tenths of a percent at the tails and ~0.5/delta near the
+#: median for delta=512.  The differential suite pins rank error
+#: under 6% even at delta=32.
+DEFAULT_MAX_CENTROIDS = 512
+
+
+@dataclass
+class StreamingMoments:
+    """Mergeable running mean/variance/min/max (Welford + Chan).
+
+    ``add`` consumes a whole numpy chunk at once: the chunk's exact
+    moments are computed vectorised, then Chan-merged into the running
+    state, so a single-``add`` sink reproduces ``np.mean``/``np.var``
+    bit for bit and multi-chunk sinks agree to floating rounding.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, values) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        if not np.isfinite(values).all():
+            raise AnalysisError("streaming moments require finite samples")
+        n = int(values.size)
+        mean = float(values.mean())
+        m2 = float(((values - mean) ** 2).sum())
+        self._combine(n, mean, m2,
+                      float(values.min()), float(values.max()))
+
+    def merge(self, other: "StreamingMoments") -> None:
+        if other.count:
+            self._combine(other.count, other.mean, other.m2,
+                          other.minimum, other.maximum)
+
+    def _combine(self, n: int, mean: float, m2: float,
+                 lo: float, hi: float) -> None:
+        if self.count == 0:
+            self.count, self.mean, self.m2 = n, mean, m2
+            self.minimum, self.maximum = lo, hi
+            return
+        total = self.count + n
+        delta = mean - self.mean
+        self.m2 += m2 + delta * delta * self.count * n / total
+        self.mean += delta * n / total
+        self.count = total
+        self.minimum = min(self.minimum, lo)
+        self.maximum = max(self.maximum, hi)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (ddof=0), matching ``np.var``."""
+        if self.count == 0:
+            raise AnalysisError("no samples accumulated")
+        return self.m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def _k_scale(q: float, delta: float) -> float:
+    return delta / (2.0 * math.pi) * math.asin(2.0 * q - 1.0)
+
+
+def _k_scale_inv(k: float, delta: float) -> float:
+    arg = max(-0.5 * math.pi, min(0.5 * math.pi, 2.0 * math.pi * k / delta))
+    return (math.sin(arg) + 1.0) / 2.0
+
+
+def _merge_centroids(means: np.ndarray, weights: np.ndarray,
+                     max_centroids: int) -> tuple[np.ndarray, np.ndarray]:
+    """One pass of the merging t-digest (k1 scale function).
+
+    ``means`` must be sorted ascending.  Deterministic: a pure
+    function of the sorted input, so any merge order that feeds the
+    same multiset of centroids through the same passes agrees.
+    """
+    total = float(weights.sum())
+    delta = float(max_centroids)
+    out_m: list[float] = []
+    out_w: list[float] = []
+    cur_m, cur_w = float(means[0]), float(weights[0])
+    w_before = 0.0
+    q_limit = _k_scale_inv(_k_scale(0.0, delta) + 1.0, delta)
+    for m, w in zip(means[1:], weights[1:]):
+        m, w = float(m), float(w)
+        if (w_before + cur_w + w) / total <= q_limit:
+            cur_m += (m - cur_m) * (w / (cur_w + w))
+            cur_w += w
+        else:
+            out_m.append(cur_m)
+            out_w.append(cur_w)
+            w_before += cur_w
+            q_limit = _k_scale_inv(
+                _k_scale(w_before / total, delta) + 1.0, delta)
+            cur_m, cur_w = m, w
+    out_m.append(cur_m)
+    out_w.append(cur_w)
+    return np.asarray(out_m, dtype=float), np.asarray(out_w, dtype=float)
+
+
+@dataclass
+class StreamingQuantiles:
+    """Mergeable quantile sketch with an exact-mode fallback.
+
+    Below ``exact_threshold`` samples the sink keeps the raw values
+    and every query routes through the same numpy calls the batch
+    helpers use — :meth:`quantile` / :meth:`boxplot` are then
+    *bit-identical* to :func:`np.percentile` / :func:`boxplot_stats`
+    regardless of add/merge order (the buffer is sorted before use).
+    Past the threshold the buffer collapses into t-digest centroids
+    (k1 scale function) and queries interpolate between centroid
+    means; rank error is bounded by the centroid budget (see
+    :data:`DEFAULT_MAX_CENTROIDS`).
+    """
+
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD
+    max_centroids: int = DEFAULT_MAX_CENTROIDS
+    moments: StreamingMoments = field(default_factory=StreamingMoments)
+    _buffer: list[np.ndarray] = field(default_factory=list)
+    _means: np.ndarray | None = None
+    _weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.exact_threshold < 0:
+            raise AnalysisError("exact_threshold must be >= 0")
+        if self.max_centroids < 8:
+            raise AnalysisError("max_centroids must be >= 8")
+
+    # -- ingestion ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.moments.count
+
+    @property
+    def exact(self) -> bool:
+        """True while queries are answered from the raw buffer."""
+        return self._means is None
+
+    @property
+    def resident_samples(self) -> int:
+        """Raw samples held, for resource governance.
+
+        Counts only residency that grows with campaign duration: the
+        exact-mode buffer (plus any pending not-yet-compressed
+        chunk). Compressed centroids are bounded by ``max_centroids``
+        and deliberately excluded — they are the floor the ladder
+        degrades *to*, not something it can shed.
+        """
+        return sum(int(b.size) for b in self._buffer)
+
+    def add(self, values) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        self.moments.add(values)
+        self._buffer.append(values.copy())
+        if (self._means is not None
+                or self.count > self.exact_threshold):
+            self._compress_pending()
+
+    def merge(self, other: "StreamingQuantiles") -> None:
+        if other.count == 0:
+            return
+        self.moments.merge(other.moments)
+        self._buffer.extend(b.copy() for b in other._buffer)
+        if other._means is not None:
+            self._merge_centroid_arrays(other._means, other._weights)
+        if (self._means is not None
+                or self.count > self.exact_threshold):
+            self._compress_pending()
+
+    def compress(self) -> None:
+        """Force compressed mode (the resource-governance ladder)."""
+        if self._means is None and self.count == 0:
+            # Nothing accumulated: flip to compressed-mode semantics
+            # with an empty centroid set.
+            self._means = np.empty(0, dtype=float)
+            self._weights = np.empty(0, dtype=float)
+            return
+        self._compress_pending(force=True)
+
+    def _compress_pending(self, force: bool = False) -> None:
+        if not self._buffer and not force:
+            return
+        if self._buffer:
+            pending = np.sort(np.concatenate(self._buffer))
+            self._buffer = []
+            self._merge_centroid_arrays(pending,
+                                        np.ones(pending.size, dtype=float))
+        elif self._means is None:
+            values = np.empty(0, dtype=float)
+            self._means, self._weights = values, values.copy()
+
+    def _merge_centroid_arrays(self, means: np.ndarray,
+                               weights: np.ndarray) -> None:
+        if self._means is not None and self._means.size:
+            means = np.concatenate([self._means, means])
+            weights = np.concatenate([self._weights, weights])
+            order = np.argsort(means, kind="stable")
+            means, weights = means[order], weights[order]
+        if means.size == 0:
+            self._means = np.empty(0, dtype=float)
+            self._weights = np.empty(0, dtype=float)
+            return
+        self._means, self._weights = _merge_centroids(
+            means, weights, self.max_centroids)
+
+    # -- queries -----------------------------------------------------
+
+    def _exact_values(self) -> np.ndarray:
+        values = (np.concatenate(self._buffer) if self._buffer
+                  else np.empty(0, dtype=float))
+        return np.sort(values)
+
+    def percentile(self, p: float) -> float:
+        """Percentile in [0, 100]; exact mode == ``np.percentile``."""
+        if not 0.0 <= p <= 100.0:
+            raise AnalysisError(f"percentile must be in [0,100], got {p}")
+        if self.count == 0:
+            raise AnalysisError("no samples accumulated")
+        if self._means is None:
+            return float(np.percentile(self._exact_values(), p))
+        return self._centroid_quantile(p / 100.0)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0,1], got {q}")
+        return self.percentile(q * 100.0)
+
+    def _centroid_quantile(self, q: float) -> float:
+        means, weights = self._means, self._weights
+        total = float(weights.sum())
+        target = q * total
+        # Centroid i covers cumulative weight centred at
+        # w_before_i + w_i / 2; interpolate linearly between centres,
+        # clamping to the exact extremes.
+        centres = np.cumsum(weights) - weights / 2.0
+        if target <= centres[0]:
+            lo, hi = self.moments.minimum, float(means[0])
+            span = centres[0]
+            frac = target / span if span > 0 else 1.0
+            return float(lo + (hi - lo) * min(max(frac, 0.0), 1.0))
+        if target >= centres[-1]:
+            lo, hi = float(means[-1]), self.moments.maximum
+            span = total - centres[-1]
+            frac = (target - centres[-1]) / span if span > 0 else 0.0
+            return float(lo + (hi - lo) * min(max(frac, 0.0), 1.0))
+        idx = int(np.searchsorted(centres, target, side="right"))
+        lo_c, hi_c = centres[idx - 1], centres[idx]
+        frac = (target - lo_c) / (hi_c - lo_c)
+        return float(means[idx - 1]
+                     + (means[idx] - means[idx - 1]) * frac)
+
+    def boxplot(self) -> BoxplotStats:
+        """Fig.-1 summary; exact mode == :func:`boxplot_stats` of the
+        *sorted* sample.  Sorting fixes a canonical summation order,
+        which is what makes the result independent of add/merge order
+        down to the last bit (the mean can differ from the raw-order
+        ``np.mean`` by one ulp; percentiles cannot differ at all)."""
+        if self.count == 0:
+            raise AnalysisError("cannot summarise an empty sample set")
+        if self._means is None:
+            return boxplot_stats(self._exact_values())
+        p5, p25, p50, p75, p95 = (self._centroid_quantile(q)
+                                  for q in (0.05, 0.25, 0.50, 0.75, 0.95))
+        return BoxplotStats(
+            count=self.count, minimum=self.moments.minimum,
+            p5=p5, p25=p25, median=p50, p75=p75, p95=p95,
+            maximum=self.moments.maximum, mean=self.moments.mean)
+
+
+@dataclass
+class TimeBinAggregate:
+    """Fixed-width time-bin percentile rows, streaming.
+
+    Bins are half-open ``[k*bin_width, (k+1)*bin_width)`` — the same
+    partition :func:`time_binned_percentiles` derives from its
+    ``floor(t0/bin_width)`` starting edge — so while every per-bin
+    sink is still exact, :meth:`rows` reproduces the batch helper bit
+    for bit.
+    """
+
+    bin_width: float
+    percentiles: tuple = (5, 25, 50, 75, 95)
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD
+    max_centroids: int = DEFAULT_MAX_CENTROIDS
+    _bins: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bin_width <= 0:
+            raise AnalysisError("bin_width must be positive")
+
+    def add(self, times, values) -> None:
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.size != values.size:
+            raise AnalysisError("times and values must align")
+        if times.size == 0:
+            return
+        indices = np.floor(times / self.bin_width).astype(np.int64)
+        for idx in np.unique(indices):
+            sink = self._bins.get(int(idx))
+            if sink is None:
+                sink = StreamingQuantiles(
+                    exact_threshold=self.exact_threshold,
+                    max_centroids=self.max_centroids)
+                self._bins[int(idx)] = sink
+            sink.add(values[indices == idx])
+
+    def merge(self, other: "TimeBinAggregate") -> None:
+        if other.bin_width != self.bin_width:
+            raise AnalysisError("cannot merge aggregates with "
+                                "different bin widths")
+        for idx, sink in other._bins.items():
+            mine = self._bins.get(idx)
+            if mine is None:
+                fresh = StreamingQuantiles(
+                    exact_threshold=self.exact_threshold,
+                    max_centroids=self.max_centroids)
+                fresh.merge(sink)
+                self._bins[idx] = fresh
+            else:
+                mine.merge(sink)
+
+    def compress(self) -> None:
+        for sink in self._bins.values():
+            sink.compress()
+
+    @property
+    def resident_samples(self) -> int:
+        return sum(s.resident_samples for s in self._bins.values())
+
+    def rows(self) -> list[dict]:
+        """Rows shaped like :func:`time_binned_percentiles`."""
+        rows = []
+        for idx in sorted(self._bins):
+            sink = self._bins[idx]
+            row = {"t": float(idx * self.bin_width),
+                   "count": sink.count,
+                   "min": sink.moments.minimum}
+            if sink.exact:
+                values = sink._exact_values()
+                row["min"] = float(values.min())
+                for p in self.percentiles:
+                    row[f"p{p}"] = float(np.percentile(values, p))
+            else:
+                for p in self.percentiles:
+                    row[f"p{p}"] = sink.percentile(float(p))
+            rows.append(row)
+        return rows
+
+
+@dataclass
+class BottomKReservoir:
+    """Order-independent seeded reservoir: keep the k smallest keys.
+
+    Classic Algorithm R depends on arrival order, which would make
+    streaming merges nondeterministic under work stealing.  Here each
+    sample carries a key derived from its *identity* (a stable hash of
+    seed + tag), and the reservoir keeps the k smallest keys — a pure
+    function of the sample set, so any merge order yields the same
+    reservoir.  With hash keys uniform in [0, 1), the survivors are a
+    uniform random k-subset: a faithful ECDF subsample.
+    """
+
+    k: int
+    seed: int = 0
+    _keys: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint64))
+    _rows: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=float))
+    #: Total samples offered (kept + evicted), for sampling-note
+    #: reporting.
+    offered: int = 0
+    #: Spill file (the SPILLED governance stage); None while resident.
+    spill_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise AnalysisError("reservoir k must be >= 1")
+
+    @staticmethod
+    def keys_for(seed: int, tag, count: int, base: int = 0) -> np.ndarray:
+        """Deterministic per-sample keys for ``count`` samples of a
+        block identified by ``tag``, starting at in-block offset
+        ``base``.  Identity-derived: independent of arrival order.
+        """
+        rng = np.random.default_rng(
+            np.random.Philox(key=stable_seed(seed, "reservoir", tag)))
+        if base:
+            rng.integers(0, 2 ** 63, size=base, dtype=np.uint64)
+        return rng.integers(0, 2 ** 63, size=count, dtype=np.uint64)
+
+    def add(self, keys: np.ndarray, times, values) -> None:
+        self._ensure_resident()
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        keys = np.asarray(keys, dtype=np.uint64)
+        if not (keys.size == times.size == values.size):
+            raise AnalysisError("keys, times and values must align")
+        if keys.size == 0:
+            return
+        self.offered += int(keys.size)
+        rows = np.column_stack([times, values])
+        self._keys = np.concatenate([self._keys, keys])
+        self._rows = np.concatenate([self._rows, rows])
+        self._prune()
+
+    def merge(self, other: "BottomKReservoir") -> None:
+        if other.offered == 0:
+            return
+        self._ensure_resident()
+        other._ensure_resident()
+        self.offered += other.offered
+        self._keys = np.concatenate([self._keys, other._keys])
+        self._rows = np.concatenate([self._rows, other._rows])
+        self._prune()
+
+    def shrink(self, new_k: int) -> None:
+        """Degrade ladder: halve the retained sample, keep determinism
+        (the survivors are still the globally smallest keys)."""
+        if new_k < 1:
+            raise AnalysisError("reservoir k must be >= 1")
+        self.k = min(self.k, new_k)
+        self._prune()
+
+    def _prune(self) -> None:
+        if self._keys.size > self.k:
+            order = np.argsort(self._keys, kind="stable")[:self.k]
+            self._keys = self._keys[order]
+            self._rows = self._rows[order]
+
+    def __len__(self) -> int:
+        if self.spill_path is not None:
+            return 0
+        return int(self._keys.size)
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) of the retained sample, in time order."""
+        self._ensure_resident()
+        order = np.argsort(self._rows[:, 0], kind="stable")
+        rows = self._rows[order]
+        return rows[:, 0].copy(), rows[:, 1].copy()
+
+    def spill(self, path: str) -> None:
+        """Write the payload to ``path`` and drop it from memory.
+
+        The SPILLED governance stage: cold reservoirs move to disk
+        and transparently reload the next time a query (or further
+        accumulation) touches them.
+        """
+        np.savez(path, keys=self._keys, rows=self._rows)
+        self.spill_path = path
+        self._keys = np.empty(0, dtype=np.uint64)
+        self._rows = np.empty((0, 2), dtype=float)
+
+    def _ensure_resident(self) -> None:
+        if self.spill_path is None:
+            return
+        with np.load(self.spill_path) as payload:
+            self._keys = payload["keys"]
+            self._rows = payload["rows"]
+        self.spill_path = None
+        # k may have shrunk while the payload was cold.
+        self._prune()
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._keys.nbytes + self._rows.nbytes)

@@ -3,9 +3,14 @@
 Schedules rain-fade attenuation, satellite/gateway outages, exit-PoP
 route withdrawals and load surges into the simulated Starlink access,
 composed into reproducible named scenarios (``clear_sky``,
-``rain_fade``, ``sat_outage``, ``gateway_flap``, ``storm``) selected
-via :class:`repro.core.campaign.CampaignConfig.scenario` or
-``python -m repro ... --scenario NAME``.
+``rain_fade``, ``sat_outage``, ``gateway_flap``, ``storm``,
+``wet_month``) selected via
+:class:`repro.core.campaign.CampaignConfig.scenario` or
+``python -m repro ... --scenario NAME``. ``wet_month`` is generated
+rather than hand-placed: a seeded Markov rain chain
+(:mod:`repro.disrupt.weather`) produces month-scale fade windows
+whose packet experiments see the campaign-clock weather overlapping
+their own epoch.
 """
 
 from repro.disrupt.apply import (
@@ -26,18 +31,34 @@ from repro.disrupt.schedule import (
     DisruptionSchedule,
     DisruptionWindow,
 )
+from repro.disrupt.weather import (
+    RAIN_STATES,
+    WeatherParams,
+    WeatherScenario,
+    build_wet_month,
+    fade_windows_from_rain,
+    generate_rain_trace,
+    wet_fraction,
+)
 
 __all__ = [
     "CLEAR_SKY",
     "DEFAULT_SCENARIO",
     "DisruptionSchedule",
     "DisruptionWindow",
+    "RAIN_STATES",
     "Scenario",
     "ScheduledExtraLoss",
+    "WeatherParams",
+    "WeatherScenario",
     "apply_to_access",
     "apply_to_scheduler",
     "build_scenario",
+    "build_wet_month",
+    "fade_windows_from_rain",
+    "generate_rain_trace",
     "register_scenario",
     "scenario_names",
     "unregister_scenario",
+    "wet_fraction",
 ]

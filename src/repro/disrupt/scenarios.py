@@ -167,12 +167,21 @@ def _storm(config: "CampaignConfig") -> Scenario:
     return Scenario(name="storm", campaign=campaign, overlay=overlay)
 
 
+def _wet_month(config: "CampaignConfig") -> Scenario:
+    """Month-scale Markov weather (lazy import: weather.py needs
+    :class:`Scenario`, so importing it here at module load would
+    cycle)."""
+    from repro.disrupt.weather import build_wet_month
+    return build_wet_month(config)
+
+
 _SCENARIOS: dict[str, Callable[["CampaignConfig"], Scenario]] = {
     "clear_sky": _clear_sky,
     "rain_fade": _rain_fade,
     "sat_outage": _sat_outage,
     "gateway_flap": _gateway_flap,
     "storm": _storm,
+    "wet_month": _wet_month,
 }
 
 
@@ -199,7 +208,7 @@ def register_scenario(name: str,
 def unregister_scenario(name: str) -> None:
     """Remove a registered scenario (built-ins are protected)."""
     if name in ("clear_sky", "rain_fade", "sat_outage",
-                "gateway_flap", "storm"):
+                "gateway_flap", "storm", "wet_month"):
         raise DisruptionError(
             f"refusing to unregister built-in scenario {name!r}")
     _SCENARIOS.pop(name, None)

@@ -1,0 +1,219 @@
+"""Seeded Markov weather: month-scale rain traces and fade windows.
+
+The built-in scenarios pin a handful of hand-placed windows — fine
+for micro-campaigns, useless for the month-scale longitudinal runs
+the streaming pipeline exists for. This module generates weather the
+way Ku-band link budgets experience it:
+
+1. a three-state Markov chain (dry / light rain / heavy rain) steps
+   every :attr:`WeatherParams.step_s` seconds of campaign clock and
+   is the *only* RNG consumer, seeded
+   ``(seed, "weather", "rain")`` — the trace is a pure function of
+   ``(seed, duration, params)``;
+2. each wet step draws a rain rate (mm/h) from its state's range,
+   producing a rate trace;
+3. contiguous wet runs coalesce into ``fade``
+   :class:`~repro.disrupt.schedule.DisruptionWindow`\\ s whose
+   severity tracks the run's **mean** rain rate, so a drizzle
+   attenuates a little and a cloudburst a lot.
+
+:class:`WeatherScenario` couples the trace to experiments
+differently from the fixed-overlay scenarios: a packet experiment at
+epoch ``t`` sees exactly the campaign-clock windows overlapping its
+own horizon, clipped and translated to its clock — the speedtest that
+runs during Tuesday's storm is the one that suffers, instead of every
+experiment suffering an identical synthetic overlay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.disrupt.scenarios import Scenario
+from repro.disrupt.schedule import DisruptionSchedule, DisruptionWindow
+from repro.errors import DisruptionError
+from repro.rng import make_rng
+from repro.units import days
+
+#: Markov rain states, in drying order.
+DRY, LIGHT, HEAVY = "dry", "light", "heavy"
+RAIN_STATES = (DRY, LIGHT, HEAVY)
+
+
+@dataclass(frozen=True)
+class WeatherParams:
+    """Knobs of the rain chain and the rate-to-fade mapping.
+
+    Defaults give temperate-maritime weather (Belgium, where the
+    paper's dish sits): rain ~8% of the time, mostly light, heavy
+    cells lasting under an hour. Transition probabilities are per
+    ``step_s`` step; each row's stay-probability is the remainder.
+    """
+
+    #: Markov step, seconds of campaign clock (15 min).
+    step_s: float = 900.0
+    p_dry_to_light: float = 0.06
+    p_light_to_dry: float = 0.35
+    p_light_to_heavy: float = 0.08
+    p_heavy_to_light: float = 0.50
+    #: Uniform rain-rate ranges per wet state, mm/h.
+    light_rate_mm_h: tuple[float, float] = (0.5, 4.0)
+    heavy_rate_mm_h: tuple[float, float] = (4.0, 25.0)
+    #: Mean rain rate that maps to ``max_severity`` fade.
+    rate_at_full_fade_mm_h: float = 30.0
+    #: Fade severity ceiling — heavy rain degrades, only a
+    #: ``blackout`` window severs the link entirely.
+    max_severity: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.step_s <= 0.0:
+            raise DisruptionError(
+                f"weather step_s must be positive, got {self.step_s}")
+        for name in ("p_dry_to_light", "p_light_to_dry",
+                     "p_light_to_heavy", "p_heavy_to_light"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise DisruptionError(
+                    f"weather {name} must be in [0, 1], got {p}")
+        if self.p_light_to_dry + self.p_light_to_heavy > 1.0:
+            raise DisruptionError(
+                "light-state exit probabilities exceed 1")
+        if not 0.0 < self.max_severity <= 1.0:
+            raise DisruptionError(
+                f"max_severity must be in (0, 1], got "
+                f"{self.max_severity}")
+
+    def severity_for_rate(self, rate_mm_h: float) -> float:
+        """Fade severity for a mean rain rate; in ``(0, max_severity]``
+        for any positive rate."""
+        frac = min(1.0, rate_mm_h / self.rate_at_full_fade_mm_h)
+        return max(1e-6, frac * self.max_severity)
+
+
+def generate_rain_trace(seed: int, duration_s: float,
+                        params: WeatherParams = WeatherParams()
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """``(step_times, rain rate mm/h per step)`` over the campaign.
+
+    Steps start at 0 and cover ``duration_s``; dry steps rate 0. One
+    ``random()`` drives each transition and one more each wet step's
+    rate, all from the single ``(seed, "weather", "rain")`` stream —
+    regenerating with the same arguments is bit-identical, and no
+    other subsystem shares the stream.
+    """
+    if duration_s <= 0.0:
+        raise DisruptionError(
+            f"weather duration must be positive, got {duration_s}")
+    rng = make_rng((seed, "weather", "rain"))
+    n = max(1, math.ceil(duration_s / params.step_s))
+    rates = np.zeros(n)
+    state = DRY
+    for step in range(n):
+        u = rng.random()
+        if state == DRY:
+            if u < params.p_dry_to_light:
+                state = LIGHT
+        elif state == LIGHT:
+            if u < params.p_light_to_heavy:
+                state = HEAVY
+            elif u < params.p_light_to_heavy + params.p_light_to_dry:
+                state = DRY
+        else:
+            if u < params.p_heavy_to_light:
+                state = LIGHT
+        if state != DRY:
+            lo, hi = (params.light_rate_mm_h if state == LIGHT
+                      else params.heavy_rate_mm_h)
+            rates[step] = lo + rng.random() * (hi - lo)
+    times = np.arange(n) * params.step_s
+    return times, rates
+
+
+def fade_windows_from_rain(times: np.ndarray, rates: np.ndarray,
+                           params: WeatherParams = WeatherParams()
+                           ) -> tuple[DisruptionWindow, ...]:
+    """Coalesce contiguous wet steps into fade windows.
+
+    Each maximal run of steps with positive rain rate becomes one
+    ``fade`` window spanning the run, with severity from the run's
+    mean rate — one window per rain cell, not one per step, so a
+    month of weather stays a few hundred windows.
+    """
+    times = np.asarray(times, dtype=float)
+    rates = np.asarray(rates, dtype=float)
+    if times.shape != rates.shape:
+        raise DisruptionError("rain trace times and rates must align")
+    if times.size == 0:
+        return ()
+    step = params.step_s
+    windows: list[DisruptionWindow] = []
+    run_start: float | None = None
+    run_rates: list[float] = []
+    for t, rate in zip(times, rates):
+        if rate > 0.0:
+            if run_start is None:
+                run_start = float(t)
+            run_rates.append(float(rate))
+        elif run_start is not None:
+            windows.append(DisruptionWindow(
+                "fade", run_start, float(t),
+                severity=params.severity_for_rate(
+                    sum(run_rates) / len(run_rates))))
+            run_start, run_rates = None, []
+    if run_start is not None:
+        windows.append(DisruptionWindow(
+            "fade", run_start, float(times[-1]) + step,
+            severity=params.severity_for_rate(
+                sum(run_rates) / len(run_rates))))
+    return tuple(windows)
+
+
+def wet_fraction(rates: np.ndarray) -> float:
+    """Fraction of steps with any rain (sanity metric for tests)."""
+    rates = np.asarray(rates, dtype=float)
+    if rates.size == 0:
+        return 0.0
+    return float((rates > 0.0).mean())
+
+
+@dataclass(frozen=True)
+class WeatherScenario(Scenario):
+    """A scenario whose experiments feel the campaign-clock weather.
+
+    The fixed-overlay scenarios give every packet experiment the same
+    synthetic conditions; here :meth:`experiment_schedule` instead
+    intersects the campaign windows with the experiment's own horizon
+    ``[epoch, epoch + experiment_horizon_s)`` and translates them to
+    the experiment clock — clipped so installed windows never start
+    before the experiment does. Experiments scheduled in dry spells
+    get the canonical empty schedule (bit-identical clear-sky path).
+    """
+
+    #: How much campaign clock one packet experiment can observe.
+    experiment_horizon_s: float = 14_400.0
+
+    def experiment_schedule(self, epoch_t: float) -> DisruptionSchedule:
+        end = epoch_t + self.experiment_horizon_s
+        clipped = tuple(
+            replace(w, start_t=max(w.start_t, epoch_t) - epoch_t,
+                    end_t=min(w.end_t, end) - epoch_t)
+            for w in self.campaign.overlapping(epoch_t, end))
+        return DisruptionSchedule(name=self.name, windows=clipped)
+
+
+def build_wet_month(config) -> WeatherScenario:
+    """The ``wet_month`` scenario: Markov rain over the whole campaign.
+
+    Weather is derived from ``config.seed`` and spans
+    ``config.ping_days`` — the same seed that fixes the probe streams
+    fixes the storms, so the campaign is reproducible end to end.
+    """
+    times, rates = generate_rain_trace(config.seed,
+                                       days(config.ping_days))
+    windows = fade_windows_from_rain(times, rates)
+    return WeatherScenario(
+        name="wet_month",
+        campaign=DisruptionSchedule("wet_month", windows))

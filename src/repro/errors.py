@@ -86,6 +86,24 @@ class MeasurementError(ReproError, ValueError):
     """
 
 
+class ResourceError(ReproError):
+    """The resource-governance layer was misused (bad budget, spill
+    directory trouble, watchdog misconfiguration)."""
+
+
+class MemoryBudgetError(ResourceError, MemoryError):
+    """A campaign crossed its hard memory cap.
+
+    Raised by :class:`repro.exec.resources.ResourceBudget` once every
+    graceful-degradation stage is exhausted and residency still
+    exceeds the hard cap. Derives from :class:`MemoryError` so
+    generic out-of-memory handlers treat it as the real thing; the
+    raising path checkpoints first (the journal already holds every
+    completed unit), so a rerun with ``--resume`` continues instead
+    of starting over.
+    """
+
+
 class DisruptionError(ReproError):
     """The adverse-conditions subsystem was misused.
 

@@ -18,10 +18,19 @@ with partial output plus a :class:`DegradationReport`.
 """
 
 from repro.exec.journal import Journal
+from repro.exec.resources import (
+    RESOURCE_POLICIES,
+    STAGES,
+    MemoryWatchdog,
+    PrecisionEvent,
+    ResourceBudget,
+)
 from repro.exec.sharding import (
     SplittableUnit,
+    StreamingUnit,
     UnitShard,
     atom_count,
+    is_streaming_unit,
     plan_shards,
     shard_label,
     task_cost,
@@ -43,6 +52,7 @@ from repro.exec.units import (
     MessagesUnit,
     PingSeriesUnit,
     SpeedtestUnit,
+    StreamingPingUnit,
     WebRoundUnit,
     WorkUnit,
     context_for,
@@ -56,10 +66,17 @@ __all__ = [
     "FAILURE_POLICIES",
     "FleetTerminalUnit",
     "Journal",
+    "MemoryWatchdog",
     "MessagesUnit",
     "PingSeriesUnit",
+    "PrecisionEvent",
+    "RESOURCE_POLICIES",
+    "ResourceBudget",
+    "STAGES",
     "SpeedtestUnit",
     "SplittableUnit",
+    "StreamingPingUnit",
+    "StreamingUnit",
     "UnitFailure",
     "UnitShard",
     "UnitTiming",
@@ -70,6 +87,7 @@ __all__ = [
     "default_workers",
     "fleet_context_for",
     "execute_units",
+    "is_streaming_unit",
     "plan_shards",
     "render_timings",
     "shard_label",

@@ -54,13 +54,15 @@ import pathlib
 import re
 import time
 import traceback
+import tracemalloc
 from concurrent import futures as _cf
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, UnitExecutionError
-from repro.exec.sharding import UnitShard, plan_shards, task_cost
+from repro.exec.sharding import (UnitShard, is_streaming_unit,
+                                 plan_shards, task_cost)
 
 #: Poll interval of the pool supervisor loop (seconds). Short enough
 #: that timeout enforcement is prompt, long enough to stay off the CPU.
@@ -72,11 +74,16 @@ FAILURE_POLICIES = ("raise", "degrade")
 
 @dataclass(frozen=True)
 class UnitTiming:
-    """Wall-clock record for one executed work unit."""
+    """Wall-clock (and optional peak-memory) record for one unit."""
 
     label: str
     kind: str
     elapsed_s: float
+    #: Peak traced allocation during the unit's run, KiB
+    #: (``tracemalloc``); 0.0 unless the run tracked memory (or the
+    #: timing was restored from a journal, which stores wall clock
+    #: only).
+    peak_kb: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -171,15 +178,32 @@ def _failure_for(runnable, error_type: str, message: str, tb: str,
                        traceback=tb, attempts=attempts)
 
 
-def _run_one(unit, profile_dir: str | None = None, index: int = 0
-             ) -> tuple[object, UnitTiming]:
+def _run_one(unit, profile_dir: str | None = None, index: int = 0,
+             track_memory: bool = False) -> tuple[object, UnitTiming]:
     profiler = None
     if profile_dir is not None:
         profiler = cProfile.Profile()
         profiler.enable()
+    peak_kb = 0.0
+    started_tracing = False
+    if track_memory:
+        if tracemalloc.is_tracing():
+            # Nest inside an outer trace (e.g. the benchmark harness):
+            # reset the peak marker instead of restarting.
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            started_tracing = True
     began = time.perf_counter()
-    payload = unit.run()
-    elapsed = time.perf_counter() - began
+    try:
+        payload = unit.run()
+        elapsed = time.perf_counter() - began
+        if track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            peak_kb = peak / 1024.0
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
     if profiler is not None:
         profiler.disable()
         out_dir = pathlib.Path(profile_dir)
@@ -189,13 +213,15 @@ def _run_one(unit, profile_dir: str | None = None, index: int = 0
         profiler.dump_stats(
             out_dir / f"{index:04d}-{_profile_stem(unit.label)}.pstats")
     return payload, UnitTiming(label=unit.label, kind=unit.kind,
-                               elapsed_s=elapsed)
+                               elapsed_s=elapsed, peak_kb=peak_kb)
 
 
-def _pool_run_one(unit, profile_dir: str | None, index: int) -> tuple:
+def _pool_run_one(unit, profile_dir: str | None, index: int,
+                  track_memory: bool = False) -> tuple:
     """Worker-side wrapper: exceptions become data, never pool poison."""
     try:
-        payload, timing = _run_one(unit, profile_dir, index)
+        payload, timing = _run_one(unit, profile_dir, index,
+                                   track_memory)
     except Exception as exc:
         return ("err", type(exc).__name__, str(exc),
                 traceback.format_exc())
@@ -229,7 +255,8 @@ class _PoolSupervisor:
                  profile_dir: str | None, retries: int,
                  retry_backoff_s: float, unit_timeout: float | None,
                  failure_policy: str,
-                 record_ok: Callable[[int, object, UnitTiming], None]):
+                 record_ok: Callable[[int, object, UnitTiming], object],
+                 track_memory: bool = False):
         self.pending = [(i, u, 1) for i, u in todo]  # attempt to run next
         self.costs = {i: task_cost(u) for i, u in todo}
         self.workers = workers
@@ -239,6 +266,7 @@ class _PoolSupervisor:
         self.unit_timeout = unit_timeout
         self.failure_policy = failure_policy
         self.record_ok = record_ok
+        self.track_memory = track_memory
         self.ready_at: dict[int, float] = {}   # backoff gates by index
         self.inflight: dict = {}               # future -> (i, unit, attempt, t0)
         self.outcomes: dict[int, object] = {}
@@ -274,7 +302,8 @@ class _PoolSupervisor:
             index, unit, attempt = self.pending.pop(slot)
             try:
                 future = self.pool.submit(_pool_run_one, unit,
-                                          self.profile_dir, index)
+                                          self.profile_dir, index,
+                                          self.track_memory)
             except _cf.BrokenExecutor:
                 # Pool died between reaps; put the unit back and let
                 # the reap path drain the doomed futures and rebuild.
@@ -304,8 +333,10 @@ class _PoolSupervisor:
                 status = future.result()
                 if status[0] == "ok":
                     _, payload, timing = status
-                    self.outcomes[index] = (payload, timing)
-                    self.record_ok(index, payload, timing)
+                    # record_ok may consume the payload (streaming
+                    # reduce): keep whatever it hands back.
+                    self.outcomes[index] = (
+                        self.record_ok(index, payload, timing), timing)
                 else:
                     _, error_type, message, tb = status
                     self._attempt_failed(index, unit, attempt,
@@ -378,17 +409,55 @@ class _PoolSupervisor:
         self.outcomes[index] = failure
 
 
+class _PrefixReducer:
+    """Arrival-order streaming reduce for one splittable unit.
+
+    Shard payloads are merged into a single accumulator the moment
+    the merged prefix is contiguous; later arrivals wait in ``held``
+    (bounded by the in-flight window, i.e. the worker count). Merges
+    therefore always happen in shard order — deterministic no matter
+    which worker finishes first — and the raw shard payloads are
+    dropped as they fold in, which is what keeps a month-scale unit's
+    memory constant during the run instead of spiking at the final
+    merge.
+    """
+
+    def __init__(self, unit):
+        self.unit = unit
+        self.acc = unit.init_partial()
+        self.next = 0
+        self.held: dict[int, object] = {}
+
+    def feed(self, position: int, shard_payload) -> None:
+        if position < self.next or position in self.held:
+            return  # duplicate delivery (journal replay)
+        self.held[position] = shard_payload
+        while self.next in self.held:
+            self.acc = self.unit.merge_partial(
+                self.acc, self.held.pop(self.next))
+            self.next += 1
+
+    def finalize(self):
+        return self.unit.finalize(self.acc)
+
+
+#: Placeholder kept in ``outcomes`` once a reducer consumed a shard's
+#: payload (the timing half of the tuple stays live).
+_REDUCED = "<reduced>"
+
+
 def _execute_serial(todo: list[tuple[int, object]],
                     profile_dir: str | None, retries: int,
                     retry_backoff_s: float, failure_policy: str,
-                    record_ok: Callable[[int, object, UnitTiming], None]
-                    ) -> dict[int, object]:
+                    record_ok: Callable[[int, object, UnitTiming], object],
+                    track_memory: bool = False) -> dict[int, object]:
     outcomes: dict[int, object] = {}
     for index, unit in todo:
         attempt = 1
         while True:
             try:
-                payload, timing = _run_one(unit, profile_dir, index)
+                payload, timing = _run_one(unit, profile_dir, index,
+                                           track_memory)
             except KeyboardInterrupt:
                 # Completed units are already journaled (stores are
                 # per-unit and atomic), so the run is resumable as-is.
@@ -411,8 +480,8 @@ def _execute_serial(todo: list[tuple[int, object]],
                 outcomes[index] = failure
                 break
             else:
-                outcomes[index] = (payload, timing)
-                record_ok(index, payload, timing)
+                outcomes[index] = (record_ok(index, payload, timing),
+                                   timing)
                 break
     return outcomes
 
@@ -426,7 +495,8 @@ def execute_units(units: Sequence, workers: int = 1,
                   failure_policy: str = "raise",
                   failures: list[UnitFailure] | None = None,
                   granularity: int = 1,
-                  shard_timings: list[UnitTiming] | None = None
+                  shard_timings: list[UnitTiming] | None = None,
+                  track_memory: bool = False
                   ) -> list:
     """Run ``units`` and return their payloads in input order.
 
@@ -469,6 +539,23 @@ def execute_units(units: Sequence, workers: int = 1,
       callers filter with ``isinstance(p, UnitFailure)``.
     * ``KeyboardInterrupt`` cancels pending work, kills pool workers
       (no orphans) and propagates; journaled progress survives.
+
+    ``track_memory=True`` additionally records each task's peak traced
+    allocation (``tracemalloc``) in ``UnitTiming.peak_kb`` — measured
+    in the process that ran the task, so pool workers report their own
+    heaps. Tracing roughly doubles allocation cost; leave it off for
+    benchmark timing runs.
+
+    Units with a truthy ``streaming`` attribute implementing the
+    partial-aggregate contract (``init_partial`` / ``merge_partial`` /
+    ``finalize``, see :mod:`repro.exec.sharding`) are reduced in
+    *arrival order*: each shard's partial aggregate folds into the
+    unit's accumulator as soon as the shard-index prefix is
+    contiguous, instead of accumulating every shard payload for one
+    big ``merge_atoms`` at the end. The fold always proceeds in shard
+    order, so the result is deterministic (and digest-identical to
+    serial) for every worker count; journaled shards replay through
+    the same fold on resume, without re-running the slice.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -504,6 +591,27 @@ def execute_units(units: Sequence, workers: int = 1,
             tasks.append(runnable)
         unit_tasks.append(ids)
 
+    # Streaming units reduce shard payloads as they arrive instead of
+    # holding them all for the final merge. ``task_pos`` maps a task
+    # id to (unit index, shard position) for tasks owned by a reducer.
+    reducers: dict[int, _PrefixReducer] = {}
+    task_pos: dict[int, tuple[int, int]] = {}
+    for u_idx, ids in enumerate(unit_tasks):
+        unit = units[u_idx]
+        if (is_streaming_unit(unit)
+                and isinstance(tasks[ids[0]], UnitShard)):
+            reducers[u_idx] = _PrefixReducer(unit)
+            for pos, task_id in enumerate(ids):
+                task_pos[task_id] = (u_idx, pos)
+
+    def feed_reducer(index: int, payload) -> object:
+        """Fold a shard payload; return what ``outcomes`` should keep."""
+        if index not in task_pos:
+            return payload
+        u_idx, pos = task_pos[index]
+        reducers[u_idx].feed(pos, payload)
+        return _REDUCED
+
     outcomes: dict[int, object] = {}
     keys: list[str] | None = None
     if journal is not None:
@@ -512,15 +620,18 @@ def execute_units(units: Sequence, workers: int = 1,
             entry = journal.load(keys[i], label=task.label)
             if entry is not None:
                 payload, elapsed = entry
-                outcomes[i] = (payload, UnitTiming(
+                # Journaled streaming shards replay through the same
+                # arrival-order fold — the slice is not re-run.
+                outcomes[i] = (feed_reducer(i, payload), UnitTiming(
                     label=task.label, kind=task.kind,
                     elapsed_s=elapsed))
 
-    def record_ok(index: int, payload, timing: UnitTiming) -> None:
+    def record_ok(index: int, payload, timing: UnitTiming) -> object:
         if journal is not None:
             journal.store(keys[index], payload,
                           elapsed_s=timing.elapsed_s,
                           label=timing.label)
+        return feed_reducer(index, payload)
 
     todo = [(i, task) for i, task in enumerate(tasks)
             if i not in outcomes]
@@ -528,12 +639,12 @@ def execute_units(units: Sequence, workers: int = 1,
         if workers == 1 and unit_timeout is None:
             outcomes.update(_execute_serial(
                 todo, profile_dir, retries, retry_backoff_s,
-                failure_policy, record_ok))
+                failure_policy, record_ok, track_memory))
         else:
             supervisor = _PoolSupervisor(
                 todo, min(workers, len(todo)), profile_dir, retries,
                 retry_backoff_s, unit_timeout, failure_policy,
-                record_ok)
+                record_ok, track_memory)
             outcomes.update(supervisor.run())
 
     payloads: list = []
@@ -551,7 +662,14 @@ def execute_units(units: Sequence, workers: int = 1,
             payloads.append(failure)
             continue
         results = [outcomes[t] for t in ids]
-        if len(ids) == 1 and not isinstance(tasks[ids[0]], UnitShard):
+        if i in reducers:
+            payload = reducers[i].finalize()
+            unit_timing = UnitTiming(
+                label=unit.label, kind=unit.kind,
+                elapsed_s=sum(t.elapsed_s for _, t in results),
+                peak_kb=max((t.peak_kb for _, t in results),
+                            default=0.0))
+        elif len(ids) == 1 and not isinstance(tasks[ids[0]], UnitShard):
             payload, unit_timing = results[0]
         else:
             atoms: list = []
@@ -560,7 +678,9 @@ def execute_units(units: Sequence, workers: int = 1,
             payload = unit.merge_atoms(atoms)
             unit_timing = UnitTiming(
                 label=unit.label, kind=unit.kind,
-                elapsed_s=sum(t.elapsed_s for _, t in results))
+                elapsed_s=sum(t.elapsed_s for _, t in results),
+                peak_kb=max((t.peak_kb for _, t in results),
+                            default=0.0))
         if timings is not None:
             timings.append(unit_timing)
         if shard_timings is not None:
@@ -570,32 +690,45 @@ def execute_units(units: Sequence, workers: int = 1,
 
 
 def timing_breakdown(timings: Sequence[UnitTiming]) -> list[dict]:
-    """Aggregate per-kind rows: count, total/mean/max wall clock."""
-    by_kind: dict[str, list[float]] = {}
+    """Aggregate per-kind rows: count, total/mean/max wall clock plus
+    the max traced-allocation peak (0 unless ``track_memory``)."""
+    by_kind: dict[str, list[UnitTiming]] = {}
     for timing in timings:
-        by_kind.setdefault(timing.kind, []).append(timing.elapsed_s)
+        by_kind.setdefault(timing.kind, []).append(timing)
     rows = []
     for kind in sorted(by_kind):
-        elapsed = by_kind[kind]
+        group = by_kind[kind]
+        elapsed = [t.elapsed_s for t in group]
         rows.append({
             "kind": kind, "units": len(elapsed),
             "total_s": sum(elapsed),
             "mean_s": sum(elapsed) / len(elapsed),
             "max_s": max(elapsed),
+            "peak_kb": max(t.peak_kb for t in group),
         })
     return rows
 
 
 def render_timings(timings: Sequence[UnitTiming]) -> str:
-    """Human-readable per-kind timing table for the CLI."""
-    lines = ["Unit timing (wall clock per executing process)",
-             f"{'kind':<12} {'units':>6} {'total':>9} "
-             f"{'mean':>9} {'max':>9}"]
+    """Human-readable per-kind timing table for the CLI.
+
+    The ``peak`` column (max tracemalloc peak of any unit of the
+    kind) appears only when at least one timing carries a nonzero
+    measurement, so runs without ``track_memory`` render as before.
+    """
+    with_memory = any(t.peak_kb > 0.0 for t in timings)
+    header = (f"{'kind':<12} {'units':>6} {'total':>9} "
+              f"{'mean':>9} {'max':>9}")
+    if with_memory:
+        header += f" {'peak':>10}"
+    lines = ["Unit timing (wall clock per executing process)", header]
     for row in timing_breakdown(timings):
-        lines.append(
-            f"{row['kind']:<12} {row['units']:>6} "
-            f"{row['total_s']:>8.2f}s {row['mean_s']:>8.3f}s "
-            f"{row['max_s']:>8.3f}s")
+        line = (f"{row['kind']:<12} {row['units']:>6} "
+                f"{row['total_s']:>8.2f}s {row['mean_s']:>8.3f}s "
+                f"{row['max_s']:>8.3f}s")
+        if with_memory:
+            line += f" {row['peak_kb']:>8.0f}kB"
+        lines.append(line)
     total = sum(t.elapsed_s for t in timings)
     lines.append(f"{'all':<12} {len(timings):>6} {total:>8.2f}s")
     return "\n".join(lines)

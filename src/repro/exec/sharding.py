@@ -52,6 +52,50 @@ class SplittableUnit(Protocol):
     def merge_atoms(self, payloads: Sequence) -> object: ...
 
 
+@runtime_checkable
+class StreamingUnit(Protocol):
+    """The optional *streaming reduce* contract on top of the atoms one.
+
+    A splittable unit that additionally sets ``streaming = True`` and
+    implements this contract has its shard payloads folded by the
+    executor **as they arrive** instead of being held until every
+    shard lands:
+
+    * ``init_partial()`` — a fresh, empty accumulator;
+    * ``merge_partial(acc, shard_payload)`` — fold one shard's payload
+      (the list returned by ``run_atoms``) into the accumulator and
+      return it. Folding happens strictly in shard order (the executor
+      buffers out-of-order arrivals and reduces the contiguous
+      prefix), so the final value is deterministic regardless of
+      worker scheduling;
+    * ``finalize(acc)`` — turn the accumulator into the unit payload.
+
+    ``run()`` must equal ``finalize`` over the in-order fold of all
+    shards — the differential suite in ``tests/exec/`` pins that the
+    streamed result is digest-identical to the batch path.
+    """
+
+    streaming: bool
+
+    def init_partial(self) -> object: ...
+
+    def merge_partial(self, acc: object, shard_payload: list) -> object: ...
+
+    def finalize(self, acc: object) -> object: ...
+
+
+def is_streaming_unit(unit) -> bool:
+    """Whether ``unit`` opted into the arrival-order streaming reduce.
+
+    Duck-typed like :func:`atom_count`: the ``streaming`` flag must be
+    truthy *and* the three reduce hooks must exist. Wrappers (e.g.
+    chaos) that forward attributes qualify automatically.
+    """
+    return bool(getattr(unit, "streaming", False)) and all(
+        callable(getattr(unit, name, None))
+        for name in ("init_partial", "merge_partial", "finalize"))
+
+
 def shard_label(parent_label: str, start: int, stop: int) -> str:
     """Stable label of the shard covering atoms ``[start, stop)``.
 

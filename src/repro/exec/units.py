@@ -233,6 +233,53 @@ def fleet_context_for(config: "CampaignConfig") -> FleetContext:
     return ctx
 
 
+def _ping_chunk_probes(cfg: "CampaignConfig", anchor_name: str,
+                       atom: int) -> tuple[list[float], list[float]]:
+    """Probe ``(times, rtts)`` of ping-round chunk ``atom``.
+
+    The single source of the per-chunk stream seeded
+    ``(cfg.seed, "ping-campaign", anchor_name, "chunk", atom)`` —
+    shared by the batch :class:`PingSeriesUnit` and the streaming
+    :class:`StreamingPingUnit`, so both emit identical bytes and the
+    streamed campaign stays digest-identical to the batch one.
+
+    Disruption guards are ordered to keep the clear-sky RNG stream
+    byte-identical whether or not a schedule is installed: an empty
+    schedule answers False/0.0 everywhere, so exactly the same draws
+    happen in exactly the same order.
+    """
+    anchor = anchor_by_name(anchor_name)
+    ctx = context_for(cfg)
+    model = ctx.path_model
+    disruption = ctx.scenario.campaign
+    round_times = np.arange(0.0, days(cfg.ping_days),
+                            cfg.ping_interval_s)
+    chunk = cfg.ping_shard_rounds
+    rng = make_rng((cfg.seed, "ping-campaign", anchor_name,
+                    "chunk", atom))
+    times: list[float] = []
+    rtts: list[float] = []
+    for t in round_times[atom * chunk:(atom + 1) * chunk]:
+        pop = model.pop_location(t)
+        remote = anchor.remote_rtt_from(pop)
+        for probe in range(cfg.pings_per_round):
+            probe_t = t + probe * 1.0
+            times.append(probe_t)
+            if disruption.blackout_at(probe_t):
+                rtts.append(math.nan)
+                continue
+            if rng.random() < cfg.ping_loss_prob:
+                rtts.append(math.nan)
+            else:
+                extra = disruption.extra_loss_prob(probe_t)
+                if extra > 0.0 and rng.random() < extra:
+                    rtts.append(math.nan)
+                else:
+                    rtts.append(model.idle_rtt(
+                        probe_t, rng, remote_rtt_s=remote))
+    return times, rtts
+
+
 @dataclass(frozen=True)
 class PingSeriesUnit:
     """The full five-month ping series toward one anchor.
@@ -267,43 +314,8 @@ class PingSeriesUnit:
 
     def run_atoms(self, start: int, stop: int
                   ) -> list[tuple[list[float], list[float]]]:
-        cfg = self.config
-        anchor = anchor_by_name(self.anchor_name)
-        ctx = context_for(cfg)
-        model = ctx.path_model
-        disruption = ctx.scenario.campaign
-        round_times = self._round_times()
-        chunk = cfg.ping_shard_rounds
-        payloads = []
-        # Disruption guards are ordered to keep the clear-sky RNG
-        # stream byte-identical whether or not a schedule is
-        # installed: an empty schedule answers False/0.0 everywhere,
-        # so exactly the same draws happen in exactly the same order.
-        for atom in range(start, stop):
-            rng = make_rng((cfg.seed, "ping-campaign", self.anchor_name,
-                            "chunk", atom))
-            times: list[float] = []
-            rtts: list[float] = []
-            for t in round_times[atom * chunk:(atom + 1) * chunk]:
-                pop = model.pop_location(t)
-                remote = anchor.remote_rtt_from(pop)
-                for probe in range(cfg.pings_per_round):
-                    probe_t = t + probe * 1.0
-                    times.append(probe_t)
-                    if disruption.blackout_at(probe_t):
-                        rtts.append(math.nan)
-                        continue
-                    if rng.random() < cfg.ping_loss_prob:
-                        rtts.append(math.nan)
-                    else:
-                        extra = disruption.extra_loss_prob(probe_t)
-                        if extra > 0.0 and rng.random() < extra:
-                            rtts.append(math.nan)
-                        else:
-                            rtts.append(model.idle_rtt(
-                                probe_t, rng, remote_rtt_s=remote))
-            payloads.append((times, rtts))
-        return payloads
+        return [_ping_chunk_probes(self.config, self.anchor_name, atom)
+                for atom in range(start, stop)]
 
     def merge_atoms(self, payloads) -> tuple[str, np.ndarray,
                                              np.ndarray,
@@ -327,6 +339,114 @@ class PingSeriesUnit:
     def run(self) -> tuple[str, np.ndarray, np.ndarray,
                            MeasurementOutcome]:
         return self.merge_atoms(self.run_atoms(0, self.n_atoms()))
+
+
+@dataclass(frozen=True)
+class StreamingPingUnit:
+    """The same ping series as :class:`PingSeriesUnit`, reduced into a
+    constant-memory :class:`~repro.core.datasets.PingAnchorSink`.
+
+    Atoms draw from the **identical** per-chunk RNG streams (shared
+    :func:`_ping_chunk_probes`), so a streamed campaign that stays in
+    exact mode is digest-identical to the batch one. The unit opts
+    into the executor's arrival-order reduce
+    (:class:`~repro.exec.sharding.StreamingUnit`): each shard ships
+    per-atom sinks, the executor folds them in shard order and only
+    one sink per anchor is ever resident — never the full atom list.
+    Reservoir keys are identity-derived per global probe index
+    (:meth:`~repro.core.stats.BottomKReservoir.keys_for` on the
+    anchor-tagged stream), so the ECDF subsample is independent of
+    sharding and merge order too.
+    """
+
+    config: "CampaignConfig"
+    anchor_name: str
+    #: Raw-sample residency above which each per-atom/merged sink
+    #: collapses to sketches. Month-scale campaigns pass a budgeted
+    #: value; the default keeps micro-campaigns exact (digest gate).
+    exact_threshold: int = 100_000
+    reservoir_k: int = 2048
+    max_centroids: int = 512
+
+    kind = "pingstream"
+    streaming = True
+
+    @property
+    def label(self) -> str:
+        return f"pingstream:{self.anchor_name}"
+
+    def _round_times(self) -> np.ndarray:
+        cfg = self.config
+        return np.arange(0.0, days(cfg.ping_days), cfg.ping_interval_s)
+
+    def n_atoms(self) -> int:
+        chunk = self.config.ping_shard_rounds
+        return max(1, -(-len(self._round_times()) // chunk))
+
+    def cost_hint(self) -> float:
+        return (len(self._round_times())
+                * self.config.pings_per_round * 1e-3)
+
+    def _new_sink(self):
+        from repro.core.datasets import PingAnchorSink
+        return PingAnchorSink(
+            self.anchor_name, exact_threshold=self.exact_threshold,
+            reservoir_k=self.reservoir_k,
+            max_centroids=self.max_centroids,
+            reservoir_seed=self.config.seed)
+
+    def run_atoms(self, start: int, stop: int) -> list:
+        from repro.core.stats import BottomKReservoir
+        cfg = self.config
+        probes_per_atom = cfg.ping_shard_rounds * cfg.pings_per_round
+        payloads = []
+        for atom in range(start, stop):
+            times, rtts = _ping_chunk_probes(cfg, self.anchor_name,
+                                             atom)
+            keys = BottomKReservoir.keys_for(
+                cfg.seed, self.anchor_name, count=len(times),
+                base=atom * probes_per_atom)
+            sink = self._new_sink()
+            sink.add_chunk(np.asarray(times, dtype=float),
+                           np.asarray(rtts, dtype=float), keys=keys)
+            payloads.append(sink)
+        return payloads
+
+    # -- streaming reduce contract ------------------------------------
+
+    def init_partial(self):
+        return self._new_sink()
+
+    def merge_partial(self, acc, shard_payload):
+        for sink in shard_payload:
+            acc.merge(sink)
+        return acc
+
+    def finalize(self, acc):
+        lost, total = acc.lost_probes, acc.total_probes
+        if total and lost == total:
+            acc.outcome = MeasurementOutcome(
+                "unreachable",
+                detail=f"all {lost} probes to {self.anchor_name} lost")
+        else:
+            acc.outcome = MeasurementOutcome(
+                detail=f"{lost}/{total} probes lost")
+        return acc
+
+    # ``merge_atoms`` exists so granularity=1 / journal replay paths
+    # that treat the unit as a plain splittable one still work; it is
+    # the same in-order fold.
+    def merge_atoms(self, payloads):
+        return self.finalize(self.merge_partial(self.init_partial(),
+                                                list(payloads)))
+
+    def run(self):
+        # Stream atom by atom: serial memory stays one sink deep no
+        # matter the campaign duration.
+        acc = self.init_partial()
+        for atom in range(self.n_atoms()):
+            acc = self.merge_partial(acc, self.run_atoms(atom, atom + 1))
+        return self.finalize(acc)
 
 
 @dataclass(frozen=True)
@@ -788,5 +908,5 @@ class FleetTerminalUnit:
 
 
 #: Everything the executor accepts.
-WorkUnit = (PingSeriesUnit | SpeedtestUnit | BulkUnit
+WorkUnit = (PingSeriesUnit | StreamingPingUnit | SpeedtestUnit | BulkUnit
             | MessagesUnit | WebRoundUnit | FleetTerminalUnit)

@@ -76,15 +76,24 @@ def attempts_made(state_dir: str | os.PathLike, label: str) -> int:
 class ChaosSpec:
     """Which attempt numbers misbehave, and how.
 
-    Faults are checked in the order kill / hang / interrupt / raise,
-    so one attempt can only trigger one fault. ``hang_s`` should
-    comfortably exceed the executor's ``unit_timeout`` under test.
+    Faults are checked in the order kill / hang / interrupt / memerr /
+    raise, so one attempt can only trigger one fault. ``hang_s``
+    should comfortably exceed the executor's ``unit_timeout`` under
+    test. ``memerr_on`` raises a plain :class:`MemoryError` — the
+    allocation-failure shape the resource-governance layer must
+    survive. ``balloon_on`` is pressure rather than failure: the
+    attempt allocates and holds ``balloon_mb`` MiB of ballast for the
+    duration of the wrapped run, so ``tracemalloc`` peaks and RSS
+    watchdogs observably spike on exactly the chosen attempts.
     """
 
     raise_on: tuple[int, ...] = ()
     kill_on: tuple[int, ...] = ()
     hang_on: tuple[int, ...] = ()
     interrupt_on: tuple[int, ...] = ()
+    memerr_on: tuple[int, ...] = ()
+    balloon_on: tuple[int, ...] = ()
+    balloon_mb: int = 64
     hang_s: float = 3600.0
     message: str = "chaos: injected unit failure"
 
@@ -127,21 +136,32 @@ class ChaosUnit:
         return self.inner.config
 
     def _strike(self, spec: ChaosSpec, attempt: int,
-                label: str) -> None:
+                label: str) -> bytearray | None:
+        """Misbehave if told to; returns ballast to hold, if any."""
         if attempt in spec.kill_on:
             os.kill(os.getpid(), signal.SIGKILL)
         if attempt in spec.hang_on:
             time.sleep(spec.hang_s)
         if attempt in spec.interrupt_on:
             raise KeyboardInterrupt
+        if attempt in spec.memerr_on:
+            raise MemoryError(
+                f"chaos: injected allocation failure "
+                f"(unit {label!r}, attempt {attempt})")
         if attempt in spec.raise_on:
             raise ChaosError(f"{spec.message} "
                              f"(unit {label!r}, attempt {attempt})")
+        if attempt in spec.balloon_on:
+            return bytearray(spec.balloon_mb << 20)
+        return None
 
     def run(self):
         attempt = claim_attempt(self.state_dir, self.label)
-        self._strike(self.spec, attempt, self.label)
-        return self.inner.run()
+        ballast = self._strike(self.spec, attempt, self.label)
+        try:
+            return self.inner.run()
+        finally:
+            del ballast
 
     # -- atoms contract (delegated, per-shard sabotage) --------------------
 
@@ -152,12 +172,31 @@ class ChaosUnit:
         label = shard_label(self.inner.label, start, stop)
         attempt = claim_attempt(self.state_dir, label)
         spec = self.shard_specs.get(label)
+        ballast = None
         if spec is not None:
-            self._strike(spec, attempt, label)
-        return self.inner.run_atoms(start, stop)
+            ballast = self._strike(spec, attempt, label)
+        try:
+            return self.inner.run_atoms(start, stop)
+        finally:
+            del ballast
 
     def merge_atoms(self, payloads):
         return self.inner.merge_atoms(payloads)
+
+    # -- streaming reduce contract (delegated verbatim) --------------------
+
+    @property
+    def streaming(self) -> bool:
+        return bool(getattr(self.inner, "streaming", False))
+
+    def init_partial(self):
+        return self.inner.init_partial()
+
+    def merge_partial(self, acc, shard_payload):
+        return self.inner.merge_partial(acc, shard_payload)
+
+    def finalize(self, acc):
+        return self.inner.finalize(acc)
 
 
 def wrap_units(units, state_dir: str | os.PathLike,
@@ -185,8 +224,8 @@ def wrap_units(units, state_dir: str | os.PathLike,
 
 def seeded_chaos(units, state_dir: str | os.PathLike, seed: int = 0,
                  p_raise: float = 0.0, p_kill: float = 0.0,
-                 p_hang: float = 0.0, max_attempt: int = 1,
-                 hang_s: float = 3600.0
+                 p_hang: float = 0.0, p_memerr: float = 0.0,
+                 max_attempt: int = 1, hang_s: float = 3600.0
                  ) -> tuple[list[ChaosUnit], list[ChaosInjection]]:
     """Sabotage a seeded-random subset of ``units``.
 
@@ -194,9 +233,11 @@ def seeded_chaos(units, state_dir: str | os.PathLike, seed: int = 0,
     it strikes on, all through :func:`repro.rng.make_rng` — the same
     seed injects the same faults on every run. Returns the wrapped
     units plus the injection log, so a test can assert the executor's
-    failure report lists *exactly* what was injected.
+    failure report lists *exactly* what was injected. ``p_memerr``
+    injects allocation failures (:class:`MemoryError`), the fault the
+    resource-governance tests lean on.
     """
-    total = p_raise + p_kill + p_hang
+    total = p_raise + p_kill + p_hang + p_memerr
     if not 0.0 <= total <= 1.0:
         raise ConfigurationError(
             f"fault probabilities must sum into [0, 1], got {total}")
@@ -215,8 +256,10 @@ def seeded_chaos(units, state_dir: str | os.PathLike, seed: int = 0,
             spec, fault = replace(spec, raise_on=(attempt,)), "raise"
         elif draw < p_raise + p_kill:
             spec, fault = replace(spec, kill_on=(attempt,)), "kill"
-        elif draw < total:
+        elif draw < p_raise + p_kill + p_hang:
             spec, fault = replace(spec, hang_on=(attempt,)), "hang"
+        elif draw < total:
+            spec, fault = replace(spec, memerr_on=(attempt,)), "memerr"
         if fault is not None:
             injections.append(ChaosInjection(unit.label, fault, attempt))
         wrapped.append(ChaosUnit(unit, spec, str(state_dir)))

@@ -172,3 +172,113 @@ def test_unrecovered_episode_renders_as_not_recovered():
         episodes=[OutageEpisode(start_t=60.0, end_t=120.0,
                                 recovery_t=math.nan, probes_lost=4)])
     assert "NOT recovered" in render_availability(report)
+
+
+# ----------------------------------------------------- hardening pins
+# Empty / all-NaN series and degenerate campaign clocks must never
+# crash the analysis or leak NaN into a rendered report.
+
+
+def _data(series):
+    return CampaignDatasets(pings=PingDataset(series=series))
+
+
+def test_nan_probe_times_do_not_poison_episodes():
+    """Regression: a NaN probe timestamp used to pool like a real
+    instant, yielding episodes with ``end_t``/``duration_s`` of NaN
+    (and a NaN-contaminated ``max_gap_s``).  NaN-timed probes are now
+    dropped from pooling; their losses still count toward totals."""
+    times = np.array([0.0, math.nan, 60.0])
+    rtts = np.full(3, math.nan)
+    data = _data({"a": (times, rtts.copy()), "b": (times, rtts.copy())})
+    episodes = detect_outage_episodes(data.pings)
+    assert len(episodes) == 1
+    (ep,) = episodes
+    assert math.isfinite(ep.start_t) and math.isfinite(ep.end_t)
+    assert ep.start_t == 0.0 and ep.end_t == 60.0
+    assert ep.probes_lost == 4     # the two NaN-timed probes excluded
+    report = analyze_availability(data)
+    assert report.total_probes == 6   # ... but still counted as sent
+    assert report.lost_probes == 6
+    assert "nan" not in render_availability(report)
+
+
+def test_empty_and_zero_probe_datasets_are_flagged_not_100pct():
+    for series in ({}, {"a": (np.array([]), np.array([]))}):
+        report = analyze_availability(_data(series))
+        assert report.total_probes == 0
+        assert report.episodes == []
+        text = render_availability(report)
+        assert "availability undetermined" in text
+        assert "100.00%" not in text
+
+
+def test_all_nan_series_is_one_unrecovered_episode_not_a_crash():
+    times = np.arange(10) * 60.0
+    data = _data({"a": (times, np.full(10, math.nan)),
+                  "b": (times, np.full(10, math.nan))})
+    report = analyze_availability(data)
+    assert report.availability_pct == 0.0
+    assert len(report.episodes) == 1
+    assert not report.episodes[0].recovered
+    text = render_availability(report)
+    assert "availability 0.00%" in text
+    assert "NOT recovered" in text
+
+
+def test_single_instant_campaign_is_handled():
+    """Zero-duration clock: one probe round, everything lost."""
+    data = _data({"a": (np.array([0.0]), np.array([math.nan])),
+                  "b": (np.array([0.0]), np.array([math.nan]))})
+    report = analyze_availability(data)
+    assert report.availability_pct == 0.0
+    assert len(report.episodes) == 1
+    assert report.episodes[0].duration_s == 0.0
+    render_availability(report)   # must not raise
+
+
+# ------------------------------------------- streaming accumulator
+
+from repro.core.availability import AvailabilityAccumulator  # noqa: E402
+
+
+def test_accumulator_matches_batch_analysis():
+    data = CampaignDatasets(pings=_pings(outage_rounds=(3, 4),
+                                         lone_loss_at=7),
+                            bulk=[_bulk_sample([15.2, 7.3])])
+    data.pings.outcomes["a"] = MeasurementOutcome()
+    batch = analyze_availability(data, scenario="sat_outage")
+
+    acc = AvailabilityAccumulator()
+    # Feed each anchor in two arbitrary chunks, out of order.
+    for name in reversed(data.pings.anchors()):
+        times, rtts = data.pings.series[name]
+        acc.add_probes(times[4:], rtts[4:])
+        acc.add_probes(times[:4], rtts[:4])
+    acc.add_outcome("ok")   # pings outcome
+    acc.add_outcome("ok")   # bulk outcome
+    acc.add_burst_times([15.2, 7.3])
+    streamed = acc.report(scenario="sat_outage")
+
+    assert streamed == batch
+
+
+def test_accumulator_merge_is_order_independent():
+    pings = _pings(outage_rounds=(2, 3, 7))
+    parts = []
+    for name in pings.anchors():
+        times, rtts = pings.series[name]
+        for lo, hi in ((0, 3), (3, 10)):
+            p = AvailabilityAccumulator()
+            p.add_probes(times[lo:hi], rtts[lo:hi])
+            parts.append(p)
+    merged_a = AvailabilityAccumulator()
+    for p in parts:
+        merged_a.merge(p)
+    merged_b = AvailabilityAccumulator()
+    for p in reversed(parts):
+        merged_b.merge(p)
+    assert merged_a.report() == merged_b.report()
+    assert (merged_a.episodes()
+            == detect_outage_episodes(pings))
+    assert merged_a.resident_instants == 10

@@ -1,0 +1,189 @@
+"""Seeded Markov weather generator and the wet_month scenario."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignConfig
+from repro.disrupt import (
+    DisruptionSchedule,
+    DisruptionWindow,
+    WeatherParams,
+    WeatherScenario,
+    build_scenario,
+    build_wet_month,
+    fade_windows_from_rain,
+    generate_rain_trace,
+    scenario_names,
+    wet_fraction,
+)
+from repro.errors import DisruptionError
+from repro.units import days, minutes
+
+
+def month_config(seed: int = 0, ping_days: float = 30.0):
+    return CampaignConfig(seed=seed, scenario="wet_month",
+                          ping_days=ping_days,
+                          ping_interval_s=minutes(15))
+
+
+# -- rain trace -------------------------------------------------------------
+
+
+def test_trace_is_deterministic_and_spans_duration():
+    t1, r1 = generate_rain_trace(7, days(30.0))
+    t2, r2 = generate_rain_trace(7, days(30.0))
+    assert np.array_equal(t1, t2) and np.array_equal(r1, r2)
+    params = WeatherParams()
+    assert t1[0] == 0.0
+    assert t1.size == int(np.ceil(days(30.0) / params.step_s))
+    assert np.all(np.diff(t1) == params.step_s)
+
+
+def test_different_seeds_give_different_weather():
+    _, r1 = generate_rain_trace(0, days(30.0))
+    _, r2 = generate_rain_trace(1, days(30.0))
+    assert not np.array_equal(r1, r2)
+
+
+def test_trace_statistics_look_like_weather():
+    """Month of temperate weather: some rain, mostly dry, sane rates."""
+    _, rates = generate_rain_trace(3, days(30.0))
+    frac = wet_fraction(rates)
+    assert 0.01 < frac < 0.5
+    wet = rates[rates > 0.0]
+    params = WeatherParams()
+    assert wet.min() >= params.light_rate_mm_h[0]
+    assert wet.max() <= params.heavy_rate_mm_h[1]
+
+
+def test_invalid_durations_and_params_are_rejected():
+    with pytest.raises(DisruptionError, match="duration"):
+        generate_rain_trace(0, 0.0)
+    with pytest.raises(DisruptionError, match="step_s"):
+        WeatherParams(step_s=0.0)
+    with pytest.raises(DisruptionError, match="exceed"):
+        WeatherParams(p_light_to_dry=0.7, p_light_to_heavy=0.5)
+    with pytest.raises(DisruptionError, match="max_severity"):
+        WeatherParams(max_severity=1.5)
+
+
+# -- fade windows -----------------------------------------------------------
+
+
+def test_contiguous_wet_runs_coalesce_into_one_window():
+    params = WeatherParams()
+    step = params.step_s
+    times = np.arange(8) * step
+    rates = np.array([0.0, 2.0, 3.0, 0.0, 0.0, 10.0, 0.0, 1.0])
+    windows = fade_windows_from_rain(times, rates, params)
+    assert [w.kind for w in windows] == ["fade"] * 3
+    assert (windows[0].start_t, windows[0].end_t) == (step, 3 * step)
+    assert (windows[1].start_t, windows[1].end_t) == (5 * step, 6 * step)
+    # A trailing wet run closes at the trace end.
+    assert (windows[2].start_t, windows[2].end_t) == (7 * step, 8 * step)
+
+
+def test_severity_tracks_mean_rain_rate():
+    params = WeatherParams()
+    step = params.step_s
+    times = np.arange(2) * step
+    drizzle = fade_windows_from_rain(times, np.array([1.0, 1.0]), params)
+    burst = fade_windows_from_rain(times, np.array([25.0, 25.0]), params)
+    assert drizzle[0].severity < burst[0].severity
+    assert burst[0].severity <= params.max_severity
+    assert drizzle[0].severity == pytest.approx(
+        params.severity_for_rate(1.0))
+
+
+def test_dry_trace_yields_no_windows():
+    assert fade_windows_from_rain(np.arange(4) * 900.0,
+                                  np.zeros(4)) == ()
+    assert fade_windows_from_rain(np.array([]), np.array([])) == ()
+    with pytest.raises(DisruptionError, match="align"):
+        fade_windows_from_rain(np.zeros(3), np.zeros(2))
+
+
+# -- the wet_month scenario -------------------------------------------------
+
+
+def test_wet_month_is_registered_and_builds():
+    assert "wet_month" in scenario_names()
+    scenario = build_scenario("wet_month", month_config())
+    assert isinstance(scenario, WeatherScenario)
+    assert scenario.name == "wet_month"
+    assert not scenario.is_clear
+    assert all(w.kind == "fade" for w in scenario.campaign.windows)
+    # Windows span the campaign, not one corner of it.
+    last_end = max(w.end_t for w in scenario.campaign.windows)
+    assert last_end > days(15.0)
+
+
+def test_wet_month_windows_match_regenerated_trace():
+    cfg = month_config(seed=11)
+    scenario = build_wet_month(cfg)
+    times, rates = generate_rain_trace(cfg.seed, days(cfg.ping_days))
+    assert scenario.campaign.windows == fade_windows_from_rain(times,
+                                                               rates)
+
+
+def test_experiment_schedule_sees_overlapping_campaign_weather():
+    step = 900.0
+    windows = (DisruptionWindow("fade", 10 * step, 14 * step,
+                                severity=0.4),)
+    scenario = WeatherScenario(
+        name="wet_month",
+        campaign=DisruptionSchedule("wet_month", windows),
+        experiment_horizon_s=2 * step)
+    # Dry epoch: canonical empty schedule (clear-sky code path).
+    assert scenario.experiment_schedule(0.0).is_empty
+    # Epoch inside the storm: window clipped to the horizon and
+    # translated to the experiment clock.
+    sched = scenario.experiment_schedule(11 * step)
+    [w] = sched.windows
+    assert (w.start_t, w.end_t) == (0.0, 2 * step)
+    assert w.severity == 0.4
+    # Epoch straddling the storm's onset keeps the true start.
+    [w] = scenario.experiment_schedule(9 * step).windows
+    assert (w.start_t, w.end_t) == (step, 2 * step)
+
+
+def test_weather_campaign_probes_feel_the_rain():
+    """End to end: generated fade windows reach the analytic ping
+    series and lose probes during the rain.
+
+    Default temperate drizzle is (correctly) too gentle to assert on
+    over a cheap micro-campaign, so the trace here is a day of
+    continuous heavy rain run through the *same* coalescing +
+    scenario plumbing ``wet_month`` uses.
+    """
+    from repro.disrupt import register_scenario, unregister_scenario
+    from repro.exec import PingSeriesUnit
+
+    params = WeatherParams()
+    trace_times = np.arange(96) * params.step_s
+    windows = fade_windows_from_rain(trace_times, np.full(96, 25.0),
+                                     params)
+    assert len(windows) == 1 and windows[0].severity > 0.7
+
+    def _soaked(config):
+        return WeatherScenario(
+            name="soaked",
+            campaign=DisruptionSchedule("soaked", windows))
+
+    register_scenario("soaked", _soaked, replace=True)
+    try:
+        wet_cfg = CampaignConfig(seed=5, scenario="soaked",
+                                 ping_days=1.0,
+                                 ping_interval_s=minutes(30))
+        clear_cfg = CampaignConfig(seed=5, scenario="clear_sky",
+                                   ping_days=1.0,
+                                   ping_interval_s=minutes(30))
+        _, _, wet_rtts, _ = PingSeriesUnit(wet_cfg,
+                                           "be-brussels").run()
+        _, _, clear_rtts, _ = PingSeriesUnit(clear_cfg,
+                                             "be-brussels").run()
+        wet_loss = np.isnan(wet_rtts).mean()
+        clear_loss = np.isnan(clear_rtts).mean()
+        assert wet_loss > clear_loss + 0.05
+    finally:
+        unregister_scenario("soaked")
