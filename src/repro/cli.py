@@ -40,6 +40,20 @@ loss-burst attribution::
 
     python -m repro availability --scenario sat_outage
 
+Mobile-terminal mode: ``--trajectory drive`` puts the terminal on a
+seeded random drive (``--speed-kmh`` sets the pace, implying the
+drive when given alone) and ``--obstruction
+{roadside,urban_canyon}`` adds seeded Markov sky shadowing; the
+``mobility`` artefact renders the handover-episode analysis — churn
+per hour by change kind, per-outage cause attribution (obstruction
+vs weather vs handover) and recovery times::
+
+    python -m repro mobility --trajectory drive --speed-kmh 90 \\
+        --obstruction roadside
+
+The default ``--trajectory stationary`` is bit-identical to the
+classic fixed-terminal pipeline.
+
 Longitudinal (month-scale) campaigns: ``--streaming`` routes the ping
 pipeline through constant-memory sinks (bit-identical to the batch
 path while exact), ``--duration-days D`` stretches the campaign,
@@ -69,6 +83,7 @@ from repro.core.reporting import (
     coverage_note,
     render_availability,
     render_degradation,
+    render_mobility,
     render_precision_notes,
     render_figure1,
     render_figure2,
@@ -88,6 +103,7 @@ from repro.core.rtt import (
 )
 from repro.core.throughput import figure5_throughput
 from repro.disrupt.scenarios import scenario_names
+from repro.leo.mobility import OBSTRUCTION_KINDS, TRAJECTORY_KINDS
 from repro.transport.cc import CC_KINDS
 from repro.errors import JournalError, MemoryBudgetError
 from repro.exec.journal import Journal
@@ -97,7 +113,7 @@ from repro.units import minutes
 
 ARTEFACTS = ("table1", "fig1", "fig2", "fig3", "table2", "fig4",
              "fig5", "fig6", "middlebox", "errant", "availability",
-             "fleet", "all")
+             "mobility", "fleet", "all")
 
 #: Which campaign datasets each artefact is derived from (for the
 #: per-figure unit-coverage note of degraded runs).
@@ -114,12 +130,18 @@ ARTEFACT_DATASETS = {
     "errant": ("pings", "speedtests", "messages"),
     "availability": ("pings", "speedtests", "bulk", "messages",
                      "visits"),
+    "mobility": ("pings", "speedtests", "bulk", "messages",
+                 "visits"),
     "fleet": ("fleet",),
 }
 
 #: Terminals the ``fleet`` artefact runs when fleet mode is enabled
 #: without an explicit ``--terminals``.
 DEFAULT_FLEET_TERMINALS = 16
+
+#: Drive pace when ``--trajectory drive`` is given without an
+#: explicit ``--speed-kmh``.
+DEFAULT_DRIVE_SPEED_KMH = 60.0
 
 
 def _build_config(args: argparse.Namespace) -> CampaignConfig:
@@ -150,6 +172,16 @@ def _build_config(args: argparse.Namespace) -> CampaignConfig:
         config.streaming_pings = True   # a budget implies the sinks
     if args.resource_policy is not None:
         config.resource_policy = args.resource_policy
+    if args.trajectory is not None:
+        config.trajectory = args.trajectory
+    if args.speed_kmh is not None:
+        config.speed_kmh = args.speed_kmh
+        if args.trajectory is None:
+            config.trajectory = "drive"  # a pace implies the drive
+    elif config.trajectory == "drive":
+        config.speed_kmh = DEFAULT_DRIVE_SPEED_KMH
+    if args.obstruction is not None:
+        config.obstruction = args.obstruction
     return config
 
 
@@ -265,6 +297,15 @@ def run_artefact(name: str, campaign: Campaign, cache: dict,
                                     visits=visits())
             _emit(render_availability(analyze_availability(
                 data, scenario=campaign.config.scenario)))
+    elif name == "mobility":
+        data = CampaignDatasets(pings=pings(), bulk=bulk(),
+                                messages=messages(),
+                                speedtests=speedtests(),
+                                visits=visits())
+        availability = analyze_availability(
+            data, scenario=campaign.config.scenario)
+        _emit(render_mobility(
+            campaign.mobility_report(data, availability)))
     elif name == "fleet":
         _emit(render_fleet(fleet()))
     elif name == "middlebox":
@@ -323,6 +364,21 @@ def main(argv: list[str] | None = None) -> int:
                              "senders of every measurement app "
                              "(default cubic; cross with --scenario "
                              "for the CC x conditions matrix)")
+    parser.add_argument("--trajectory", choices=TRAJECTORY_KINDS,
+                        default=None,
+                        help="terminal motion: 'stationary' (default, "
+                             "bit-identical to the classic pipeline) "
+                             "or 'drive' (seeded random road trip)")
+    parser.add_argument("--speed-kmh", type=float, default=None,
+                        metavar="V",
+                        help="drive pace; given alone it implies "
+                             "--trajectory drive (default "
+                             f"{DEFAULT_DRIVE_SPEED_KMH:.0f} when "
+                             "driving)")
+    parser.add_argument("--obstruction", choices=OBSTRUCTION_KINDS,
+                        default=None,
+                        help="seeded Markov sky shadowing along the "
+                             "route (default none)")
     parser.add_argument("--fleet", action="store_true",
                         help="enable fleet mode: N terminals sharing "
                              "one constellation; adds the 'fleet' "
@@ -402,6 +458,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--terminals must be >= 1, got {args.terminals}")
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.speed_kmh is not None and not args.speed_kmh >= 0:
+        parser.error(f"--speed-kmh must be >= 0, got "
+                     f"{args.speed_kmh}")
+    if args.trajectory == "stationary" and args.speed_kmh:
+        parser.error(f"--speed-kmh {args.speed_kmh} contradicts "
+                     "--trajectory stationary")
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal DIR")
     if args.ping_days is not None and args.duration_days is not None \

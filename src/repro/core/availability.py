@@ -335,6 +335,144 @@ class AvailabilityAccumulator:
             slot_aligned_bursts=self.slot_aligned_bursts)
 
 
+#: Outage episodes starting within this many seconds after a
+#: handover boundary are attributed to the handover (one 15 s slot
+#: plus probe-spacing slack: the first lost probe lands somewhere
+#: inside the slot the handover opened).
+DEFAULT_HANDOVER_TOLERANCE_S = 16.0
+
+#: Attribution classes, most-specific first: an episode overlapping
+#: an obstruction window is the obstruction's even if a handover
+#: boundary sits nearby (the handover is itself obstruction-forced).
+EPISODE_CAUSES = ("obstruction", "weather", "handover", "unknown")
+
+
+def _overlaps(start: float, end: float,
+              windows) -> bool:
+    return any(start < w_end and end > w_start
+               for w_start, w_end in windows)
+
+
+def attribute_episodes(episodes: list[OutageEpisode],
+                       handover_times=(),
+                       obstruction_windows=(),
+                       disruption_windows=(),
+                       handover_tolerance_s: float =
+                       DEFAULT_HANDOVER_TOLERANCE_S) -> list[str]:
+    """One cause from :data:`EPISODE_CAUSES` per episode, in order.
+
+    Deterministic priority — obstruction, then weather (disruption
+    windows), then handover proximity, then unknown — so every
+    episode gets exactly one cause and the per-cause counts always
+    sum to ``len(episodes)``; that conservation is what lets a
+    mobility report reconcile against the pooled availability totals.
+
+    ``handover_times`` are boundary instants (floats);
+    ``obstruction_windows`` / ``disruption_windows`` are
+    ``(start_s, end_s)`` pairs on the campaign clock.
+    """
+    causes: list[str] = []
+    for episode in episodes:
+        end = max(episode.end_t, episode.start_t)
+        if _overlaps(episode.start_t, end, obstruction_windows):
+            causes.append("obstruction")
+        elif _overlaps(episode.start_t, end, disruption_windows):
+            causes.append("weather")
+        elif any(0.0 <= episode.start_t - t <= handover_tolerance_s
+                 for t in handover_times):
+            causes.append("handover")
+        else:
+            causes.append("unknown")
+    return causes
+
+
+@dataclass
+class MobilityReport:
+    """Handover-episode analysis of one (possibly moving) campaign.
+
+    Wraps the scenario's :class:`AvailabilityReport` with the
+    geometry-side view: how often the serving path changed inside the
+    analysis window, broken down by change kind, and which cause each
+    pooled outage episode is attributed to. ``episode_causes`` is
+    parallel to ``availability.episodes`` — the conservation law
+    ``sum(cause_counts.values()) == len(availability.episodes)``
+    holds by construction.
+    """
+
+    trajectory: str
+    obstruction: str
+    window_s: float
+    #: Change-kind -> boundary count inside the window (a boundary
+    #: carrying several kinds counts once per kind).
+    handover_kind_counts: dict[str, int]
+    #: Total path-change boundaries inside the window.
+    handover_count: int
+    availability: AvailabilityReport
+    #: Cause per pooled outage episode (EPISODE_CAUSES member).
+    episode_causes: list[str] = field(default_factory=list)
+
+    @property
+    def churn_per_hour(self) -> float:
+        """Path-change boundaries per hour of analysis window."""
+        if self.window_s <= 0:
+            return 0.0
+        return self.handover_count * 3600.0 / self.window_s
+
+    @property
+    def cause_counts(self) -> dict[str, int]:
+        """Episode count per attribution cause (all causes listed)."""
+        counts = {cause: 0 for cause in EPISODE_CAUSES}
+        for cause in self.episode_causes:
+            counts[cause] += 1
+        return counts
+
+    @property
+    def mean_time_to_recovery_s(self) -> float:
+        """Mean recovery time over recovered episodes (NaN if none)."""
+        recovered = [e.time_to_recovery_s
+                     for e in self.availability.episodes
+                     if e.recovered]
+        if not recovered:
+            return math.nan
+        return sum(recovered) / len(recovered)
+
+
+def analyze_mobility(availability: AvailabilityReport,
+                     handover_events,
+                     window_s: float,
+                     trajectory: str = "stationary",
+                     obstruction: str = "none",
+                     obstruction_windows=(),
+                     disruption_windows=(),
+                     handover_tolerance_s: float =
+                     DEFAULT_HANDOVER_TOLERANCE_S) -> MobilityReport:
+    """Handover/outage attribution on top of an availability report.
+
+    ``handover_events`` come from
+    :meth:`~repro.leo.scheduling.SatelliteScheduler.handover_events`
+    scanned over the analysis window (``window_s`` long, starting at
+    campaign t=0).
+    """
+    kind_counts: dict[str, int] = {}
+    for event in handover_events:
+        for kind in event.kinds:
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+    causes = attribute_episodes(
+        availability.episodes,
+        handover_times=[event.t for event in handover_events],
+        obstruction_windows=obstruction_windows,
+        disruption_windows=disruption_windows,
+        handover_tolerance_s=handover_tolerance_s)
+    return MobilityReport(
+        trajectory=trajectory,
+        obstruction=obstruction,
+        window_s=window_s,
+        handover_kind_counts=kind_counts,
+        handover_count=len(handover_events),
+        availability=availability,
+        episode_causes=causes)
+
+
 def slot_aligned_bursts(bulk: list[BulkSample],
                         slot_duration_s: float = SLOT_DURATION_S,
                         tolerance_s: float = DEFAULT_SLOT_TOLERANCE_S

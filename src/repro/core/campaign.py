@@ -61,12 +61,23 @@ from repro.exec.units import (
     WebRoundUnit,
     WorkUnit,
 )
+from repro.core.availability import (
+    AvailabilityReport,
+    MobilityReport,
+    analyze_availability,
+    analyze_mobility,
+)
 from repro.leo.access import StarlinkAccess, StarlinkPathModel
 from repro.leo.constellation import Constellation
 from repro.leo.events import CampaignTimeline, date_to_t
+from repro.leo.mobility import (
+    OBSTRUCTION_KINDS,
+    TRAJECTORY_KINDS,
+    build_mobility,
+)
 from repro.rng import make_rng
 from repro.transport.cc import CC_KINDS
-from repro.units import mb, minutes
+from repro.units import days, mb, minutes
 
 from datetime import datetime
 
@@ -175,6 +186,22 @@ class CampaignConfig:
     #: ``"raise"`` escalates the first breach to
     #: :class:`~repro.errors.MemoryBudgetError`.
     resource_policy: str = "degrade"
+    #: Terminal trajectory: ``"stationary"`` (the classic fixed dish;
+    #: digest-neutral) or ``"drive"`` (a seeded road trip — handover
+    #: churn and drive-through outages emerge from the moving
+    #: geometry). A drive at ``speed_kmh=0`` provably never moves and
+    #: must stay bit-identical to stationary (the mobility digest
+    #: gate in ``scripts/mobility_smoke.py``).
+    trajectory: str = "stationary"
+    #: Ground speed of a ``drive`` trajectory, km/h.
+    speed_kmh: float = 0.0
+    #: Seconds the drive keeps moving (and the obstruction trace
+    #: stays armed) before the terminal parks and the sky clears;
+    #: also the mobility-analysis window length.
+    drive_duration_s: float = 3600.0
+    #: Obstruction shadowing profile masking sky sectors per slot:
+    #: ``"none"``, ``"roadside"`` or ``"urban_canyon"``.
+    obstruction: str = "none"
 
     def __post_init__(self) -> None:
         for name in ("ping_days", "ping_interval_s",
@@ -227,6 +254,22 @@ class CampaignConfig:
             raise ConfigurationError(
                 f"CampaignConfig.resource_policy must be one of "
                 f"{RESOURCE_POLICIES}, got {self.resource_policy!r}")
+        if self.trajectory not in TRAJECTORY_KINDS:
+            raise ConfigurationError(
+                f"CampaignConfig.trajectory must be one of "
+                f"{TRAJECTORY_KINDS}, got {self.trajectory!r}")
+        if self.obstruction not in OBSTRUCTION_KINDS:
+            raise ConfigurationError(
+                f"CampaignConfig.obstruction must be one of "
+                f"{OBSTRUCTION_KINDS}, got {self.obstruction!r}")
+        if not self.speed_kmh >= 0.0:   # also rejects NaN
+            raise ConfigurationError(
+                f"CampaignConfig.speed_kmh must be >= 0, got "
+                f"{self.speed_kmh!r}")
+        if not self.drive_duration_s > 0:   # also rejects NaN
+            raise ConfigurationError(
+                f"CampaignConfig.drive_duration_s must be positive, "
+                f"got {self.drive_duration_s!r}")
 
 
 @dataclass
@@ -238,9 +281,14 @@ class Campaign:
     def __post_init__(self) -> None:
         self.timeline = CampaignTimeline()
         self.constellation = Constellation()
+        #: Seeded mobility state; (None, None) for the default
+        #: stationary/no-obstruction config, keeping the scheduler on
+        #: its classic fixed-terminal fast path byte for byte.
+        self.trajectory, self.obstruction = build_mobility(self.config)
         self.path_model = StarlinkPathModel(
             constellation=self.constellation, timeline=self.timeline,
-            seed=self.config.seed)
+            seed=self.config.seed, trajectory=self.trajectory,
+            obstruction=self.obstruction)
         #: Materialised adverse-conditions scenario; clear_sky builds
         #: an empty schedule and the applications below are no-ops.
         self.scenario = build_scenario(self.config.scenario,
@@ -268,7 +316,9 @@ class Campaign:
                          ) -> StarlinkAccess:
         access = StarlinkAccess(seed=run_seed, epoch_t=epoch,
                                 timeline=self.timeline,
-                                constellation=self.constellation)
+                                constellation=self.constellation,
+                                trajectory=self.trajectory,
+                                obstruction=self.obstruction)
         apply_to_access(access,
                         self.scenario.experiment_schedule(epoch))
         return access
@@ -566,6 +616,44 @@ class Campaign:
             total_units=sum(t for _, t in self._coverage.values()),
             completed_units=sum(c for c, _ in self._coverage.values()),
             failures=failures, coverage=dict(self._coverage))
+
+    # -- mobility analysis -------------------------------------------------
+
+    def mobility_window_s(self) -> float:
+        """The handover-analysis window: the drive, clipped to the
+        campaign (a quick config can be shorter than the drive)."""
+        return min(self.config.drive_duration_s,
+                   days(self.config.ping_days))
+
+    def mobility_report(self, data: CampaignDatasets,
+                        availability: AvailabilityReport | None = None
+                        ) -> MobilityReport:
+        """Handover-episode analysis of one campaign's datasets.
+
+        Scans the campaign scheduler for path-change boundaries over
+        the mobility window, then attributes every pooled outage
+        episode to obstruction, weather (disruption windows) or
+        handover proximity. The per-cause counts always sum to the
+        availability report's episode count, so the attribution
+        reconciles against the pooled totals by construction.
+        """
+        if availability is None:
+            availability = analyze_availability(
+                data, scenario=self.config.scenario)
+        window = self.mobility_window_s()
+        events = self.path_model.scheduler.handover_events(0.0, window)
+        obstruction_windows = (
+            self.obstruction.obstructed_windows(0.0, window)
+            if self.obstruction is not None else ())
+        disruption_windows = [
+            (w.start_t, w.end_t)
+            for w in self.scenario.campaign.overlapping(0.0, window)]
+        return analyze_mobility(
+            availability, events, window,
+            trajectory=self.config.trajectory,
+            obstruction=self.config.obstruction,
+            obstruction_windows=obstruction_windows,
+            disruption_windows=disruption_windows)
 
     # -- everything --------------------------------------------------------
 

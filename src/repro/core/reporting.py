@@ -7,9 +7,10 @@ eyeballed against the original.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
-from repro.core.availability import AvailabilityReport
+from repro.core.availability import AvailabilityReport, MobilityReport
 from repro.core.browsing import BrowsingStats
 from repro.core.loss_events import LossCell
 from repro.core.rtt import Fig1Row, Fig2Series, LoadedRttStats
@@ -332,6 +333,53 @@ def render_availability(report: AvailabilityReport) -> str:
     tally = " ".join(f"{status}={count}" for status, count in
                      sorted(report.outcome_counts.items()))
     lines.append(f"measurement outcomes: {tally or 'none'}")
+    lines.append(_rule(80))
+    return "\n".join(lines)
+
+
+def render_mobility(report: MobilityReport) -> str:
+    """Handover-episode view of a (possibly moving) campaign.
+
+    Path-change churn broken down by kind, per-episode outage
+    attribution (obstruction / weather / handover / unknown) and the
+    recovery-time summary, printed after the availability block it
+    extends.
+    """
+    lines = [f"Mobility report — trajectory {report.trajectory!r}, "
+             f"obstruction {report.obstruction!r}.",
+             _rule(80),
+             f"analysis window: {report.window_s:.0f}s"]
+    if report.handover_count:
+        kinds = " ".join(
+            f"{kind}={count}" for kind, count in
+            sorted(report.handover_kind_counts.items()))
+        lines.append(f"path changes: {report.handover_count} "
+                     f"({report.churn_per_hour:.1f}/h)  by kind: "
+                     f"{kinds}")
+    else:
+        lines.append("path changes: none inside the window")
+    episodes = report.availability.episodes
+    if episodes:
+        lines.append(f"outage episodes: {len(episodes)}, attributed:")
+        for i, (ep, cause) in enumerate(
+                zip(episodes, report.episode_causes), 1):
+            recovery = (f"recovered after "
+                        f"{ep.time_to_recovery_s:.0f}s"
+                        if ep.recovered else "NOT recovered")
+            lines.append(f"  #{i}: t+{ep.start_t:.0f}s  "
+                         f"span {ep.duration_s:.0f}s  "
+                         f"cause {cause}  {recovery}")
+        counts = " ".join(f"{cause}={count}" for cause, count in
+                          report.cause_counts.items())
+        lines.append(f"attribution: {counts}")
+        mttr = report.mean_time_to_recovery_s
+        if not math.isnan(mttr):
+            lines.append(f"mean time to recovery: {mttr:.0f}s")
+        else:
+            lines.append("mean time to recovery: n/a "
+                         "(no recovered episodes)")
+    else:
+        lines.append("outage episodes: none")
     lines.append(_rule(80))
     return "\n".join(lines)
 

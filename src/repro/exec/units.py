@@ -61,6 +61,7 @@ from repro.leo.fleet import (
 )
 from repro.leo.geometry import GeoPoint
 from repro.leo.ground import STARLINK_GATEWAYS
+from repro.leo.mobility import build_mobility
 from repro.rng import make_rng, stable_seed
 from repro.transport.quic import QuicConfig
 from repro.transport.tcp import TcpConfig
@@ -123,21 +124,27 @@ def context_for(config: "CampaignConfig") -> WorkerContext:
 
     Built lazily and memoised, so a worker pays the constellation
     setup once no matter how many units it executes. The memo key
-    covers the seed, the scenario name and every config knob the
-    scenario's campaign schedule is derived from, so two configs that
-    would materialise different disruption timelines never share a
-    scheduler.
+    covers the seed, the scenario name, every config knob the
+    scenario's campaign schedule is derived from, AND the mobility
+    knobs — a context armed with one trajectory must never serve a
+    config describing another (the position-dependent caches inside
+    the scheduler would silently be stale for the second config).
     """
     key = (config.seed, config.scenario, config.ping_days,
-           config.ping_interval_s, config.pings_per_round)
+           config.ping_interval_s, config.pings_per_round,
+           config.trajectory, config.speed_kmh,
+           config.drive_duration_s, config.obstruction)
     ctx = _CONTEXTS.get(key)
     if ctx is None:
         timeline = CampaignTimeline()
         constellation = Constellation()
         scenario = build_scenario(config.scenario, config)
+        trajectory, obstruction = build_mobility(config)
         path_model = StarlinkPathModel(constellation=constellation,
                                        timeline=timeline,
-                                       seed=config.seed)
+                                       seed=config.seed,
+                                       trajectory=trajectory,
+                                       obstruction=obstruction)
         # Campaign-scale gateway outages live in the shared scheduler
         # (a no-op for clear_sky: the empty schedule installs nothing).
         apply_to_scheduler(path_model.scheduler, scenario.campaign)
@@ -152,10 +159,13 @@ def _starlink_access(config: "CampaignConfig", epoch: float,
                      run_seed: int,
                      capacity_share: float = 1.0) -> StarlinkAccess:
     ctx = context_for(config)
+    scheduler = ctx.path_model.scheduler
     access = StarlinkAccess(seed=run_seed, epoch_t=epoch,
                             timeline=ctx.timeline,
                             constellation=ctx.constellation,
-                            capacity_share=capacity_share)
+                            capacity_share=capacity_share,
+                            trajectory=scheduler.trajectory,
+                            obstruction=scheduler.obstruction)
     # Shift the scenario's experiment overlay to this epoch and
     # install it on the freshly built (private) access. Clear-sky
     # overlays are empty, and installing an empty schedule touches
@@ -210,6 +220,15 @@ def fleet_context_for(config: "CampaignConfig") -> FleetContext:
     Memoised like :func:`context_for`; the key additionally covers
     the fleet shape so two configs that place terminals differently
     never share a scheduler.
+
+    Cache audit (mobility): fleet terminals are deliberately fixed —
+    the config's trajectory/obstruction knobs apply to the classic
+    single-dish pipeline only, so omitting them from this key is
+    correct (two configs differing only in mobility produce identical
+    fleet datasets and may share the context). The fleet's
+    per-(slot, satellite) gateway memo is position-independent too:
+    gateway geometry relates satellites to *gateways*, never to
+    terminal positions.
     """
     key = (config.seed, config.scenario, config.ping_days,
            config.ping_interval_s, config.pings_per_round,
@@ -247,6 +266,14 @@ def _ping_chunk_probes(cfg: "CampaignConfig", anchor_name: str,
     byte-identical whether or not a schedule is installed: an empty
     schedule answers False/0.0 everywhere, so exactly the same draws
     happen in exactly the same order.
+
+    Unservable slots (a mobile/obstructed terminal with no visible
+    satellite-gateway pair) lose their probes: the
+    :class:`~repro.errors.ConfigurationError` the scheduler raises
+    becomes a NaN RTT, never an aborted series. The guards cost no
+    draws, and the obstruction chain is a pure function of
+    (seed, slot), so the probe bytes stay identical across processes,
+    shard granularities and resumes.
     """
     anchor = anchor_by_name(anchor_name)
     ctx = context_for(cfg)
@@ -260,8 +287,12 @@ def _ping_chunk_probes(cfg: "CampaignConfig", anchor_name: str,
     times: list[float] = []
     rtts: list[float] = []
     for t in round_times[atom * chunk:(atom + 1) * chunk]:
-        pop = model.pop_location(t)
-        remote = anchor.remote_rtt_from(pop)
+        try:
+            pop = model.pop_location(t)
+        except ConfigurationError:
+            pop = None
+        remote = (anchor.remote_rtt_from(pop)
+                  if pop is not None else math.nan)
         for probe in range(cfg.pings_per_round):
             probe_t = t + probe * 1.0
             times.append(probe_t)
@@ -274,9 +305,14 @@ def _ping_chunk_probes(cfg: "CampaignConfig", anchor_name: str,
                 extra = disruption.extra_loss_prob(probe_t)
                 if extra > 0.0 and rng.random() < extra:
                     rtts.append(math.nan)
+                elif pop is None:
+                    rtts.append(math.nan)
                 else:
-                    rtts.append(model.idle_rtt(
-                        probe_t, rng, remote_rtt_s=remote))
+                    try:
+                        rtts.append(model.idle_rtt(
+                            probe_t, rng, remote_rtt_s=remote))
+                    except ConfigurationError:
+                        rtts.append(math.nan)
     return times, rtts
 
 

@@ -13,7 +13,13 @@ and the per-packet delays seen by the packet-level simulator are the
 same model by construction.
 """
 
-from repro.leo.geometry import GeoPoint, ecef, slant_range, elevation_angle
+from repro.leo.geometry import (
+    GeoPoint,
+    azimuth_angle,
+    ecef,
+    slant_range,
+    elevation_angle,
+)
 from repro.leo.constellation import WalkerShell, Constellation
 from repro.leo.ground import (
     GroundStation,
@@ -21,7 +27,23 @@ from repro.leo.ground import (
     STARLINK_GATEWAYS,
     STARLINK_POPS,
 )
-from repro.leo.scheduling import SatelliteScheduler, PathSnapshot
+from repro.leo.scheduling import (
+    HandoverEvent,
+    PathSnapshot,
+    SatelliteScheduler,
+    scan_handover_events,
+)
+from repro.leo.mobility import (
+    ObstructionTrace,
+    SkyMask,
+    SkySector,
+    StationaryTrajectory,
+    Trajectory,
+    WaypointTrajectory,
+    build_obstruction,
+    build_trajectory,
+    drive_trajectory,
+)
 from repro.leo.fleet import (
     FleetScheduler,
     FleetSpec,
@@ -35,6 +57,7 @@ from repro.leo.access import StarlinkAccess, StarlinkParams, StarlinkPathModel
 
 __all__ = [
     "GeoPoint",
+    "azimuth_angle",
     "ecef",
     "slant_range",
     "elevation_angle",
@@ -46,6 +69,17 @@ __all__ = [
     "STARLINK_POPS",
     "SatelliteScheduler",
     "PathSnapshot",
+    "HandoverEvent",
+    "scan_handover_events",
+    "Trajectory",
+    "StationaryTrajectory",
+    "WaypointTrajectory",
+    "drive_trajectory",
+    "ObstructionTrace",
+    "SkyMask",
+    "SkySector",
+    "build_trajectory",
+    "build_obstruction",
     "FleetScheduler",
     "FleetSpec",
     "FleetTerminalView",

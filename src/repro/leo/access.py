@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.rng import make_rng
+from repro.errors import ConfigurationError
 from repro.leo.channel import StarlinkChannel
 from repro.leo.constellation import Constellation
 from repro.leo.events import CampaignTimeline
@@ -35,11 +36,19 @@ from repro.leo.ground import (
     UserTerminal,
     default_terminal,
 )
-from repro.leo.scheduling import SatelliteScheduler
+from repro.leo.scheduling import SLOT_DURATION, SatelliteScheduler
 from repro.netsim.engine import Simulator
+from repro.netsim.loss import CompositeLoss, UnservedLoss
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.topology import Network
 from repro.units import gbps, kib, mbps, ms
+
+#: Deterministic stand-in for the slot-constant base delay while no
+#: path is servable (drive-through outage). Packets in such slots are
+#: dropped by :class:`~repro.netsim.loss.UnservedLoss`, so this value
+#: only shapes stragglers already in flight — it just has to be a
+#: plausible constant, not geometry.
+UNSERVED_FALLBACK_BASE_S = ms(30.0)
 
 
 @dataclass
@@ -104,7 +113,9 @@ class StarlinkPathModel:
                  terminal: UserTerminal | None = None,
                  timeline: CampaignTimeline | None = None,
                  seed: int = 0,
-                 scheduler: SatelliteScheduler | None = None):
+                 scheduler: SatelliteScheduler | None = None,
+                 trajectory=None,
+                 obstruction=None):
         self.params = params or StarlinkParams()
         self.timeline = timeline or CampaignTimeline()
         self.seed = seed
@@ -112,6 +123,7 @@ class StarlinkPathModel:
             # Injected scheduler (e.g. a FleetTerminalView sharing one
             # FleetScheduler across terminals): the model follows its
             # constellation/terminal instead of building its own.
+            # Injected schedulers manage their own mobility state.
             self.scheduler = scheduler
             self.constellation = scheduler.constellation
             self.terminal = scheduler.terminal
@@ -120,7 +132,8 @@ class StarlinkPathModel:
             self.terminal = terminal or default_terminal()
             self.scheduler = SatelliteScheduler(
                 self.constellation, self.terminal, STARLINK_GATEWAYS,
-                seed=seed)
+                seed=seed, trajectory=trajectory,
+                obstruction=obstruction)
         self._fiber_cache: dict[str, float] = {}
         self._jitter_cache: dict[tuple[str, int], float] = {}
         #: Slot -> slot-constant part of base_one_way; valid only
@@ -235,6 +248,56 @@ class StarlinkPathModel:
         """Name of the PoP in force at time ``t``."""
         return self.scheduler.snapshot(t).pop
 
+    # -- mobility / obstruction hardening ------------------------------
+
+    @property
+    def mobility_armed(self) -> bool:
+        """Whether slots can be unservable from motion/obstruction."""
+        scheduler = self.scheduler
+        return bool(getattr(scheduler, "_mobile", False)
+                    or getattr(scheduler, "obstruction", None)
+                    is not None)
+
+    def is_unserved(self, t: float) -> bool:
+        """Whether the slot under ``t`` has no servable path."""
+        try:
+            self.scheduler.snapshot(t)
+        except ConfigurationError:
+            return True
+        return False
+
+    def fallback_one_way_delay(self, t: float, rng: random.Random,
+                               direction: str) -> float:
+        """Delay stand-in for packets crossing an unservable slot.
+
+        Consumes exactly the same RNG draws as
+        :meth:`one_way_delay` (jitter frame + dither), so packet
+        streams that straddle an outage keep their sibling draws
+        aligned with a run where the slot was servable.
+        """
+        return (UNSERVED_FALLBACK_BASE_S
+                + self.timeline.extra_latency(t)
+                + self._diurnal(t)
+                + self.jitter(rng, direction, t))
+
+    def pop_location_or_default(self, t: float,
+                                scan_slots: int = 240) -> GeoPoint:
+        """PoP location at ``t``, surviving unservable epochs.
+
+        A full-sky obstruction at the experiment epoch must not crash
+        topology construction: scan forward up to ``scan_slots``
+        slots for the first servable path, falling back to the first
+        gateway's PoP (the terminal's usual exit) if the whole scan
+        window is dark.
+        """
+        for k in range(scan_slots):
+            try:
+                pop = self.scheduler.snapshot(t + k * SLOT_DURATION).pop
+            except ConfigurationError:
+                continue
+            return STARLINK_POPS[pop].location
+        return STARLINK_POPS[self.scheduler.gateways[0].pop].location
+
     # -- campaign-level sampling ---------------------------------------
 
     def idle_rtt(self, t: float, rng: random.Random,
@@ -270,7 +333,9 @@ class StarlinkAccess:
                  timeline: CampaignTimeline | None = None,
                  constellation: Constellation | None = None,
                  path_model: StarlinkPathModel | None = None,
-                 capacity_share: float = 1.0):
+                 capacity_share: float = 1.0,
+                 trajectory=None,
+                 obstruction=None):
         self.params = params or StarlinkParams()
         self.seed = seed
         self.epoch_t = epoch_t
@@ -280,9 +345,12 @@ class StarlinkAccess:
         #: and loss do not.
         self.capacity_share = capacity_share
         self.timeline = timeline or CampaignTimeline()
+        # trajectory/obstruction must be armed before _build_access so
+        # mobility_armed wires UnservedLoss onto the space link.
         self.path_model = path_model or StarlinkPathModel(
             params=self.params, constellation=constellation,
-            timeline=self.timeline, seed=seed)
+            timeline=self.timeline, seed=seed, trajectory=trajectory,
+            obstruction=obstruction)
         self.channel = StarlinkChannel(
             down_mean=self.params.down_mean_bps,
             up_mean=self.params.up_mean_bps, seed=seed,
@@ -319,10 +387,31 @@ class StarlinkAccess:
         down_rng = make_rng((self.seed, "jitter", "down"))
 
         def up_delay(now: float) -> float:
-            return self.path_model.one_way_delay(now, up_rng, "up")
+            try:
+                return self.path_model.one_way_delay(now, up_rng, "up")
+            except ConfigurationError:
+                return self.path_model.fallback_one_way_delay(
+                    now, up_rng, "up")
 
         def down_delay(now: float) -> float:
-            return self.path_model.one_way_delay(now, down_rng, "down")
+            try:
+                return self.path_model.one_way_delay(now, down_rng,
+                                                     "down")
+            except ConfigurationError:
+                return self.path_model.fallback_one_way_delay(
+                    now, down_rng, "down")
+
+        loss_up = self.channel.make_loss_model("up")
+        loss_down = self.channel.make_loss_model("down")
+        if self.path_model.mobility_armed:
+            # A moving/obstructed terminal can hit unservable slots;
+            # packets crossing one are lost outright (geometry-driven
+            # drive-through outage). Wired only when mobility is armed
+            # so the classic pipeline pays zero per-packet probes.
+            loss_up = CompositeLoss(
+                [loss_up, UnservedLoss(self.path_model.is_unserved)])
+            loss_down = CompositeLoss(
+                [loss_down, UnservedLoss(self.path_model.is_unserved)])
 
         share = self.capacity_share
         space = self.net.connect(
@@ -334,8 +423,8 @@ class StarlinkAccess:
                 capacity_bytes=max(1, int(p.up_queue_bytes * share))),
             queue_ba=DropTailQueue(
                 capacity_bytes=max(1, int(p.down_queue_bytes * share))),
-            loss_ab=self.channel.make_loss_model("up"),
-            loss_ba=self.channel.make_loss_model("down"))
+            loss_ab=loss_up,
+            loss_ba=loss_down)
         self.space_link = space
 
         self.net.connect("cgnat", "pop", rate_ab=gbps(10), rate_ba=gbps(10),
@@ -355,7 +444,7 @@ class StarlinkAccess:
         LAN delay.
         """
         host = self.net.add_host(name, address)
-        pop_loc = self.path_model.pop_location(self.epoch_t)
+        pop_loc = self.path_model.pop_location_or_default(self.epoch_t)
         delay = fiber_path_delay(pop_loc, location) + server_lan_delay_s
         self.net.connect("pop", name, rate_ab=access_rate_bps,
                          rate_ba=access_rate_bps, delay=delay)

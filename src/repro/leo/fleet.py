@@ -65,6 +65,7 @@ from repro.leo.scheduling import (
     _NO_OUTAGES,
     build_outage_index,
     gateway_geometry,
+    scan_handover_events,
     select_gateway,
 )
 from repro.rng import make_rng, stable_seed
@@ -508,16 +509,17 @@ class FleetTerminalView:
         self.fleet.add_gateway_outage(gateway_name, start_slot,
                                       end_slot)
 
+    def handover_events(self, start: float, end: float):
+        """Every path-change boundary with kinds (shared scan)."""
+        return scan_handover_events(self.snapshot, self.slot_of,
+                                    start, end)
+
     def handover_times(self, start: float, end: float) -> list[float]:
-        """Slot boundaries where the serving satellite changes."""
-        times = []
-        previous = self.snapshot(start).sat_index
-        slot = self.slot_of(start) + 1
-        while slot * SLOT_DURATION < end:
-            t = slot * SLOT_DURATION
-            current = self.snapshot(t).sat_index
-            if current != previous:
-                times.append(t)
-                previous = current
-            slot += 1
-        return times
+        """Slot boundaries where the serving path changes.
+
+        Same all-kinds semantics (satellite, gateway, PoP, service)
+        as :meth:`SatelliteScheduler.handover_times` — both delegate
+        to the shared :func:`scan_handover_events`.
+        """
+        return [event.t
+                for event in self.handover_events(start, end)]

@@ -94,6 +94,39 @@ def elevation_angle(ground: np.ndarray,
     return np.degrees(np.arcsin(np.clip(sin_el, -1.0, 1.0)))
 
 
+def azimuth_angle(ground: np.ndarray, sat: np.ndarray,
+                  up: np.ndarray | None = None) -> float | np.ndarray:
+    """Compass azimuth of ``sat`` seen from ``ground``, degrees.
+
+    Measured clockwise from true north in the local tangent plane
+    (0 = north, 90 = east), the convention obstruction sky masks use.
+    ``sat`` may be an (N, 3) array; an (N,) array is then returned.
+    A satellite at the zenith has an ill-defined azimuth; 0.0 is
+    returned there (its horizontal projection vanishes).
+    """
+    ground = np.asarray(ground, dtype=float)
+    sat = np.asarray(sat, dtype=float)
+    if up is None:
+        up = ground / np.linalg.norm(ground)
+    # Local east/north unit vectors from the spherical up-vector.
+    east = np.array([-up[1], up[0], 0.0])
+    east_norm = np.linalg.norm(east)
+    if east_norm == 0.0:
+        # At the poles every horizontal direction is "south"/"north";
+        # pick the prime-meridian tangent for a stable frame.
+        east = np.array([0.0, 1.0, 0.0])
+        east_norm = 1.0
+    east = east / east_norm
+    north = np.cross(up, east)
+    los = sat - ground
+    e = los @ east
+    n = los @ north
+    az = np.degrees(np.arctan2(e, n)) % 360.0
+    if np.ndim(az) == 0:
+        return float(az)
+    return az
+
+
 def elevation_and_range(ground: np.ndarray, sat: np.ndarray,
                         up: np.ndarray
                         ) -> tuple[np.ndarray, np.ndarray]:

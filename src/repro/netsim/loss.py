@@ -195,6 +195,24 @@ class OutageSchedule:
         return self.in_outage(now)
 
 
+class UnservedLoss:
+    """Loses everything while the access has no servable path.
+
+    The mobility counterpart of :class:`OutageSchedule`: instead of a
+    precomputed window list, ``probe(now)`` asks the scheduler whether
+    the slot under ``now`` is unservable (full-sky obstruction, or
+    churn that left no satellite/gateway pair) — so drive-through
+    outages emerge from geometry at packet granularity. Draws no
+    randomness, leaving sibling loss models' RNG streams untouched.
+    """
+
+    def __init__(self, probe):
+        self._probe = probe
+
+    def is_lost(self, now: float) -> bool:
+        return bool(self._probe(now))
+
+
 class CompositeLoss:
     """Union of several loss processes (lost if *any* model drops)."""
 

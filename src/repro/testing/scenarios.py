@@ -20,6 +20,13 @@ from repro.disrupt.scenarios import Scenario as DisruptScenario
 from repro.disrupt.scenarios import register_scenario, unregister_scenario
 from repro.disrupt.schedule import DisruptionSchedule, DisruptionWindow
 from repro.leo.ground import STARLINK_GATEWAYS
+from repro.leo.mobility import (
+    OBSTRUCTION_PROFILES,
+    ObstructionTrace,
+    StationaryTrajectory,
+    Trajectory,
+    drive_trajectory,
+)
 from repro.netsim.loss import BernoulliLoss
 from repro.netsim.node import Host
 from repro.netsim.packet import Packet, Protocol
@@ -239,6 +246,56 @@ def random_disruption_schedule(seed: int, horizon_s: float = 60.0,
         name=f"random-{seed}",
         windows=random_disruption_windows(seed, horizon_s,
                                           max_windows))
+
+
+# -- random trajectories and obstruction traces (repro.leo.mobility) ----
+#
+# Mobile-terminal mode extends the no-hang promise: under *any*
+# trajectory x obstruction x disruption composition the apps still
+# terminate with structured outcomes. These generators draw the
+# mobility side of that product space.
+
+
+def random_trajectory(seed: int, max_speed_kmh: float = 150.0,
+                      max_duration_s: float = 3600.0
+                      ) -> Trajectory | None:
+    """Draw a seeded trajectory (or None: the classic fixed dish).
+
+    The mix deliberately includes the degenerate shapes the digest
+    gates rely on — no trajectory, a provably-stationary one, and a
+    parked (speed 0) drive — alongside genuinely moving drives.
+    """
+    rng = make_rng(("mobility-trajectory", seed))
+    roll = rng.random()
+    if roll < 0.25:
+        return None
+    if roll < 0.40:
+        return StationaryTrajectory()
+    speed = rng.random() * max_speed_kmh
+    if rng.random() < 0.15:
+        speed = 0.0
+    duration = 300.0 + rng.random() * (max_duration_s - 300.0)
+    n_legs = 1 + rng.randrange(12)
+    return drive_trajectory(seed, speed_kmh=speed,
+                            duration_s=duration, n_legs=n_legs)
+
+
+def random_obstruction_trace(seed: int, horizon_slots: int = 240
+                             ) -> ObstructionTrace | None:
+    """Draw a seeded obstruction trace (or None: clear sky).
+
+    Traces may start obstructed — slot 0 can even draw the full-sky
+    mask, the drive-into-a-tunnel-at-t=0 worst case the no-hang tests
+    must survive.
+    """
+    rng = make_rng(("mobility-obstruction", seed))
+    if rng.random() < 0.30:
+        return None
+    profile = rng.choice(sorted(OBSTRUCTION_PROFILES))
+    obstructed_at_start = rng.random() < 0.25
+    end_slot = 1 + rng.randrange(horizon_slots)
+    return ObstructionTrace(seed, profile=profile, end_slot=end_slot,
+                            obstructed_at_start=obstructed_at_start)
 
 
 def register_random_scenario(seed: int, campaign_horizon_s: float,

@@ -282,3 +282,114 @@ def test_accumulator_merge_is_order_independent():
     assert (merged_a.episodes()
             == detect_outage_episodes(pings))
     assert merged_a.resident_instants == 10
+
+
+# -- handover-episode attribution (mobile-terminal mode) ----------------
+
+from repro.core.availability import (  # noqa: E402
+    EPISODE_CAUSES,
+    MobilityReport,
+    analyze_mobility,
+    attribute_episodes,
+)
+from repro.core.reporting import render_mobility  # noqa: E402
+from repro.leo.scheduling import HandoverEvent  # noqa: E402
+
+
+def _episode(start_t, end_t=None, recovery_t=None):
+    end_t = start_t + 60.0 if end_t is None else end_t
+    recovery_t = end_t + 60.0 if recovery_t is None else recovery_t
+    return OutageEpisode(start_t=start_t, end_t=end_t,
+                         recovery_t=recovery_t, probes_lost=4)
+
+
+def test_attribution_priority_obstruction_over_weather_over_handover():
+    ep = _episode(100.0)
+    windows = [(90.0, 130.0)]
+    assert attribute_episodes([ep], handover_times=[95.0],
+                              obstruction_windows=windows,
+                              disruption_windows=windows) \
+        == ["obstruction"]
+    assert attribute_episodes([ep], handover_times=[95.0],
+                              disruption_windows=windows) \
+        == ["weather"]
+    assert attribute_episodes([ep], handover_times=[95.0]) \
+        == ["handover"]
+    assert attribute_episodes([ep]) == ["unknown"]
+
+
+def test_handover_attribution_window_is_one_sided():
+    ep = _episode(100.0)
+    # A handover after the episode started cannot have caused it.
+    assert attribute_episodes([ep], handover_times=[101.0]) \
+        == ["unknown"]
+    # ... and one too far in the past did not either.
+    assert attribute_episodes([ep], handover_times=[100.0 - 17.0]) \
+        == ["unknown"]
+    assert attribute_episodes([ep], handover_times=[100.0 - 16.0]) \
+        == ["handover"]
+
+
+def test_attribution_conserves_episode_count():
+    episodes = [_episode(t) for t in (0.0, 300.0, 600.0, 900.0)]
+    causes = attribute_episodes(
+        episodes,
+        handover_times=[290.0],
+        obstruction_windows=[(0.0, 30.0)],
+        disruption_windows=[(580.0, 700.0)])
+    assert len(causes) == len(episodes)
+    assert causes == ["obstruction", "handover", "weather",
+                      "unknown"]
+    for cause in causes:
+        assert cause in EPISODE_CAUSES
+
+
+def test_analyze_mobility_reconciles_with_availability():
+    pings = _pings(outage_rounds=(3, 4), rounds=20)
+    report = analyze_availability(CampaignDatasets(pings=pings))
+    events = [HandoverEvent(t=165.0, kinds=frozenset({"satellite"})),
+              HandoverEvent(t=300.0,
+                            kinds=frozenset({"gateway", "pop"}))]
+    mob = analyze_mobility(report, events, window_s=1200.0,
+                           trajectory="drive", obstruction="none")
+    assert isinstance(mob, MobilityReport)
+    assert mob.handover_count == 2
+    assert mob.handover_kind_counts == {"satellite": 1, "gateway": 1,
+                                        "pop": 1}
+    assert mob.churn_per_hour == pytest.approx(2 * 3600.0 / 1200.0)
+    assert sum(mob.cause_counts.values()) \
+        == len(report.episodes) == 1
+    assert mob.episode_causes == ["handover"]
+    assert mob.mean_time_to_recovery_s == pytest.approx(120.0)
+
+
+def test_analyze_mobility_empty_window_zero_churn():
+    pings = _pings(outage_rounds=())
+    report = analyze_availability(CampaignDatasets(pings=pings))
+    mob = analyze_mobility(report, [], window_s=0.0)
+    assert mob.churn_per_hour == 0.0
+    assert math.isnan(mob.mean_time_to_recovery_s)
+    assert sum(mob.cause_counts.values()) == 0
+
+
+def test_render_mobility_mentions_the_essentials():
+    pings = _pings(outage_rounds=(3, 4), rounds=20)
+    report = analyze_availability(CampaignDatasets(pings=pings))
+    events = [HandoverEvent(t=165.0, kinds=frozenset({"satellite"}))]
+    text = render_mobility(analyze_mobility(
+        report, events, window_s=1200.0, trajectory="drive",
+        obstruction="roadside"))
+    assert "'drive'" in text
+    assert "'roadside'" in text
+    assert "satellite=1" in text
+    assert "cause handover" in text
+    assert "mean time to recovery" in text
+
+
+def test_render_mobility_handles_quiet_campaign():
+    pings = _pings(outage_rounds=())
+    report = analyze_availability(CampaignDatasets(pings=pings))
+    text = render_mobility(analyze_mobility(report, [],
+                                            window_s=600.0))
+    assert "path changes: none" in text
+    assert "outage episodes: none" in text
